@@ -1,0 +1,143 @@
+//! Figure 10: distribution of source and destination addresses across
+//! the 256 /8 bins, per class.
+
+use serde::Serialize;
+use spoofwatch_net::addr::slash8_index;
+use spoofwatch_net::{FlowRecord, TrafficClass};
+
+/// Packet counts per /8 bin for sources and destinations of one class.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassAddrHist {
+    /// The class.
+    pub class: TrafficClass,
+    /// Source-address histogram over /8 bins.
+    pub src: Vec<u64>,
+    /// Destination-address histogram over /8 bins.
+    pub dst: Vec<u64>,
+}
+
+impl ClassAddrHist {
+    fn new(class: TrafficClass) -> Self {
+        ClassAddrHist {
+            class,
+            src: vec![0; 256],
+            dst: vec![0; 256],
+        }
+    }
+
+    /// A uniformity measure over a histogram: the fraction of total mass
+    /// in the single largest bin. Uniform ≈ 1/occupied-bins; heavily
+    /// concentrated → near 1.0.
+    pub fn peak_fraction(hist: &[u64]) -> f64 {
+        let total: u64 = hist.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *hist.iter().max().expect("non-empty") as f64 / total as f64
+    }
+
+    /// Number of /8 bins with any packets.
+    pub fn occupied_bins(hist: &[u64]) -> usize {
+        hist.iter().filter(|&&v| v > 0).count()
+    }
+}
+
+/// The Figure 10 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// Histograms for Unrouted, Bogon, Invalid (the figure's panels),
+    /// plus Valid for reference.
+    pub hists: Vec<ClassAddrHist>,
+}
+
+impl Fig10 {
+    /// Compute from a classified trace.
+    pub fn compute(flows: &[FlowRecord], classes: &[TrafficClass]) -> Fig10 {
+        assert_eq!(flows.len(), classes.len());
+        let mut hists: Vec<ClassAddrHist> =
+            TrafficClass::ALL.iter().map(|&c| ClassAddrHist::new(c)).collect();
+        for (f, c) in flows.iter().zip(classes) {
+            let h = &mut hists[c.index()];
+            h.src[slash8_index(f.src) as usize] += f.packets as u64;
+            h.dst[slash8_index(f.dst) as usize] += f.packets as u64;
+        }
+        Fig10 { hists }
+    }
+
+    /// Histogram for a class.
+    pub fn class(&self, class: TrafficClass) -> &ClassAddrHist {
+        &self.hists[class.index()]
+    }
+
+    /// Render the three illegitimate panels as sparse bin listings.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 10 — packets per /8 bin (sparse listing: bin count)\n",
+        );
+        for &class in &[TrafficClass::Unrouted, TrafficClass::Bogon, TrafficClass::Invalid] {
+            let h = self.class(class);
+            for (label, hist) in [("src", &h.src), ("dst", &h.dst)] {
+                out.push_str(&format!("\n[{class} {label}]\n"));
+                let total: u64 = hist.iter().sum();
+                for (bin, &v) in hist.iter().enumerate() {
+                    if v > 0 {
+                        let frac = v as f64 / total.max(1) as f64;
+                        out.push_str(&format!(
+                            "{bin:>4}/8 {v:>12} {}\n",
+                            crate::render::bar(frac, 40)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::{parse_addr, Asn, Proto};
+
+    fn flow(src: &str, dst: &str, packets: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: parse_addr(src).unwrap(),
+            dst: parse_addr(dst).unwrap(),
+            proto: Proto::Udp,
+            sport: 0,
+            dport: 0,
+            packets,
+            bytes: packets as u64,
+            pkt_size: 1,
+            member: Asn(1),
+        }
+    }
+
+    #[test]
+    fn binning_and_peaks() {
+        let flows = vec![
+            flow("10.1.1.1", "80.1.1.1", 6),
+            flow("10.2.2.2", "80.2.2.2", 3),
+            flow("192.168.0.1", "80.3.3.3", 1),
+        ];
+        let classes = vec![TrafficClass::Bogon; 3];
+        let fig = Fig10::compute(&flows, &classes);
+        let h = fig.class(TrafficClass::Bogon);
+        assert_eq!(h.src[10], 9);
+        assert_eq!(h.src[192], 1);
+        assert_eq!(h.dst[80], 10);
+        assert!((ClassAddrHist::peak_fraction(&h.src) - 0.9).abs() < 1e-9);
+        assert_eq!(ClassAddrHist::occupied_bins(&h.src), 2);
+        assert_eq!(ClassAddrHist::occupied_bins(&h.dst), 1);
+        assert!((ClassAddrHist::peak_fraction(&h.dst) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_class_is_zero() {
+        let fig = Fig10::compute(&[], &[]);
+        let h = fig.class(TrafficClass::Invalid);
+        assert_eq!(ClassAddrHist::peak_fraction(&h.src), 0.0);
+        assert_eq!(ClassAddrHist::occupied_bins(&h.src), 0);
+    }
+}

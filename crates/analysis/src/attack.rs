@@ -1,0 +1,435 @@
+//! Figure 11 and §7: attack patterns — selective vs. random spoofing,
+//! amplifier strategies, and the reflection loop.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use spoofwatch_internet::Internet;
+use spoofwatch_net::flow::ports;
+use spoofwatch_net::{Asn, FlowRecord, Proto, TrafficClass};
+use std::collections::{HashMap, HashSet};
+
+/// Figure 11a: per-destination ratio of distinct source IPs to packets.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11a {
+    /// Histogram per class: 10 bins over ratio `[0, 1]`, as fractions of
+    /// qualifying destinations.
+    pub bins: HashMap<TrafficClass, [f64; 10]>,
+    /// Number of qualifying destinations per class (paper: 19.7K Bogon,
+    /// 8.4K Unrouted, 9.7K Invalid).
+    pub destinations: HashMap<TrafficClass, usize>,
+    /// Minimum sampled packets for a destination to qualify (paper: 50).
+    pub min_packets: u64,
+}
+
+impl Fig11a {
+    /// Compute over the illegitimate classes.
+    pub fn compute(
+        flows: &[FlowRecord],
+        classes: &[TrafficClass],
+        min_packets: u64,
+    ) -> Fig11a {
+        assert_eq!(flows.len(), classes.len());
+        let mut per_dst: HashMap<(TrafficClass, u32), (HashSet<u32>, u64)> = HashMap::new();
+        for (f, c) in flows.iter().zip(classes) {
+            if !c.is_illegitimate() {
+                continue;
+            }
+            let e = per_dst.entry((*c, f.dst)).or_default();
+            e.0.insert(f.src);
+            e.1 += f.packets as u64;
+        }
+        let mut bins: HashMap<TrafficClass, [f64; 10]> = HashMap::new();
+        let mut destinations: HashMap<TrafficClass, usize> = HashMap::new();
+        let mut counts: HashMap<TrafficClass, [u64; 10]> = HashMap::new();
+        for ((class, _dst), (srcs, pkts)) in &per_dst {
+            if *pkts <= min_packets {
+                continue;
+            }
+            let ratio = srcs.len() as f64 / *pkts as f64;
+            let bin = ((ratio * 10.0) as usize).min(9);
+            counts.entry(*class).or_default()[bin] += 1;
+            *destinations.entry(*class).or_default() += 1;
+        }
+        for (class, row) in counts {
+            let total: u64 = row.iter().sum();
+            let mut frac = [0.0; 10];
+            if total > 0 {
+                for (i, &n) in row.iter().enumerate() {
+                    frac[i] = n as f64 / total as f64;
+                }
+            }
+            bins.insert(class, frac);
+        }
+        Fig11a {
+            bins,
+            destinations,
+            min_packets,
+        }
+    }
+
+    /// Fraction of a class's destinations in the rightmost bin (every
+    /// packet from a distinct source — random spoofing; paper: ~90% for
+    /// Unrouted).
+    pub fn unique_source_fraction(&self, class: TrafficClass) -> f64 {
+        self.bins.get(&class).map(|b| b[9]).unwrap_or(0.0)
+    }
+
+    /// Fraction in the leftmost bin (few sources, many packets —
+    /// selective spoofing / amplification signature).
+    pub fn few_source_fraction(&self, class: TrafficClass) -> f64 {
+        self.bins.get(&class).map(|b| b[0]).unwrap_or(0.0)
+    }
+
+    /// Render as a per-class bin table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 11a — #SRC IPs / #packets per destination (dst > {} sampled pkts)\n",
+            self.min_packets
+        );
+        let mut header = vec!["class".to_owned(), "dsts".to_owned()];
+        header.extend((0..10).map(|i| format!("{:.1}", (i as f64 + 1.0) / 10.0)));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = TrafficClass::ILLEGITIMATE
+            .iter()
+            .map(|&c| {
+                let mut row = vec![
+                    c.to_string(),
+                    self.destinations.get(&c).copied().unwrap_or(0).to_string(),
+                ];
+                let bins = self.bins.get(&c).copied().unwrap_or([0.0; 10]);
+                row.extend(bins.iter().map(|b| format!("{b:.3}")));
+                row
+            })
+            .collect();
+        out.push_str(&crate::render::table(&header_refs, &rows));
+        out
+    }
+}
+
+/// One NTP amplification victim's view (Figure 11b).
+#[derive(Debug, Clone, Serialize)]
+pub struct VictimProfile {
+    /// The spoofed victim address (source of the triggers).
+    pub victim: u32,
+    /// Total trigger packets.
+    pub trigger_packets: u64,
+    /// Amplifiers contacted, with trigger packets, descending.
+    pub amplifiers: Vec<(u32, u64)>,
+}
+
+/// Figure 11b + the §7 NTP statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct NtpAnalysis {
+    /// Top victims by trigger volume (the paper plots the top 10).
+    pub victims: Vec<VictimProfile>,
+    /// Share of Invalid NTP trigger packets emitted by the single
+    /// largest member (paper: 91.94%).
+    pub top_member_share: f64,
+    /// Share emitted by the top five members (paper: 97.86%).
+    pub top5_member_share: f64,
+    /// Members emitting triggers (paper: 44).
+    pub emitting_members: usize,
+    /// Distinct victim addresses (paper: 7,925).
+    pub distinct_victims: usize,
+    /// Distinct amplifiers contacted (paper: 24,328).
+    pub contacted_amplifiers: usize,
+}
+
+impl NtpAnalysis {
+    /// Identify Invalid UDP/123 triggers and profile the top victims.
+    pub fn compute(flows: &[FlowRecord], classes: &[TrafficClass], top_n: usize) -> NtpAnalysis {
+        assert_eq!(flows.len(), classes.len());
+        let mut by_victim: HashMap<u32, HashMap<u32, u64>> = HashMap::new();
+        let mut by_member: HashMap<Asn, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (f, c) in flows.iter().zip(classes) {
+            if *c != TrafficClass::Invalid || f.proto != Proto::Udp || f.dport != ports::NTP {
+                continue;
+            }
+            *by_victim.entry(f.src).or_default().entry(f.dst).or_default() +=
+                f.packets as u64;
+            *by_member.entry(f.member).or_default() += f.packets as u64;
+            total += f.packets as u64;
+        }
+        let contacted: HashSet<u32> = by_victim
+            .values()
+            .flat_map(|amps| amps.keys().copied())
+            .collect();
+        let mut victims: Vec<VictimProfile> = by_victim
+            .into_iter()
+            .map(|(victim, amps)| {
+                let trigger_packets = amps.values().sum();
+                let mut amplifiers: Vec<(u32, u64)> = amps.into_iter().collect();
+                amplifiers.sort_by_key(|&(a, n)| (std::cmp::Reverse(n), a));
+                VictimProfile {
+                    victim,
+                    trigger_packets,
+                    amplifiers,
+                }
+            })
+            .collect();
+        victims.sort_by_key(|v| (std::cmp::Reverse(v.trigger_packets), v.victim));
+        let distinct_victims = victims.len();
+        victims.truncate(top_n);
+        let mut member_vols: Vec<u64> = by_member.values().copied().collect();
+        member_vols.sort_unstable_by_key(|&v| std::cmp::Reverse(v));
+        let share = |k: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                member_vols.iter().take(k).sum::<u64>() as f64 / total as f64
+            }
+        };
+        NtpAnalysis {
+            victims,
+            top_member_share: share(1),
+            top5_member_share: share(5),
+            emitting_members: member_vols.len(),
+            distinct_victims,
+            contacted_amplifiers: contacted.len(),
+        }
+    }
+
+    /// Render Figure 11b as per-victim ranked series.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 11b — ranked amplifiers per top victim\n");
+        for (i, v) in self.victims.iter().enumerate() {
+            let pts: Vec<(f64, f64)> = v
+                .amplifiers
+                .iter()
+                .enumerate()
+                .map(|(rank, &(_, n))| (rank as f64, n as f64))
+                .collect();
+            out.push_str(&crate::render::series(
+                &format!("top{:02} ({} amplifiers)", i + 1, v.amplifiers.len()),
+                &pts,
+            ));
+        }
+        out.push_str(&format!(
+            "\n§7 NTP stats: top member share {:.2}%, top-5 {:.2}%, members {}, victims {}, amplifiers {}\n",
+            100.0 * self.top_member_share,
+            100.0 * self.top5_member_share,
+            self.emitting_members,
+            self.distinct_victims,
+            self.contacted_amplifiers,
+        ));
+        out
+    }
+}
+
+/// Figure 11c: hourly trigger vs. response volumes for matched
+/// (victim, amplifier) pairs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11c {
+    /// Hour index → (trigger packets, trigger bytes, response packets,
+    /// response bytes).
+    pub hourly: Vec<(u64, u64, u64, u64)>,
+    /// Number of matched (victim, amplifier) pairs.
+    pub matched_pairs: usize,
+    /// Byte amplification factor over the matched pairs.
+    pub amplification: f64,
+}
+
+impl Fig11c {
+    /// Match triggers (Invalid, UDP→123) with responses (UDP sport 123
+    /// toward the victim) and build the time series.
+    pub fn compute(flows: &[FlowRecord], classes: &[TrafficClass], duration: u32) -> Fig11c {
+        assert_eq!(flows.len(), classes.len());
+        let mut trigger_pairs: HashSet<(u32, u32)> = HashSet::new(); // (victim, amp)
+        for (f, c) in flows.iter().zip(classes) {
+            if *c == TrafficClass::Invalid && f.proto == Proto::Udp && f.dport == ports::NTP {
+                trigger_pairs.insert((f.src, f.dst));
+            }
+        }
+        let mut response_pairs: HashSet<(u32, u32)> = HashSet::new();
+        for f in flows {
+            if f.proto == Proto::Udp && f.sport == ports::NTP {
+                let pair = (f.dst, f.src);
+                if trigger_pairs.contains(&pair) {
+                    response_pairs.insert(pair);
+                }
+            }
+        }
+        let hours = (duration as usize).div_ceil(3600).max(1);
+        let mut hourly = vec![(0u64, 0u64, 0u64, 0u64); hours];
+        let mut trig_bytes = 0u64;
+        let mut resp_bytes = 0u64;
+        for (f, c) in flows.iter().zip(classes) {
+            let h = (f.hour() as usize).min(hours - 1);
+            if *c == TrafficClass::Invalid
+                && f.proto == Proto::Udp
+                && f.dport == ports::NTP
+                && response_pairs.contains(&(f.src, f.dst))
+            {
+                hourly[h].0 += f.packets as u64;
+                hourly[h].1 += f.bytes;
+                trig_bytes += f.bytes;
+            } else if f.proto == Proto::Udp
+                && f.sport == ports::NTP
+                && response_pairs.contains(&(f.dst, f.src))
+            {
+                hourly[h].2 += f.packets as u64;
+                hourly[h].3 += f.bytes;
+                resp_bytes += f.bytes;
+            }
+        }
+        Fig11c {
+            hourly,
+            matched_pairs: response_pairs.len(),
+            amplification: if trig_bytes == 0 {
+                0.0
+            } else {
+                resp_bytes as f64 / trig_bytes as f64
+            },
+        }
+    }
+
+    /// Render as four data series.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 11c — trigger vs response for {} matched pairs (amplification {:.1}x)\n",
+            self.matched_pairs, self.amplification
+        );
+        let pick = |f: fn(&(u64, u64, u64, u64)) -> u64| -> Vec<(f64, f64)> {
+            self.hourly
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| f(v) > 0)
+                .map(|(h, v)| (h as f64, f(v) as f64))
+                .collect()
+        };
+        out.push_str(&crate::render::series("pkts to amplifier", &pick(|v| v.0)));
+        out.push_str(&crate::render::series("bytes to amplifier", &pick(|v| v.1)));
+        out.push_str(&crate::render::series("pkts from amplifier", &pick(|v| v.2)));
+        out.push_str(&crate::render::series("bytes from amplifier", &pick(|v| v.3)));
+        out
+    }
+}
+
+/// A ZMap-style scan of the NTP amplifier population: a random subset of
+/// the true servers at the given detection coverage — used for the §7
+/// comparison of contacted amplifiers against scan snapshots.
+pub fn zmap_scan(net: &Internet, seed: u64, coverage: f64) -> HashSet<u32> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x2ab5);
+    net.ntp_amplifiers
+        .iter()
+        .filter(|_| rng.random_bool(coverage.clamp(0.0, 1.0)))
+        .map(|&(_, addr)| addr)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::too_many_arguments)]
+    fn flow(
+        src: u32,
+        dst: u32,
+        proto: Proto,
+        sport: u16,
+        dport: u16,
+        packets: u32,
+        member: u32,
+        ts: u32,
+    ) -> FlowRecord {
+        FlowRecord {
+            ts,
+            src,
+            dst,
+            proto,
+            sport,
+            dport,
+            packets,
+            bytes: packets as u64 * 50,
+            pkt_size: 50,
+            member: Asn(member),
+        }
+    }
+
+    #[test]
+    fn fig11a_separates_random_from_selective() {
+        let mut flows = Vec::new();
+        let mut classes = Vec::new();
+        // Random spoofing: 100 packets to dst 1, all distinct sources.
+        for i in 0..100 {
+            flows.push(flow(1000 + i, 1, Proto::Tcp, 1, 80, 1, 5, 0));
+            classes.push(TrafficClass::Unrouted);
+        }
+        // Selective: 100 packets to dst 2 from one source.
+        flows.push(flow(7, 2, Proto::Udp, 1, 123, 100, 5, 0));
+        classes.push(TrafficClass::Invalid);
+        let fig = Fig11a::compute(&flows, &classes, 50);
+        assert!((fig.unique_source_fraction(TrafficClass::Unrouted) - 1.0).abs() < 1e-9);
+        assert!((fig.few_source_fraction(TrafficClass::Invalid) - 1.0).abs() < 1e-9);
+        assert_eq!(fig.destinations[&TrafficClass::Unrouted], 1);
+        // Destinations below the packet threshold are excluded.
+        let strict = Fig11a::compute(&flows, &classes, 1000);
+        assert!(strict.destinations.is_empty());
+    }
+
+    #[test]
+    fn ntp_analysis_profiles_victims() {
+        let mut flows = Vec::new();
+        let mut classes = Vec::new();
+        // Victim 42: 3 amplifiers with skewed load, from member 5.
+        for (amp, n) in [(100u32, 50u32), (101, 30), (102, 20)] {
+            flows.push(flow(42, amp, Proto::Udp, 5555, 123, n, 5, 0));
+            classes.push(TrafficClass::Invalid);
+        }
+        // Victim 43: smaller, from member 6.
+        flows.push(flow(43, 100, Proto::Udp, 5555, 123, 10, 6, 0));
+        classes.push(TrafficClass::Invalid);
+        // Non-NTP invalid noise must be ignored.
+        flows.push(flow(44, 1, Proto::Tcp, 1, 80, 99, 6, 0));
+        classes.push(TrafficClass::Invalid);
+        let a = NtpAnalysis::compute(&flows, &classes, 10);
+        assert_eq!(a.victims.len(), 2);
+        assert_eq!(a.victims[0].victim, 42);
+        assert_eq!(a.victims[0].trigger_packets, 100);
+        assert_eq!(a.victims[0].amplifiers[0], (100, 50));
+        assert_eq!(a.distinct_victims, 2);
+        assert_eq!(a.contacted_amplifiers, 3);
+        assert_eq!(a.emitting_members, 2);
+        assert!((a.top_member_share - 100.0 / 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig11c_matches_pairs_and_measures_amplification() {
+        let mut flows = Vec::new();
+        let mut classes = Vec::new();
+        // Trigger victim 42 → amp 100 at hour 0.
+        flows.push(flow(42, 100, Proto::Udp, 5555, 123, 10, 5, 100));
+        classes.push(TrafficClass::Invalid);
+        // Response amp 100 → victim 42, 10× bytes, hour 0.
+        let mut resp = flow(100, 42, Proto::Udp, 123, 5555, 10, 9, 200);
+        resp.bytes = 5000;
+        resp.pkt_size = 500;
+        flows.push(resp);
+        classes.push(TrafficClass::Valid);
+        // An unmatched trigger (no response) must not enter the series.
+        flows.push(flow(77, 101, Proto::Udp, 5555, 123, 99, 5, 100));
+        classes.push(TrafficClass::Invalid);
+        let fig = Fig11c::compute(&flows, &classes, 7200);
+        assert_eq!(fig.matched_pairs, 1);
+        assert_eq!(fig.hourly[0].0, 10);
+        assert_eq!(fig.hourly[0].2, 10);
+        assert!((fig.amplification - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zmap_scan_coverage() {
+        let net = spoofwatch_internet::Internet::generate(
+            spoofwatch_internet::InternetConfig::tiny(2),
+        );
+        let full = zmap_scan(&net, 1, 1.0);
+        let none = zmap_scan(&net, 1, 0.0);
+        let half = zmap_scan(&net, 1, 0.5);
+        let distinct: HashSet<u32> = net.ntp_amplifiers.iter().map(|&(_, a)| a).collect();
+        assert_eq!(full.len(), distinct.len());
+        assert!(none.is_empty());
+        assert!(half.len() < full.len() && !half.is_empty());
+        assert_eq!(zmap_scan(&net, 1, 0.5), half, "deterministic");
+    }
+}

@@ -1,0 +1,152 @@
+//! Figure 4: CCDF of each member's Bogon/Unrouted/Invalid share.
+
+use serde::Serialize;
+use spoofwatch_core::MemberBreakdown;
+use spoofwatch_net::TrafficClass;
+
+/// CCDF points for one class: `(share_of_member_traffic, fraction_of_members
+/// with at least that share)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassCcdf {
+    /// The class this curve describes.
+    pub class: TrafficClass,
+    /// Sorted `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl ClassCcdf {
+    /// Fraction of members whose share of this class is ≥ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        // Points are sorted ascending; the CCDF value at x is carried by
+        // the smallest recorded share ≥ x (all larger shares count too).
+        self.points
+            .iter()
+            .find(|(px, _)| *px >= x)
+            .map(|&(_, y)| y)
+            .unwrap_or(0.0)
+    }
+
+    /// The largest class share any member has (the paper: ~10% for
+    /// Bogon, ~9% for Unrouted, ~100% for Invalid).
+    pub fn max_share(&self) -> f64 {
+        self.points.last().map(|&(x, _)| x).unwrap_or(0.0)
+    }
+}
+
+/// The Figure 4 data: one CCDF per illegitimate class, over packet
+/// shares.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig4 {
+    /// Curves for Bogon, Unrouted, Invalid.
+    pub curves: Vec<ClassCcdf>,
+}
+
+impl Fig4 {
+    /// Compute from a member breakdown.
+    pub fn compute(breakdown: &MemberBreakdown) -> Fig4 {
+        let members: Vec<_> = breakdown.per_member.keys().copied().collect();
+        let n = members.len().max(1);
+        let curves = TrafficClass::ILLEGITIMATE
+            .iter()
+            .map(|&class| {
+                let mut shares: Vec<f64> = members
+                    .iter()
+                    .map(|m| breakdown.class_fraction(*m, class))
+                    .collect();
+                shares.sort_by(|a, b| a.total_cmp(b));
+                // CCDF: at each distinct share x, fraction of members ≥ x.
+                let mut points = Vec::new();
+                let mut i = 0;
+                while i < shares.len() {
+                    let x = shares[i];
+                    let ge = shares.len() - i;
+                    points.push((x, ge as f64 / n as f64));
+                    let mut j = i;
+                    while j < shares.len() && shares[j] == x {
+                        j += 1;
+                    }
+                    i = j;
+                }
+                ClassCcdf { class, points }
+            })
+            .collect();
+        Fig4 { curves }
+    }
+
+    /// Find the curve for a class.
+    pub fn curve(&self, class: TrafficClass) -> &ClassCcdf {
+        self.curves
+            .iter()
+            .find(|c| c.class == class)
+            .expect("all illegitimate classes present")
+    }
+
+    /// Render as data series.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 4 — CCDF of per-member class share of own traffic (packets)\n",
+        );
+        for c in &self.curves {
+            out.push_str(&crate::render::series(
+                &format!("{}", c.class),
+                &c.points,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::{Asn, FlowRecord, Proto};
+
+    fn flow(src_class_marker: u32, member: u32, packets: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: src_class_marker,
+            dst: 0,
+            proto: Proto::Tcp,
+            sport: 0,
+            dport: 0,
+            packets,
+            bytes: packets as u64,
+            pkt_size: 1,
+            member: Asn(member),
+        }
+    }
+
+    #[test]
+    fn ccdf_shapes() {
+        // Member 1: 10% bogon; member 2: none.
+        let flows = vec![
+            flow(0, 1, 1),
+            flow(1, 1, 9),
+            flow(2, 2, 10),
+        ];
+        let classes = vec![
+            TrafficClass::Bogon,
+            TrafficClass::Valid,
+            TrafficClass::Valid,
+        ];
+        let breakdown = MemberBreakdown::from_classes(&flows, &classes);
+        let fig = Fig4::compute(&breakdown);
+        let bogon = fig.curve(TrafficClass::Bogon);
+        assert!((bogon.max_share() - 0.1).abs() < 1e-9);
+        assert!((bogon.at(0.0) - 1.0).abs() < 1e-9, "everyone has ≥ 0");
+        assert!((bogon.at(0.05) - 0.5).abs() < 1e-9, "half have ≥ 5%");
+        let unrouted = fig.curve(TrafficClass::Unrouted);
+        assert_eq!(unrouted.max_share(), 0.0);
+    }
+
+    #[test]
+    fn render_contains_series() {
+        let flows = vec![flow(0, 1, 1)];
+        let classes = vec![TrafficClass::Bogon];
+        let breakdown = MemberBreakdown::from_classes(&flows, &classes);
+        let fig = Fig4::compute(&breakdown);
+        let text = fig.render();
+        assert!(text.contains("series: Bogon"));
+        assert!(text.contains("series: Invalid"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Figure 2: routed ASes sorted by the size of their valid address
+//! space, under all five inference variants.
+
+use serde::Serialize;
+use spoofwatch_core::Classifier;
+use spoofwatch_net::{Asn, InferenceMethod, OrgMode, UNITS_PER_SLASH24};
+use std::collections::HashMap;
+
+/// One curve: valid space per AS (in /24 equivalents), ascending.
+#[derive(Debug, Clone, Serialize)]
+pub struct Curve {
+    /// Variant label as in the figure's legend.
+    pub label: String,
+    /// Sorted valid-space sizes, one entry per routed AS.
+    pub sizes: Vec<f64>,
+}
+
+impl Curve {
+    /// Value at a quantile in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        let idx = ((self.sizes.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.sizes[idx]
+    }
+
+    /// Number of ASes whose valid space covers at least `frac` of the
+    /// total routed space (the paper: ~5K ASes are valid sources for the
+    /// entire routed space under the Full Cone).
+    pub fn ases_covering(&self, total_slash24: f64, frac: f64) -> usize {
+        self.sizes
+            .iter()
+            .filter(|&&s| s >= frac * total_slash24)
+            .count()
+    }
+}
+
+/// The five curves of Figure 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig2 {
+    /// Curves in legend order: Naive, CC, CC+orgs, FULL, FULL+orgs.
+    pub curves: Vec<Curve>,
+    /// Total routed space in /24 equivalents.
+    pub routed_slash24: f64,
+}
+
+impl Fig2 {
+    /// Compute over every AS observed in the routing data.
+    pub fn compute(classifier: &Classifier) -> Fig2 {
+        let table = classifier.table();
+        let ases: Vec<Asn> = table.ases().collect();
+
+        // Naive: invert the per-prefix on-path sets.
+        let mut naive_units: HashMap<Asn, u64> = HashMap::new();
+        for (prefix, info) in table.iter() {
+            for asn in &info.on_path {
+                *naive_units.entry(*asn).or_default() += prefix.slash24_units();
+            }
+        }
+
+        let mut curves = Vec::new();
+        let mut sizes: Vec<f64> = ases
+            .iter()
+            .map(|a| {
+                naive_units.get(a).copied().unwrap_or(0) as f64 / UNITS_PER_SLASH24 as f64
+            })
+            .collect();
+        sizes.sort_by(|a, b| a.total_cmp(b));
+        curves.push(Curve {
+            label: "Naive".to_owned(),
+            sizes,
+        });
+
+        let variants = [
+            ("Customer Cone", InferenceMethod::CustomerCone, OrgMode::Plain),
+            (
+                "Customer Cone (multi-AS orgs)",
+                InferenceMethod::CustomerCone,
+                OrgMode::OrgAdjusted,
+            ),
+            ("Full Cone", InferenceMethod::FullCone, OrgMode::Plain),
+            (
+                "Full Cone (multi-AS orgs)",
+                InferenceMethod::FullCone,
+                OrgMode::OrgAdjusted,
+            ),
+        ];
+        for (label, method, org) in variants {
+            let cones = classifier.cones(method, org).expect("precomputed");
+            let mut sizes: Vec<f64> = ases
+                .iter()
+                .map(|a| cones.valid_units(*a) as f64 / UNITS_PER_SLASH24 as f64)
+                .collect();
+            sizes.sort_by(|a, b| a.total_cmp(b));
+            curves.push(Curve {
+                label: label.to_owned(),
+                sizes,
+            });
+        }
+        Fig2 {
+            curves,
+            routed_slash24: table.routed_slash24(),
+        }
+    }
+
+    /// Fetch a curve by label prefix.
+    pub fn curve(&self, label: &str) -> &Curve {
+        self.curves
+            .iter()
+            .find(|c| c.label == label)
+            .expect("known label")
+    }
+
+    /// Render curves at 101 quantile sample points.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Figure 2 — valid space per routed AS (/24 equivalents; routed total {:.0})\n",
+            self.routed_slash24
+        );
+        for c in &self.curves {
+            let pts: Vec<(f64, f64)> = (0..=100)
+                .map(|i| {
+                    let q = i as f64 / 100.0;
+                    (q * c.sizes.len() as f64, c.quantile(q))
+                })
+                .collect();
+            out.push_str(&crate::render::series(&c.label, &pts));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_asgraph::As2Org;
+    use spoofwatch_bgp::{Announcement, AsPath};
+
+    fn ann(prefix: &str, path: &[u32]) -> Announcement {
+        Announcement::new(prefix.parse().unwrap(), AsPath::from(path.to_vec()))
+    }
+
+    #[test]
+    fn naive_contained_in_full() {
+        let anns = vec![
+            ann("20.0.0.0/8", &[2, 1]),
+            ann("20.0.0.0/8", &[3, 2, 1]),
+            ann("30.0.0.0/8", &[1, 2]),
+            ann("40.0.0.0/16", &[2, 3]),
+        ];
+        let c = Classifier::build(&anns, &As2Org::new());
+        let fig = Fig2::compute(&c);
+        assert_eq!(fig.curves.len(), 5);
+        // Per-AS containment: rebuild unsorted values for the check.
+        let table = c.table();
+        let full = c.cones(InferenceMethod::FullCone, OrgMode::Plain).unwrap();
+        let mut naive_units: HashMap<Asn, u64> = HashMap::new();
+        for (prefix, info) in table.iter() {
+            for asn in &info.on_path {
+                *naive_units.entry(*asn).or_default() += prefix.slash24_units();
+            }
+        }
+        for a in table.ases() {
+            let n = naive_units.get(&a).copied().unwrap_or(0);
+            assert!(
+                n <= full.valid_units(a),
+                "{a}: naive {n} > full {}",
+                full.valid_units(a)
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_and_coverage() {
+        // AS1 originates 20/8; AS2 originates 30/8 whose announcement
+        // is observed at AS1 (path "1 2"), giving AS1 the larger cone.
+        let anns = vec![ann("20.0.0.0/8", &[1]), ann("30.0.0.0/8", &[1, 2])];
+        let c = Classifier::build(&anns, &As2Org::new());
+        let fig = Fig2::compute(&c);
+        let full = fig.curve("Full Cone");
+        // AS2 reaches both /8s (2→1 edge), AS1 only its own.
+        assert_eq!(full.quantile(0.0), 65536.0);
+        assert_eq!(full.quantile(1.0), 131072.0);
+        assert_eq!(full.ases_covering(fig.routed_slash24, 1.0), 1);
+        assert!(fig.render().contains("Full Cone (multi-AS orgs)"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # spoofwatch-analysis
+//!
+//! The paper's §5–§7 analyses over classified traffic, one module per
+//! table/figure family, each producing a serializable result plus a
+//! plain-text rendering used by the `exp-*` experiment binaries:
+//!
+//! * [`ccdf`] — Figure 4: per-member class-share CCDFs;
+//! * [`venn`] — Figure 5: member participation across the three classes;
+//! * [`scatter`] — Figure 6: member volume vs. class share by business
+//!   type;
+//! * [`sizes`] — Figure 8a: packet-size CDFs per class;
+//! * [`timeseries`] — Figure 8b: hourly class volumes;
+//! * [`portmix`] — Figure 9: application mix per class and direction;
+//! * [`addrstruct`] — Figure 10: /8 histograms of source/destination
+//!   addresses per class;
+//! * [`attack`] — Figure 11 and §7: selective-vs-random spoofing,
+//!   amplifier rankings, trigger/response time series, ZMap-style
+//!   overlap;
+//! * [`fig2`] — Figure 2: per-AS valid address space under all five
+//!   inference variants;
+//! * [`evaluate`] — ground-truth scoring (possible only on synthetic
+//!   traces; an extension over the paper);
+//! * [`survey`] — the §2.2 operator-survey reference numbers;
+//! * [`report`] — the consolidated study report over one classified
+//!   trace;
+//! * [`render`] — plain-text table/series helpers shared by the above.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addrstruct;
+pub mod attack;
+pub mod ccdf;
+pub mod evaluate;
+pub mod fig2;
+pub mod portmix;
+pub mod render;
+pub mod report;
+pub mod scatter;
+pub mod sizes;
+pub mod survey;
+pub mod timeseries;
+pub mod venn;

@@ -1,0 +1,206 @@
+//! Figure 9: application (port) mix per class, protocol, and direction.
+
+use serde::Serialize;
+use spoofwatch_net::flow::ports;
+use spoofwatch_net::{FlowRecord, Proto, TrafficClass};
+use std::collections::HashMap;
+
+/// The four panel groups of Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Panel {
+    /// TCP destination ports.
+    TcpDst,
+    /// UDP destination ports.
+    UdpDst,
+    /// TCP source ports.
+    TcpSrc,
+    /// UDP source ports.
+    UdpSrc,
+}
+
+impl Panel {
+    /// All panels in the figure's order.
+    pub const ALL: [Panel; 4] = [Panel::TcpDst, Panel::UdpDst, Panel::TcpSrc, Panel::UdpSrc];
+}
+
+impl std::fmt::Display for Panel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Panel::TcpDst => "TCP DST",
+            Panel::UdpDst => "UDP DST",
+            Panel::TcpSrc => "TCP SRC",
+            Panel::UdpSrc => "UDP SRC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Packet shares of the six broken-out ports plus "other", for one
+/// (panel, class) cell.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PortShares {
+    /// Shares aligned with [`ports::FIGURE9`]; last entry is "other".
+    pub shares: [f64; 7],
+    /// Total packets in the cell.
+    pub total: u64,
+}
+
+impl PortShares {
+    /// Share of a specific broken-out port.
+    pub fn port(&self, port: u16) -> f64 {
+        ports::FIGURE9
+            .iter()
+            .position(|&p| p == port)
+            .map(|i| self.shares[i])
+            .unwrap_or(0.0)
+    }
+
+    /// Share of all non-broken-out ports.
+    pub fn other(&self) -> f64 {
+        self.shares[6]
+    }
+}
+
+/// The full Figure 9 dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig9 {
+    /// Cell per (panel, class).
+    pub cells: HashMap<(Panel, TrafficClass), PortShares>,
+}
+
+impl Fig9 {
+    /// Compute from a classified trace.
+    pub fn compute(flows: &[FlowRecord], classes: &[TrafficClass]) -> Fig9 {
+        assert_eq!(flows.len(), classes.len());
+        let mut counts: HashMap<(Panel, TrafficClass), [u64; 7]> = HashMap::new();
+        for (f, c) in flows.iter().zip(classes) {
+            let panels = match f.proto {
+                Proto::Tcp => [(Panel::TcpDst, f.dport), (Panel::TcpSrc, f.sport)],
+                Proto::Udp => [(Panel::UdpDst, f.dport), (Panel::UdpSrc, f.sport)],
+                _ => continue,
+            };
+            for (panel, port) in panels {
+                let slot = ports::FIGURE9
+                    .iter()
+                    .position(|&p| p == port)
+                    .unwrap_or(6);
+                counts.entry((panel, *c)).or_default()[slot] += f.packets as u64;
+            }
+        }
+        let cells = counts
+            .into_iter()
+            .map(|(key, row)| {
+                let total: u64 = row.iter().sum();
+                let mut shares = [0.0; 7];
+                if total > 0 {
+                    for (i, &n) in row.iter().enumerate() {
+                        shares[i] = n as f64 / total as f64;
+                    }
+                }
+                (key, PortShares { shares, total })
+            })
+            .collect();
+        Fig9 { cells }
+    }
+
+    /// Fetch a cell (empty default if no traffic).
+    pub fn cell(&self, panel: Panel, class: TrafficClass) -> PortShares {
+        self.cells.get(&(panel, class)).cloned().unwrap_or_default()
+    }
+
+    /// Render the four panels as tables.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 9 — port mix per class (packet shares)\n");
+        let class_label = |c: TrafficClass| match c {
+            TrafficClass::Valid => "regular".to_owned(),
+            other => other.to_string().to_lowercase(),
+        };
+        for panel in Panel::ALL {
+            out.push_str(&format!("\n[{panel}]\n"));
+            let mut header = vec!["class".to_owned()];
+            header.extend(ports::FIGURE9.iter().map(|p| p.to_string()));
+            header.push("other".to_owned());
+            let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let rows: Vec<Vec<String>> = [
+                TrafficClass::Valid,
+                TrafficClass::Bogon,
+                TrafficClass::Unrouted,
+                TrafficClass::Invalid,
+            ]
+            .iter()
+            .map(|&c| {
+                let cell = self.cell(panel, c);
+                let mut row = vec![class_label(c)];
+                row.extend(cell.shares.iter().map(|s| format!("{:.3}", s)));
+                row
+            })
+            .collect();
+            out.push_str(&crate::render::table(&header_refs, &rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::Asn;
+
+    fn flow(proto: Proto, sport: u16, dport: u16, packets: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: 0,
+            dst: 0,
+            proto,
+            sport,
+            dport,
+            packets,
+            bytes: packets as u64,
+            pkt_size: 1,
+            member: Asn(1),
+        }
+    }
+
+    #[test]
+    fn ntp_dominates_invalid_udp_dst() {
+        let flows = vec![
+            flow(Proto::Udp, 5000, ports::NTP, 95),
+            flow(Proto::Udp, 5001, 4444, 5),
+        ];
+        let classes = vec![TrafficClass::Invalid; 2];
+        let fig = Fig9::compute(&flows, &classes);
+        let cell = fig.cell(Panel::UdpDst, TrafficClass::Invalid);
+        assert!((cell.port(ports::NTP) - 0.95).abs() < 1e-9);
+        assert!((cell.other() - 0.05).abs() < 1e-9);
+        assert_eq!(cell.total, 100);
+        // Source panel sees only ephemeral ports.
+        let src = fig.cell(Panel::UdpSrc, TrafficClass::Invalid);
+        assert!((src.other() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn icmp_is_ignored() {
+        let flows = vec![flow(Proto::Icmp, 0, 0, 10)];
+        let classes = vec![TrafficClass::Invalid];
+        let fig = Fig9::compute(&flows, &classes);
+        assert_eq!(fig.cell(Panel::TcpDst, TrafficClass::Invalid).total, 0);
+        assert_eq!(fig.cell(Panel::UdpDst, TrafficClass::Invalid).total, 0);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let flows = vec![
+            flow(Proto::Tcp, 1, ports::HTTP, 3),
+            flow(Proto::Tcp, ports::HTTPS, 9, 5),
+            flow(Proto::Tcp, 2, 9999, 2),
+        ];
+        let classes = vec![TrafficClass::Valid; 3];
+        let fig = Fig9::compute(&flows, &classes);
+        for panel in [Panel::TcpDst, Panel::TcpSrc] {
+            let cell = fig.cell(panel, TrafficClass::Valid);
+            let sum: f64 = cell.shares.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{panel}: {sum}");
+        }
+        assert!(fig.render().contains("TCP DST"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text rendering helpers for the experiment harnesses.
+
+/// Render a table: header row plus data rows, columns padded to the
+/// widest cell, right-aligning cells that parse as numbers.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.chars().count();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            width[i] = width[i].max(cell.chars().count());
+        }
+    }
+    let is_numeric = |s: &str| {
+        let t = s.trim_end_matches(['%', 'K', 'M', 'G', 'T', 'P']);
+        !t.is_empty() && t.parse::<f64>().is_ok()
+    };
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let pad = width[i].saturating_sub(cell.chars().count());
+            if is_numeric(cell) {
+                out.push_str(&" ".repeat(pad));
+                out.push_str(cell);
+            } else {
+                out.push_str(cell);
+                out.push_str(&" ".repeat(pad));
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    fmt_row(&header_cells, &mut out);
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &mut out);
+    }
+    out
+}
+
+/// Human-scale count: `1234567` → `"1.23M"`.
+pub fn si(value: f64) -> String {
+    let (v, suffix) = if value >= 1e15 {
+        (value / 1e15, "P")
+    } else if value >= 1e12 {
+        (value / 1e12, "T")
+    } else if value >= 1e9 {
+        (value / 1e9, "G")
+    } else if value >= 1e6 {
+        (value / 1e6, "M")
+    } else if value >= 1e3 {
+        (value / 1e3, "K")
+    } else {
+        (value, "")
+    };
+    if suffix.is_empty() {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}{suffix}")
+    }
+}
+
+/// Percentage with adaptive precision: tiny shares keep significance.
+pub fn pct(p: f64) -> String {
+    if p == 0.0 {
+        "0%".to_owned()
+    } else if p < 0.01 {
+        format!("{p:.4}%")
+    } else if p < 1.0 {
+        format!("{p:.2}%")
+    } else {
+        format!("{p:.1}%")
+    }
+}
+
+/// Render an `(x, y)` series as aligned columns — the experiment
+/// binaries print figures as data series rather than pixels.
+pub fn series(name: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("# series: {name}\n");
+    for (x, y) in points {
+        out.push_str(&format!("{x:>14.6}  {y:>14.6}\n"));
+    }
+    out
+}
+
+/// A coarse inline bar for histograms.
+pub fn bar(fraction: f64, width: usize) -> String {
+    let n = ((fraction.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = table(
+            &["name", "count"],
+            &[
+                vec!["alpha".into(), "5".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].contains("alpha"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si(0.0), "0");
+        assert_eq!(si(999.0), "999");
+        assert_eq!(si(1_234_567.0), "1.23M");
+        assert_eq!(si(31_630_000_000_000.0), "31.63T");
+    }
+
+    #[test]
+    fn pct_precision() {
+        assert_eq!(pct(0.0), "0%");
+        assert_eq!(pct(0.003), "0.0030%");
+        assert_eq!(pct(0.5), "0.50%");
+        assert_eq!(pct(72.03), "72.0%");
+    }
+
+    #[test]
+    fn bar_width() {
+        assert_eq!(bar(0.5, 10), "#####");
+        assert_eq!(bar(2.0, 10).len(), 10);
+        assert_eq!(bar(-1.0, 10), "");
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 8a: packet-size CDFs per class.
+
+use serde::Serialize;
+use spoofwatch_net::{FlowRecord, TrafficClass};
+
+/// Per-class packet-size distribution (packet-weighted).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8a {
+    /// One CDF per class in [`TrafficClass::ALL`] order: sorted
+    /// `(size, cumulative_fraction)` points.
+    pub cdfs: Vec<(TrafficClass, Vec<(u16, f64)>)>,
+}
+
+impl Fig8a {
+    /// Compute from a classified trace.
+    pub fn compute(flows: &[FlowRecord], classes: &[TrafficClass]) -> Fig8a {
+        assert_eq!(flows.len(), classes.len());
+        let mut hist: [std::collections::BTreeMap<u16, u64>; 4] = Default::default();
+        for (f, c) in flows.iter().zip(classes) {
+            *hist[c.index()].entry(f.pkt_size).or_insert(0) += f.packets as u64;
+        }
+        let cdfs = TrafficClass::ALL
+            .iter()
+            .map(|&class| {
+                let h = &hist[class.index()];
+                let total: u64 = h.values().sum();
+                let mut acc = 0u64;
+                let points = h
+                    .iter()
+                    .map(|(&size, &n)| {
+                        acc += n;
+                        (size, if total == 0 { 0.0 } else { acc as f64 / total as f64 })
+                    })
+                    .collect();
+                (class, points)
+            })
+            .collect();
+        Fig8a { cdfs }
+    }
+
+    /// Fraction of a class's packets at or below `size` bytes.
+    pub fn fraction_le(&self, class: TrafficClass, size: u16) -> f64 {
+        let (_, points) = &self.cdfs[class.index()];
+        points
+            .iter()
+            .take_while(|(s, _)| *s <= size)
+            .last()
+            .map(|&(_, f)| f)
+            .unwrap_or(0.0)
+    }
+
+    /// Render as data series.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 8a — packet size CDFs per class\n");
+        for (class, points) in &self.cdfs {
+            let series: Vec<(f64, f64)> =
+                points.iter().map(|&(s, f)| (s as f64, f)).collect();
+            out.push_str(&crate::render::series(&class.to_string(), &series));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::{Asn, Proto};
+
+    fn flow(pkt_size: u16, packets: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: 0,
+            dst: 0,
+            proto: Proto::Tcp,
+            sport: 0,
+            dport: 0,
+            packets,
+            bytes: packets as u64 * pkt_size as u64,
+            pkt_size,
+            member: Asn(1),
+        }
+    }
+
+    #[test]
+    fn cdf_is_packet_weighted() {
+        let flows = vec![flow(40, 9), flow(1500, 1), flow(50, 10)];
+        let classes = vec![
+            TrafficClass::Bogon,
+            TrafficClass::Bogon,
+            TrafficClass::Valid,
+        ];
+        let fig = Fig8a::compute(&flows, &classes);
+        assert!((fig.fraction_le(TrafficClass::Bogon, 40) - 0.9).abs() < 1e-9);
+        assert!((fig.fraction_le(TrafficClass::Bogon, 1500) - 1.0).abs() < 1e-9);
+        assert_eq!(fig.fraction_le(TrafficClass::Bogon, 39), 0.0);
+        assert!((fig.fraction_le(TrafficClass::Valid, 60) - 1.0).abs() < 1e-9);
+        assert_eq!(fig.fraction_le(TrafficClass::Unrouted, 1500), 0.0);
+    }
+
+    #[test]
+    fn render_has_all_classes() {
+        let fig = Fig8a::compute(&[], &[]);
+        let text = fig.render();
+        for c in TrafficClass::ALL {
+            assert!(text.contains(&format!("series: {c}")));
+        }
+    }
+}

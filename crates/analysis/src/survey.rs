@@ -1,0 +1,104 @@
+//! The §2.2 operator survey: the paper's early-2017 questionnaire across
+//! 12 operator mailing lists (84 responding networks). These are fixed
+//! reference numbers — reproduced as data, not simulated — used by the
+//! experiment harness to print the section's table and to sanity-check
+//! the generated filtering-profile mix against practice.
+
+use serde::Serialize;
+
+/// The published survey shares (fractions in `[0, 1]`).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OperatorSurvey {
+    /// Responding networks.
+    pub respondents: u32,
+    /// Suffered spoofing-related attacks preventable by filtering.
+    pub suffered_attacks: f64,
+    /// Actively complained to non-filtering peers.
+    pub complained_to_peers: f64,
+    /// Do not check source validity at all.
+    pub no_validation: f64,
+    /// Filter well-known non-routable ranges at ingress.
+    pub ingress_bogon_filtering: f64,
+    /// Apply customer-specific ingress filters.
+    pub ingress_customer_filters: f64,
+    /// Do not filter ingress at all.
+    pub no_ingress_filtering: f64,
+    /// Customer-AS-specific egress filters.
+    pub egress_customer_filters: f64,
+    /// No egress filtering.
+    pub no_egress_filtering: f64,
+    /// Egress-filter only non-routable space.
+    pub egress_bogon_only: f64,
+    /// Filter own-origin traffic before the egress router.
+    pub filter_own_traffic: f64,
+}
+
+/// The survey as reported in §2.2.
+pub const SURVEY: OperatorSurvey = OperatorSurvey {
+    respondents: 84,
+    suffered_attacks: 0.70,
+    complained_to_peers: 0.50,
+    no_validation: 0.24,
+    ingress_bogon_filtering: 0.70,
+    ingress_customer_filters: 0.20,
+    no_ingress_filtering: 0.07,
+    egress_customer_filters: 0.50,
+    no_egress_filtering: 0.24,
+    egress_bogon_only: 0.26,
+    filter_own_traffic: 0.65,
+};
+
+/// Render the survey as a table.
+pub fn render() -> String {
+    let s = SURVEY;
+    let pct = |f: f64| format!("{:.0}%", 100.0 * f);
+    let rows = vec![
+        vec!["respondents".into(), s.respondents.to_string()],
+        vec!["suffered spoofing attacks".into(), pct(s.suffered_attacks)],
+        vec!["complained to peers".into(), pct(s.complained_to_peers)],
+        vec!["no source validation".into(), pct(s.no_validation)],
+        vec!["ingress bogon filtering".into(), pct(s.ingress_bogon_filtering)],
+        vec!["ingress customer filters".into(), pct(s.ingress_customer_filters)],
+        vec!["no ingress filtering".into(), pct(s.no_ingress_filtering)],
+        vec!["egress customer filters".into(), pct(s.egress_customer_filters)],
+        vec!["no egress filtering".into(), pct(s.no_egress_filtering)],
+        vec!["egress bogon only".into(), pct(s.egress_bogon_only)],
+        vec!["filter own traffic pre-egress".into(), pct(s.filter_own_traffic)],
+    ];
+    format!(
+        "§2.2 operator survey (as published)\n{}",
+        crate::render::table(&["item", "share"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_probabilities() {
+        let s = SURVEY;
+        for v in [
+            s.suffered_attacks,
+            s.complained_to_peers,
+            s.no_validation,
+            s.ingress_bogon_filtering,
+            s.ingress_customer_filters,
+            s.no_ingress_filtering,
+            s.egress_customer_filters,
+            s.no_egress_filtering,
+            s.egress_bogon_only,
+            s.filter_own_traffic,
+        ] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(s.respondents, 84);
+    }
+
+    #[test]
+    fn renders() {
+        let t = render();
+        assert!(t.contains("84"));
+        assert!(t.contains("no egress filtering"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 8b: hourly sampled-packet time series per class.
+
+use serde::Serialize;
+use spoofwatch_net::{FlowRecord, TrafficClass};
+
+/// Hourly packet counts per class.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig8b {
+    /// `series[class.index()][hour]` = sampled packets in that hour.
+    pub series: [Vec<u64>; 4],
+    /// Number of hourly bins.
+    pub hours: usize,
+}
+
+impl Fig8b {
+    /// Compute over the full trace duration.
+    pub fn compute(flows: &[FlowRecord], classes: &[TrafficClass], duration: u32) -> Fig8b {
+        assert_eq!(flows.len(), classes.len());
+        let hours = (duration as usize).div_ceil(3600).max(1);
+        let mut series: [Vec<u64>; 4] = [
+            vec![0; hours],
+            vec![0; hours],
+            vec![0; hours],
+            vec![0; hours],
+        ];
+        for (f, c) in flows.iter().zip(classes) {
+            let h = (f.hour() as usize).min(hours - 1);
+            series[c.index()][h] += f.packets as u64;
+        }
+        Fig8b { series, hours }
+    }
+
+    /// Restrict to one week (the paper plots week 2017-02-20, i.e. the
+    /// third week of the trace).
+    pub fn week(&self, week_index: usize) -> Fig8b {
+        let start = week_index * 168;
+        let end = (start + 168).min(self.hours);
+        let slice = |v: &Vec<u64>| v[start.min(v.len())..end.min(v.len())].to_vec();
+        Fig8b {
+            series: [
+                slice(&self.series[0]),
+                slice(&self.series[1]),
+                slice(&self.series[2]),
+                slice(&self.series[3]),
+            ],
+            hours: end.saturating_sub(start),
+        }
+    }
+
+    /// Coefficient of variation of a class's hourly volumes — regular
+    /// traffic is smooth/diurnal (low), attack classes are bursty (high).
+    pub fn burstiness(&self, class: TrafficClass) -> f64 {
+        let s = &self.series[class.index()];
+        let n = s.len() as f64;
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mean = s.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = s
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / n;
+        var.sqrt() / mean
+    }
+
+    /// Render as data series (hour index → packets).
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 8b — hourly sampled packets per class\n");
+        for class in TrafficClass::ALL {
+            let pts: Vec<(f64, f64)> = self.series[class.index()]
+                .iter()
+                .enumerate()
+                .map(|(h, &v)| (h as f64, v as f64))
+                .collect();
+            out.push_str(&crate::render::series(&class.to_string(), &pts));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::{Asn, Proto};
+
+    fn flow(ts: u32, packets: u32) -> FlowRecord {
+        FlowRecord {
+            ts,
+            src: 0,
+            dst: 0,
+            proto: Proto::Udp,
+            sport: 0,
+            dport: 0,
+            packets,
+            bytes: packets as u64,
+            pkt_size: 1,
+            member: Asn(1),
+        }
+    }
+
+    #[test]
+    fn binning() {
+        let flows = vec![flow(0, 5), flow(3599, 5), flow(3600, 7)];
+        let classes = vec![TrafficClass::Valid; 3];
+        let fig = Fig8b::compute(&flows, &classes, 7200);
+        assert_eq!(fig.hours, 2);
+        assert_eq!(fig.series[TrafficClass::Valid.index()], vec![10, 7]);
+    }
+
+    #[test]
+    fn burstiness_orders() {
+        // Smooth: same every hour; bursty: one spike.
+        let mut flows = Vec::new();
+        let mut classes = Vec::new();
+        for h in 0..24 {
+            flows.push(flow(h * 3600, 10));
+            classes.push(TrafficClass::Valid);
+        }
+        flows.push(flow(5 * 3600, 200));
+        classes.push(TrafficClass::Invalid);
+        let fig = Fig8b::compute(&flows, &classes, 24 * 3600);
+        assert!(fig.burstiness(TrafficClass::Valid) < 0.01);
+        assert!(fig.burstiness(TrafficClass::Invalid) > 2.0);
+        assert_eq!(fig.burstiness(TrafficClass::Bogon), 0.0);
+    }
+
+    #[test]
+    fn week_slicing() {
+        let flows = vec![flow(0, 1), flow(14 * 86_400 + 3600, 9)];
+        let classes = vec![TrafficClass::Valid; 2];
+        let fig = Fig8b::compute(&flows, &classes, 4 * 7 * 86_400);
+        let w0 = fig.week(0);
+        assert_eq!(w0.hours, 168);
+        assert_eq!(w0.series[TrafficClass::Valid.index()][0], 1);
+        let w2 = fig.week(2);
+        assert_eq!(w2.series[TrafficClass::Valid.index()][1], 9);
+    }
+}

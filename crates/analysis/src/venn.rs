@@ -1,0 +1,188 @@
+//! Figure 5: which members contribute to which illegitimate classes.
+
+use serde::Serialize;
+use spoofwatch_core::MemberBreakdown;
+use spoofwatch_net::{Asn, TrafficClass};
+use std::collections::HashSet;
+
+/// The 8 regions of the three-set Venn diagram, as member percentages.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Fig5 {
+    /// Members in no illegitimate class ("clean", paper: 18.02%).
+    pub clean: f64,
+    /// Bogon only (paper: 9.63%).
+    pub bogon_only: f64,
+    /// Unrouted only (paper: 2.2%).
+    pub unrouted_only: f64,
+    /// Invalid only (paper: 7.57%).
+    pub invalid_only: f64,
+    /// Bogon ∩ Unrouted, no Invalid (paper: 18.98%).
+    pub bogon_unrouted: f64,
+    /// Bogon ∩ Invalid, no Unrouted (paper: 15.54%).
+    pub bogon_invalid: f64,
+    /// Unrouted ∩ Invalid, no Bogon.
+    pub unrouted_invalid: f64,
+    /// All three (paper: 28.06%).
+    pub all_three: f64,
+    /// Total members considered.
+    pub total_members: usize,
+}
+
+impl Fig5 {
+    /// Compute region shares from a member breakdown; `exclude` removes
+    /// members (e.g. stray-dominated ones) from consideration.
+    pub fn compute(breakdown: &MemberBreakdown, exclude: &HashSet<Asn>) -> Fig5 {
+        let b = breakdown.members_with(TrafficClass::Bogon);
+        let u = breakdown.members_with(TrafficClass::Unrouted);
+        let i = breakdown.members_with(TrafficClass::Invalid);
+        let members: Vec<Asn> = breakdown
+            .per_member
+            .keys()
+            .copied()
+            .filter(|m| !exclude.contains(m))
+            .collect();
+        let total = members.len();
+        let mut counts = [0usize; 8];
+        for m in &members {
+            let idx = (b.contains(m) as usize)
+                | ((u.contains(m) as usize) << 1)
+                | ((i.contains(m) as usize) << 2);
+            counts[idx] += 1;
+        }
+        let p = |c: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / total as f64
+            }
+        };
+        Fig5 {
+            clean: p(counts[0b000]),
+            bogon_only: p(counts[0b001]),
+            unrouted_only: p(counts[0b010]),
+            invalid_only: p(counts[0b100]),
+            bogon_unrouted: p(counts[0b011]),
+            bogon_invalid: p(counts[0b101]),
+            unrouted_invalid: p(counts[0b110]),
+            all_three: p(counts[0b111]),
+            total_members: total,
+        }
+    }
+
+    /// Percentage of members contributing to a class at all.
+    pub fn class_total(&self, class: TrafficClass) -> f64 {
+        match class {
+            TrafficClass::Bogon => {
+                self.bogon_only + self.bogon_unrouted + self.bogon_invalid + self.all_three
+            }
+            TrafficClass::Unrouted => {
+                self.unrouted_only + self.bogon_unrouted + self.unrouted_invalid + self.all_three
+            }
+            TrafficClass::Invalid => {
+                self.invalid_only + self.bogon_invalid + self.unrouted_invalid + self.all_three
+            }
+            TrafficClass::Valid => self.clean,
+        }
+    }
+
+    /// Of the members contributing Unrouted, the share that also
+    /// contributes Bogon or Invalid (paper: 96%).
+    pub fn unrouted_also_other(&self) -> f64 {
+        let unrouted = self.class_total(TrafficClass::Unrouted);
+        if unrouted == 0.0 {
+            0.0
+        } else {
+            100.0 * (unrouted - self.unrouted_only) / unrouted
+        }
+    }
+
+    /// Render as a labelled region table.
+    pub fn render(&self) -> String {
+        let rows = vec![
+            vec!["clean (none)".into(), format!("{:.2}%", self.clean)],
+            vec!["Bogon only".into(), format!("{:.2}%", self.bogon_only)],
+            vec!["Unrouted only".into(), format!("{:.2}%", self.unrouted_only)],
+            vec!["Invalid only".into(), format!("{:.2}%", self.invalid_only)],
+            vec!["Bogon ∩ Unrouted".into(), format!("{:.2}%", self.bogon_unrouted)],
+            vec!["Bogon ∩ Invalid".into(), format!("{:.2}%", self.bogon_invalid)],
+            vec!["Unrouted ∩ Invalid".into(), format!("{:.2}%", self.unrouted_invalid)],
+            vec!["all three".into(), format!("{:.2}%", self.all_three)],
+        ];
+        format!(
+            "Figure 5 — member participation across classes ({} members)\n{}",
+            self.total_members,
+            crate::render::table(&["region", "members"], &rows)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::{FlowRecord, Proto};
+
+    fn flow(member: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: 0,
+            dst: 0,
+            proto: Proto::Tcp,
+            sport: 0,
+            dport: 0,
+            packets: 1,
+            bytes: 1,
+            pkt_size: 1,
+            member: Asn(member),
+        }
+    }
+
+    #[test]
+    fn regions_partition() {
+        use TrafficClass::*;
+        // m1: B+I; m2: clean; m3: U only; m4: all three.
+        let flows = vec![
+            flow(1), flow(1), flow(1),
+            flow(2),
+            flow(3),
+            flow(4), flow(4), flow(4),
+        ];
+        let classes = vec![
+            Bogon, Invalid, Valid,
+            Valid,
+            Unrouted,
+            Bogon, Unrouted, Invalid,
+        ];
+        let breakdown = MemberBreakdown::from_classes(&flows, &classes);
+        let fig = Fig5::compute(&breakdown, &HashSet::new());
+        assert_eq!(fig.total_members, 4);
+        assert_eq!(fig.clean, 25.0);
+        assert_eq!(fig.bogon_invalid, 25.0);
+        assert_eq!(fig.unrouted_only, 25.0);
+        assert_eq!(fig.all_three, 25.0);
+        let sum = fig.clean
+            + fig.bogon_only
+            + fig.unrouted_only
+            + fig.invalid_only
+            + fig.bogon_unrouted
+            + fig.bogon_invalid
+            + fig.unrouted_invalid
+            + fig.all_three;
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert_eq!(fig.class_total(Bogon), 50.0);
+        assert_eq!(fig.class_total(Unrouted), 50.0);
+        // Of unrouted members (m3, m4), half also contribute elsewhere.
+        assert_eq!(fig.unrouted_also_other(), 50.0);
+    }
+
+    #[test]
+    fn exclusion_removes_members() {
+        use TrafficClass::*;
+        let flows = vec![flow(1), flow(2)];
+        let classes = vec![Bogon, Valid];
+        let breakdown = MemberBreakdown::from_classes(&flows, &classes);
+        let excl: HashSet<Asn> = [Asn(1)].into_iter().collect();
+        let fig = Fig5::compute(&breakdown, &excl);
+        assert_eq!(fig.total_members, 1);
+        assert_eq!(fig.clean, 100.0);
+    }
+}

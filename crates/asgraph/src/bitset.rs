@@ -1,0 +1,142 @@
+//! A chunked `u64` bitset sized for reachability computations.
+
+/// A fixed-capacity bitset over `0..len` backed by `u64` chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    chunks: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An all-zero bitset with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            chunks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Bit capacity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.iter().all(|&c| c == 0)
+    }
+
+    /// Set bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (an index bug, not a data condition).
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.chunks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.chunks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i` (out-of-range reads are `false`).
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.chunks[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self |= other`.
+    ///
+    /// # Panics
+    /// Panics on capacity mismatch.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.chunks.iter_mut().zip(&other.chunks) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.chunks.iter().map(|c| c.count_ones() as usize).sum()
+    }
+
+    /// Iterate indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.chunks.iter().enumerate().flat_map(|(ci, &chunk)| {
+            let mut c = chunk;
+            std::iter::from_fn(move || {
+                if c == 0 {
+                    None
+                } else {
+                    let bit = c.trailing_zeros() as usize;
+                    c &= c - 1;
+                    Some(ci * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        assert!(b.is_empty());
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(129);
+        for i in [0, 63, 64, 129] {
+            assert!(b.get(i), "bit {i}");
+        }
+        assert!(!b.get(1));
+        assert!(!b.get(500), "out of range reads false");
+        assert_eq!(b.count_ones(), 4);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 3);
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.set(1);
+        b.set(99);
+        b.set(1);
+        a.union_with(&b);
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![1, 99]);
+    }
+
+    #[test]
+    fn iter_ones_crosses_chunks() {
+        let mut b = BitSet::new(200);
+        let want = vec![0, 5, 63, 64, 65, 127, 128, 199];
+        for &i in &want {
+            b.set(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        BitSet::new(10).set(10);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let b = BitSet::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Dense indexing of ASNs.
+
+use spoofwatch_net::Asn;
+use std::collections::HashMap;
+
+/// A bijection between a set of ASNs and the dense range `0..n`, the
+/// substrate for bitset- and array-backed graph algorithms.
+#[derive(Debug, Clone, Default)]
+pub struct AsIndexer {
+    to_index: HashMap<Asn, u32>,
+    to_asn: Vec<Asn>,
+}
+
+impl FromIterator<Asn> for AsIndexer {
+    /// Build from an iterator, indexing ASNs in first-seen order.
+    fn from_iter<I: IntoIterator<Item = Asn>>(ases: I) -> Self {
+        let mut idx = AsIndexer::new();
+        for a in ases {
+            idx.insert(a);
+        }
+        idx
+    }
+}
+
+impl AsIndexer {
+    /// An empty indexer.
+    pub fn new() -> Self {
+        AsIndexer::default()
+    }
+
+
+    /// Index `asn`, allocating a new index if unseen. Returns its index.
+    pub fn insert(&mut self, asn: Asn) -> u32 {
+        if let Some(&i) = self.to_index.get(&asn) {
+            return i;
+        }
+        let i = self.to_asn.len() as u32;
+        self.to_asn.push(asn);
+        self.to_index.insert(asn, i);
+        i
+    }
+
+    /// Look up the index of a known ASN.
+    pub fn index(&self, asn: Asn) -> Option<u32> {
+        self.to_index.get(&asn).copied()
+    }
+
+    /// Look up the ASN at an index.
+    pub fn asn(&self, index: u32) -> Option<Asn> {
+        self.to_asn.get(index as usize).copied()
+    }
+
+    /// Number of indexed ASNs.
+    pub fn len(&self) -> usize {
+        self.to_asn.len()
+    }
+
+    /// Whether nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.to_asn.is_empty()
+    }
+
+    /// Iterate `(index, asn)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Asn)> + '_ {
+        self.to_asn.iter().enumerate().map(|(i, a)| (i as u32, *a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_and_stable() {
+        let mut idx = AsIndexer::new();
+        assert_eq!(idx.insert(Asn(100)), 0);
+        assert_eq!(idx.insert(Asn(7)), 1);
+        assert_eq!(idx.insert(Asn(100)), 0, "re-insert is idempotent");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.index(Asn(7)), Some(1));
+        assert_eq!(idx.index(Asn(8)), None);
+        assert_eq!(idx.asn(0), Some(Asn(100)));
+        assert_eq!(idx.asn(2), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let idx: AsIndexer = [Asn(5), Asn(3), Asn(5)].into_iter().collect();
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.iter().collect::<Vec<_>>(), vec![(0, Asn(5)), (1, Asn(3))]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # spoofwatch-asgraph
+//!
+//! AS-level topology algebra: the data structures and graph algorithms
+//! behind the paper's three valid-address-space inference methods (§3.2).
+//!
+//! * [`AsIndexer`] — dense `Asn ↔ u32` indexing for array/bitset-backed
+//!   algorithms;
+//! * [`BitSet`] — a chunked `u64` bitset used for reachability sets;
+//! * [`scc`] — iterative Tarjan strongly-connected-components, needed
+//!   because the directed AS-path graph "may indeed contain loops"
+//!   (paper, §3.2);
+//! * [`As2Org`] — the AS-to-Organization mapping (CAIDA-style) with
+//!   union-find grouping, used to add full-mesh links between ASes of the
+//!   same multi-AS organization;
+//! * [`ReachCones`] — the reachability engine computing, for every AS,
+//!   the set of *origin ASes* whose prefixes it may legitimately source:
+//!   run it over the directed AS-path graph for the **Full Cone**, or
+//!   over provider→customer edges for the **Customer Cone**.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod cones;
+mod index;
+mod org;
+pub mod scc;
+
+pub use bitset::BitSet;
+pub use cones::{augment_with_orgs, ReachCones};
+pub use index::AsIndexer;
+pub use org::As2Org;

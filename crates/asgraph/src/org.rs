@@ -1,0 +1,133 @@
+//! AS-to-Organization mapping (the CAIDA AS2Org analog of §3.2).
+
+use serde::{Deserialize, Serialize};
+use spoofwatch_net::Asn;
+use std::collections::HashMap;
+
+/// Maps ASes to organizations so that multi-AS organizations can be
+/// treated as one routing entity: the paper adds "a full mesh of links
+/// between all ASes within each set", sharing cones and address space.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct As2Org {
+    org_of: HashMap<Asn, u32>,
+    members: HashMap<u32, Vec<Asn>>,
+}
+
+impl As2Org {
+    /// An empty mapping (every AS is its own organization).
+    pub fn new() -> Self {
+        As2Org::default()
+    }
+
+    /// Build from `(asn, org_id)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Asn, u32)>>(pairs: I) -> Self {
+        let mut m = As2Org::new();
+        for (asn, org) in pairs {
+            m.assign(asn, org);
+        }
+        m
+    }
+
+    /// Assign an AS to an organization (reassignment moves it).
+    pub fn assign(&mut self, asn: Asn, org: u32) {
+        if let Some(old) = self.org_of.insert(asn, org) {
+            if old != org {
+                if let Some(v) = self.members.get_mut(&old) {
+                    v.retain(|a| *a != asn);
+                }
+            } else {
+                return;
+            }
+        }
+        self.members.entry(org).or_default().push(asn);
+    }
+
+    /// The organization of an AS, if recorded.
+    pub fn org(&self, asn: Asn) -> Option<u32> {
+        self.org_of.get(&asn).copied()
+    }
+
+    /// Whether two ASes belong to the same recorded organization.
+    pub fn same_org(&self, a: Asn, b: Asn) -> bool {
+        match (self.org(a), self.org(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// All recorded sibling ASes of `asn` (excluding itself).
+    pub fn siblings(&self, asn: Asn) -> Vec<Asn> {
+        match self.org(asn) {
+            None => Vec::new(),
+            Some(org) => self.members[&org]
+                .iter()
+                .copied()
+                .filter(|a| *a != asn)
+                .collect(),
+        }
+    }
+
+    /// Iterate organizations with at least two ASes — the only ones that
+    /// matter for cone adjustment.
+    pub fn multi_as_orgs(&self) -> impl Iterator<Item = (u32, &[Asn])> {
+        self.members
+            .iter()
+            .filter(|(_, v)| v.len() >= 2)
+            .map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Number of ASes with a recorded organization.
+    pub fn len(&self) -> usize {
+        self.org_of.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.org_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping() {
+        let m = As2Org::from_pairs([
+            (Asn(1), 10),
+            (Asn(2), 10),
+            (Asn(3), 11),
+            (Asn(4), 10),
+        ]);
+        assert!(m.same_org(Asn(1), Asn(2)));
+        assert!(m.same_org(Asn(1), Asn(4)));
+        assert!(!m.same_org(Asn(1), Asn(3)));
+        assert!(!m.same_org(Asn(1), Asn(99)), "unknown AS is never same-org");
+        let mut sib = m.siblings(Asn(1));
+        sib.sort();
+        assert_eq!(sib, vec![Asn(2), Asn(4)]);
+        assert!(m.siblings(Asn(3)).is_empty());
+        assert!(m.siblings(Asn(99)).is_empty());
+    }
+
+    #[test]
+    fn multi_as_orgs_filter() {
+        let m = As2Org::from_pairs([(Asn(1), 10), (Asn(2), 10), (Asn(3), 11)]);
+        let multi: Vec<_> = m.multi_as_orgs().collect();
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].0, 10);
+        assert_eq!(multi[0].1.len(), 2);
+    }
+
+    #[test]
+    fn reassignment_moves() {
+        let mut m = As2Org::from_pairs([(Asn(1), 10), (Asn(2), 10)]);
+        m.assign(Asn(1), 11);
+        assert!(!m.same_org(Asn(1), Asn(2)));
+        assert_eq!(m.multi_as_orgs().count(), 0);
+        assert_eq!(m.len(), 2);
+        // Idempotent re-assign must not duplicate membership.
+        m.assign(Asn(1), 11);
+        assert_eq!(m.siblings(Asn(1)).len(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! The Full Cone is a transitive closure over a directed graph that "may
+//! indeed contain loops" (§3.2) — mutual transit, sibling meshes, and
+//! path-observation artifacts all create cycles. Condensing SCCs first
+//! makes the closure a DAG problem. The implementation is iterative
+//! (explicit stack) so deep provider chains cannot overflow the call
+//! stack.
+
+/// Result of an SCC condensation.
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// `comp[v]` is the component id of vertex `v`. Component ids are
+    /// assigned in **completion order**: every component a component can
+    /// reach has a *smaller* id (reverse topological order of the DAG).
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub num_comps: usize,
+}
+
+impl Condensation {
+    /// Members of each component, indexed by component id.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.num_comps];
+        for (v, &c) in self.comp.iter().enumerate() {
+            out[c as usize].push(v as u32);
+        }
+        out
+    }
+
+    /// Deduplicated condensation DAG edges `(from_comp, to_comp)` derived
+    /// from the original edge list (self-loops dropped).
+    pub fn dag_edges(&self, edges: impl Iterator<Item = (u32, u32)>) -> Vec<(u32, u32)> {
+        let mut set = std::collections::HashSet::new();
+        for (a, b) in edges {
+            let (ca, cb) = (self.comp[a as usize], self.comp[b as usize]);
+            if ca != cb {
+                set.insert((ca, cb));
+            }
+        }
+        let mut v: Vec<_> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Tarjan's algorithm over an adjacency list (`adj[v]` = successors of
+/// `v`), iterative.
+pub fn tarjan(adj: &[Vec<u32>]) -> Condensation {
+    let n = adj.len();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut num_comps = 0u32;
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child_pos)) = frames.last_mut() {
+            if *child_pos < adj[v as usize].len() {
+                let w = adj[v as usize][*child_pos];
+                *child_pos += 1;
+                if index[w as usize] == UNSET {
+                    // Tree edge: descend.
+                    index[w as usize] = next_index;
+                    low[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                // v is finished.
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    // v is an SCC root: pop its component.
+                    loop {
+                        let w = stack.pop().expect("stack holds the component");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = num_comps;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_comps += 1;
+                }
+            }
+        }
+    }
+
+    Condensation {
+        comp,
+        num_comps: num_comps as usize,
+    }
+}
+
+/// Build an adjacency list from an edge list over `0..n`.
+pub fn adjacency(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for (a, b) in edges {
+        adj[a as usize].push(b);
+    }
+    for list in &mut adj {
+        list.sort_unstable();
+        list.dedup();
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn condense(n: usize, edges: &[(u32, u32)]) -> Condensation {
+        tarjan(&adjacency(n, edges.iter().copied()))
+    }
+
+    #[test]
+    fn singletons_without_edges() {
+        let c = condense(3, &[]);
+        assert_eq!(c.num_comps, 3);
+        let mut comps: Vec<_> = c.comp.clone();
+        comps.sort_unstable();
+        comps.dedup();
+        assert_eq!(comps.len(), 3);
+    }
+
+    #[test]
+    fn chain_is_reverse_topological() {
+        // 0 → 1 → 2: completion order must give 2 the smallest id.
+        let c = condense(3, &[(0, 1), (1, 2)]);
+        assert_eq!(c.num_comps, 3);
+        assert!(c.comp[2] < c.comp[1]);
+        assert!(c.comp[1] < c.comp[0]);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        let c = condense(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(c.num_comps, 2);
+        assert_eq!(c.comp[0], c.comp[1]);
+        assert_eq!(c.comp[1], c.comp[2]);
+        assert_ne!(c.comp[3], c.comp[0]);
+        assert!(c.comp[3] < c.comp[0], "sink completes first");
+        assert_eq!(c.dag_edges([(0, 1), (1, 2), (2, 0), (2, 3)].into_iter()),
+                   vec![(c.comp[2], c.comp[3])]);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // {0,1} → {2,3}
+        let edges = [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)];
+        let c = condense(4, &edges);
+        assert_eq!(c.num_comps, 2);
+        assert_eq!(c.comp[0], c.comp[1]);
+        assert_eq!(c.comp[2], c.comp[3]);
+        assert!(c.comp[2] < c.comp[0]);
+        let members = c.members();
+        assert_eq!(members.iter().map(|m| m.len()).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn self_loop_is_singleton() {
+        let c = condense(2, &[(0, 0), (0, 1)]);
+        assert_eq!(c.num_comps, 2);
+        assert!(c.dag_edges([(0, 0), (0, 1)].into_iter()).len() == 1);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-vertex path — a recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let c = condense(n, &edges);
+        assert_eq!(c.num_comps, n);
+    }
+
+    #[test]
+    fn big_cycle_collapses() {
+        let n = 50_000;
+        let mut edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        let c = condense(n, &edges);
+        assert_eq!(c.num_comps, 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the cone engine against brute-force reachability.
+
+use proptest::prelude::*;
+use spoofwatch_asgraph::{scc, ReachCones};
+use spoofwatch_net::Asn;
+use std::collections::{HashMap, HashSet};
+
+/// Brute-force reachability closure (including self) by DFS.
+fn brute_reach(n: u32, edges: &[(u32, u32)], from: u32) -> HashSet<u32> {
+    let mut adj: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (a, b) in edges {
+        adj.entry(*a).or_default().push(*b);
+    }
+    let mut seen = HashSet::new();
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        if !seen.insert(v) {
+            continue;
+        }
+        if let Some(next) = adj.get(&v) {
+            stack.extend(next.iter().copied().filter(|w| *w < n));
+        }
+    }
+    seen
+}
+
+fn arb_graph() -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2u32..25).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..60);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Cone membership must equal DFS reachability on random digraphs
+    /// (with every node an origin).
+    #[test]
+    fn cones_equal_dfs_reachability((n, raw_edges) in arb_graph()) {
+        let edges: Vec<(Asn, Asn)> =
+            raw_edges.iter().map(|(a, b)| (Asn(*a), Asn(*b))).collect();
+        let units: HashMap<Asn, u64> = (0..n).map(|i| (Asn(i), 1 + i as u64)).collect();
+        let cones = ReachCones::compute(&edges, &units);
+        for from in 0..n {
+            let want = brute_reach(n, &raw_edges, from);
+            let mut expected_units = 0u64;
+            for to in 0..n {
+                let expect = want.contains(&to) || from == to;
+                prop_assert_eq!(
+                    cones.is_valid_source(Asn(from), Asn(to)),
+                    expect,
+                    "from {} to {}", from, to
+                );
+            }
+            for &to in &want {
+                expected_units += 1 + to as u64;
+            }
+            prop_assert_eq!(cones.valid_units(Asn(from)), expected_units);
+            prop_assert_eq!(cones.cone_origin_count(Asn(from)), want.len());
+        }
+    }
+
+    /// SCC: two vertices share a component iff mutually reachable, and
+    /// component ids are in reverse topological order.
+    #[test]
+    fn scc_matches_mutual_reachability((n, raw_edges) in arb_graph()) {
+        let adj = scc::adjacency(n as usize, raw_edges.iter().copied());
+        let cond = scc::tarjan(&adj);
+        for a in 0..n {
+            for b in 0..n {
+                let ab = brute_reach(n, &raw_edges, a).contains(&b);
+                let ba = brute_reach(n, &raw_edges, b).contains(&a);
+                prop_assert_eq!(
+                    cond.comp[a as usize] == cond.comp[b as usize],
+                    ab && ba,
+                    "vertices {} and {}", a, b
+                );
+            }
+        }
+        // Reverse topological: every DAG edge goes to a smaller id.
+        for (ca, cb) in cond.dag_edges(raw_edges.iter().copied()) {
+            prop_assert!(cb < ca, "edge {} -> {} violates completion order", ca, cb);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end classification performance: cone construction and per-flow
+//! classification throughput, serial vs. parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spoofwatch_core::Classifier;
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_ixp::{Trace, TrafficConfig};
+use spoofwatch_net::{InferenceMethod, OrgMode};
+use std::hint::black_box;
+
+fn bench_classify(c: &mut Criterion) {
+    // A mid-size world keeps bench times sane while staying far from
+    // toy-sized (700 ASes, ~200 members).
+    let net = Internet::generate(InternetConfig {
+        seed: 5,
+        num_ases: 700,
+        num_ixp_members: 200,
+        ..InternetConfig::default()
+    });
+    let trace = Trace::generate(
+        &net,
+        &TrafficConfig {
+            seed: 5,
+            regular_flows: 100_000,
+            ..TrafficConfig::default()
+        },
+    );
+    let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+
+    let mut group = c.benchmark_group("classify");
+    group.sample_size(10);
+
+    group.bench_function("build_classifier_all_cones", |b| {
+        b.iter(|| {
+            black_box(Classifier::build(
+                black_box(&net.announcements),
+                &net.orgs_dataset,
+            ))
+        })
+    });
+
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("classify_serial_full_cone", |b| {
+        b.iter(|| {
+            let mut counts = [0usize; 4];
+            for f in &trace.flows {
+                let class =
+                    classifier.classify_with(f, InferenceMethod::FullCone, OrgMode::OrgAdjusted);
+                counts[class.index()] += 1;
+            }
+            black_box(counts)
+        })
+    });
+
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("classify_parallel_full_cone", |b| {
+        b.iter(|| {
+            black_box(classifier.classify_trace(
+                &trace.flows,
+                InferenceMethod::FullCone,
+                OrgMode::OrgAdjusted,
+            ))
+        })
+    });
+
+    // Method ablation: the naive per-prefix set test vs the cone bitmap.
+    for (name, method) in [
+        ("classify_serial_naive", InferenceMethod::Naive),
+        ("classify_serial_customer_cone", InferenceMethod::CustomerCone),
+    ] {
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut invalid = 0usize;
+                for f in &trace.flows {
+                    if classifier.classify_with(f, method, OrgMode::OrgAdjusted)
+                        == spoofwatch_net::TrafficClass::Invalid
+                    {
+                        invalid += 1;
+                    }
+                }
+                black_box(invalid)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Wire-format throughput: IPFIX-lite, MRT-lite, pcap, and packet
+//! crafting/parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spoofwatch_bgp::{mrt, Announcement, AsPath, Update};
+use spoofwatch_ixp::ipfix;
+use spoofwatch_net::{Asn, FlowRecord, Ipv4Prefix, Proto};
+use spoofwatch_packet::{craft, flow::extract_flow, PcapPacket, PcapReader, PcapWriter};
+use std::hint::black_box;
+use std::io::Cursor;
+
+fn sample_flows(n: usize) -> Vec<FlowRecord> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n)
+        .map(|_| FlowRecord {
+            ts: rng.random(),
+            src: rng.random(),
+            dst: rng.random(),
+            proto: Proto::from_number(rng.random_range(0..20)),
+            sport: rng.random(),
+            dport: rng.random(),
+            packets: rng.random_range(1..100),
+            bytes: rng.random_range(40..100_000),
+            pkt_size: rng.random_range(40..1500),
+            member: Asn(rng.random_range(1..60_000)),
+        })
+        .collect()
+}
+
+fn sample_updates(n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            let prefix = Ipv4Prefix::new_truncating(rng.random(), rng.random_range(8..=24));
+            if rng.random_bool(0.8) {
+                let hops: Vec<u32> = (0..rng.random_range(1..6)).map(|_| rng.random_range(1..60_000)).collect();
+                Update::Announce {
+                    ts: rng.random(),
+                    peer: Asn(rng.random_range(1..1000)),
+                    announcement: Announcement::new(prefix, AsPath::from(hops)),
+                }
+            } else {
+                Update::Withdraw {
+                    ts: rng.random(),
+                    peer: Asn(rng.random_range(1..1000)),
+                    prefix,
+                }
+            }
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let flows = sample_flows(50_000);
+    let encoded_flows = ipfix::encode(&flows);
+    let updates = sample_updates(20_000);
+    let encoded_updates = mrt::encode(&updates);
+
+    let mut group = c.benchmark_group("codecs");
+    group.throughput(Throughput::Elements(flows.len() as u64));
+    group.bench_function("ipfix_encode_50k", |b| {
+        b.iter(|| black_box(ipfix::encode(black_box(&flows))))
+    });
+    group.bench_function("ipfix_decode_50k", |b| {
+        b.iter(|| black_box(ipfix::decode(black_box(&encoded_flows)).unwrap()))
+    });
+
+    group.throughput(Throughput::Elements(updates.len() as u64));
+    group.bench_function("mrt_encode_20k", |b| {
+        b.iter(|| black_box(mrt::encode(black_box(&updates))))
+    });
+    group.bench_function("mrt_decode_20k", |b| {
+        b.iter(|| black_box(mrt::decode(black_box(&encoded_updates)).unwrap()))
+    });
+
+    // Packet pipeline: craft → pcap write → pcap read → flow extraction.
+    let packets: Vec<Vec<u8>> = (0..5_000)
+        .map(|i| {
+            let i = i as u32;
+            craft::udp(i, !i, (i % 60_000) as u16, 123, &[0u8; 40])
+        })
+        .collect();
+    group.throughput(Throughput::Elements(packets.len() as u64));
+    group.bench_function("craft_udp_5k", |b| {
+        b.iter(|| {
+            for i in 0..5_000u32 {
+                black_box(craft::udp(i, !i, (i % 60_000) as u16, 123, &[0u8; 40]));
+            }
+        })
+    });
+    group.bench_function("extract_flow_5k", |b| {
+        b.iter(|| {
+            for p in &packets {
+                black_box(extract_flow(black_box(p)).unwrap());
+            }
+        })
+    });
+    group.bench_function("pcap_roundtrip_5k", |b| {
+        b.iter(|| {
+            let mut w = PcapWriter::new(Vec::new()).unwrap();
+            for (i, p) in packets.iter().enumerate() {
+                w.write_packet(&PcapPacket::full(i as u32, 0, p.clone())).unwrap();
+            }
+            let bytes = w.finish().unwrap();
+            let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+            black_box(r.collect_packets().unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

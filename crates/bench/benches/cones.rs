@@ -1,0 +1,63 @@
+//! Cone-construction performance: SCC condensation plus bitset
+//! reachability over the AS-path graph, at several topology scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spoofwatch_asgraph::{augment_with_orgs, ReachCones};
+use spoofwatch_bgp::RoutedTable;
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_net::Asn;
+use std::hint::black_box;
+
+fn bench_cones(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cones");
+    group.sample_size(10);
+    for num_ases in [500usize, 1000, 2000] {
+        let net = Internet::generate(InternetConfig {
+            seed: 13,
+            num_ases,
+            num_ixp_members: (num_ases / 4).min(727),
+            ..InternetConfig::default()
+        });
+        let table = RoutedTable::build(net.announcements.iter());
+        let units = table.origin_units();
+        let mut edges: Vec<(Asn, Asn)> = table.edges().iter().copied().collect();
+        edges.sort_unstable();
+
+        group.bench_with_input(
+            BenchmarkId::new("full_cone", num_ases),
+            &num_ases,
+            |b, _| b.iter(|| black_box(ReachCones::compute(black_box(&edges), &units))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_cone_org_adjusted", num_ases),
+            &num_ases,
+            |b, _| {
+                b.iter(|| {
+                    let mut e = edges.clone();
+                    augment_with_orgs(&mut e, &net.orgs_dataset);
+                    black_box(ReachCones::compute(&e, &units))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("routed_table_build", num_ases),
+            &num_ases,
+            |b, _| b.iter(|| black_box(RoutedTable::build(net.announcements.iter()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("relationship_inference", num_ases),
+            &num_ases,
+            |b, _| {
+                b.iter(|| {
+                    black_box(spoofwatch_core::relinfer::Relationships::infer(
+                        net.announcements.iter().map(|a| &a.path),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cones);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Performance of the prefix trie — the per-packet hot path of the
+//! classifier (two LPM lookups per flow).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_net::Ipv4Prefix;
+use spoofwatch_trie::{PrefixSet, PrefixTrie};
+use std::hint::black_box;
+
+/// A realistic routed table: every announced prefix of the default
+/// synthetic Internet (~12K prefixes, /8../24 mix).
+fn routed_prefixes() -> Vec<Ipv4Prefix> {
+    let net = Internet::generate(InternetConfig {
+        seed: 3,
+        ..InternetConfig::default()
+    });
+    net.topology
+        .ases()
+        .flat_map(|a| a.prefixes.iter().copied())
+        .collect()
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let prefixes = routed_prefixes();
+    let trie: PrefixTrie<u32> = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (*p, i as u32))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(1);
+    let probes: Vec<u32> = (0..10_000).map(|_| rng.random()).collect();
+
+    let mut group = c.benchmark_group("trie");
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("lpm_lookup_10k_random", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &addr in &probes {
+                if trie.lookup(black_box(addr)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.throughput(Throughput::Elements(prefixes.len() as u64));
+    group.bench_function("insert_routed_table", |b| {
+        b.iter_batched(
+            PrefixTrie::<u32>::new,
+            |mut t| {
+                for (i, p) in prefixes.iter().enumerate() {
+                    t.insert(*p, i as u32);
+                }
+                black_box(t.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Ablation: the trie against a linear scan over the prefix list —
+    // the design-choice justification for building a Patricia trie at
+    // all (DESIGN.md §4).
+    let few: Vec<Ipv4Prefix> = prefixes.iter().take(64).copied().collect();
+    let small_trie: PrefixTrie<()> = few.iter().map(|p| (*p, ())).collect();
+    group.throughput(Throughput::Elements(probes.len() as u64));
+    group.bench_function("ablation_trie_64_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &addr in &probes {
+                if small_trie.lookup(black_box(addr)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("ablation_linear_scan_64_prefixes", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &addr in &probes {
+                // Longest match by linear scan.
+                let best = few
+                    .iter()
+                    .filter(|p| p.contains(black_box(addr)))
+                    .max_by_key(|p| p.len());
+                if best.is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+
+    group.bench_function("covered_units_and_aggregate", |b| {
+        let set: PrefixSet = prefixes.iter().collect();
+        b.iter(|| {
+            let agg = set.aggregate();
+            black_box((set.covered_units(), agg.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trie);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::ablation`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::ablation(&scenario);
+    spoofwatch_bench::report("ablation", &comparisons);
+}

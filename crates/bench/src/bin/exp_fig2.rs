@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::fig2`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::fig2(&scenario);
+    spoofwatch_bench::report("fig2", &comparisons);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::fig4`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::fig4(&scenario);
+    spoofwatch_bench::report("fig4", &comparisons);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::fig6`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::fig6(&scenario);
+    spoofwatch_bench::report("fig6", &comparisons);
+}

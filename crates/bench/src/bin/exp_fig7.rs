@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::fig7`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::fig7(&scenario);
+    spoofwatch_bench::report("fig7", &comparisons);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::fphunt`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::fphunt(&scenario);
+    spoofwatch_bench::report("fphunt", &comparisons);
+}

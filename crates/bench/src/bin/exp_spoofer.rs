@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::spoofer`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::spoofer(&scenario);
+    spoofwatch_bench::report("spoofer", &comparisons);
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `spoofwatch_bench::experiments::table1`.
+fn main() {
+    let scenario = spoofwatch_bench::Scenario::from_env();
+    let comparisons = spoofwatch_bench::experiments::table1(&scenario);
+    spoofwatch_bench::report("table1", &comparisons);
+}

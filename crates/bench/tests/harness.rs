@@ -1,0 +1,52 @@
+//! The experiment harness itself is under test: every experiment function
+//! must run on the quick scenario and report internally consistent
+//! comparisons.
+
+use spoofwatch_bench::{experiments, Scenario};
+
+#[test]
+fn all_experiments_run_on_quick_scenario() {
+    let s = Scenario::quick(3);
+    let runs: Vec<(&str, fn(&Scenario) -> Vec<spoofwatch_bench::Comparison>)> = vec![
+        ("fig1a", experiments::fig1a),
+        ("fig2", experiments::fig2),
+        ("table1", experiments::table1),
+        ("fig4", experiments::fig4),
+        ("fig5", experiments::fig5),
+        ("fig6", experiments::fig6),
+        ("fig7", experiments::fig7),
+        ("fig8", experiments::fig8),
+        ("fig9", experiments::fig9),
+        ("fig10", experiments::fig10),
+        ("fig11", experiments::fig11),
+        ("fphunt", experiments::fphunt),
+        ("spoofer", experiments::spoofer),
+        ("survey", experiments::survey),
+        ("evaluation", experiments::evaluation),
+    ];
+    for (name, f) in runs {
+        let comparisons = f(&s);
+        assert!(!comparisons.is_empty(), "{name} produced no comparisons");
+        for c in &comparisons {
+            assert!(!c.quantity.is_empty());
+            assert!(!c.measured.is_empty(), "{name}: empty measurement");
+        }
+        // On the tiny scenario not every calibrated shape target holds —
+        // that's what the full scenario asserts — but the structural
+        // ones (method orderings, address-plan shares) must.
+        if name == "fig1a" || name == "table1" {
+            let structural = comparisons
+                .iter()
+                .filter(|c| c.quantity.contains('<') || c.quantity.contains("share"))
+                .count();
+            let holding = comparisons
+                .iter()
+                .filter(|c| (c.quantity.contains('<') || c.quantity.contains("share")) && c.shape_holds)
+                .count();
+            assert!(
+                holding * 2 >= structural,
+                "{name}: {holding}/{structural} structural checks hold"
+            );
+        }
+    }
+}

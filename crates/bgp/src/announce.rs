@@ -1,0 +1,105 @@
+//! Route announcements, withdrawals, and the update stream.
+
+use crate::AsPath;
+use serde::{Deserialize, Serialize};
+use spoofwatch_net::{Asn, Ipv4Prefix};
+
+/// A route announcement: "reach `prefix` via `path`".
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// The AS path, nearest first.
+    pub path: AsPath,
+}
+
+impl Announcement {
+    /// Convenience constructor.
+    pub fn new(prefix: Ipv4Prefix, path: AsPath) -> Self {
+        Announcement { prefix, path }
+    }
+
+    /// The origin AS of the announcement.
+    pub fn origin(&self) -> Option<Asn> {
+        self.path.origin()
+    }
+}
+
+/// One message of an update stream as a collector records it: who sent it
+/// (the collector's peer), when, and what changed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Update {
+    /// The peer announced (or re-announced, implicitly replacing) a route.
+    Announce {
+        /// Seconds since the start of the measurement window.
+        ts: u64,
+        /// The collector peer that sent the update.
+        peer: Asn,
+        /// The announcement itself.
+        announcement: Announcement,
+    },
+    /// The peer withdrew its route for the prefix.
+    Withdraw {
+        /// Seconds since the start of the measurement window.
+        ts: u64,
+        /// The collector peer that sent the update.
+        peer: Asn,
+        /// The withdrawn prefix.
+        prefix: Ipv4Prefix,
+    },
+}
+
+impl Update {
+    /// The message timestamp.
+    pub fn ts(&self) -> u64 {
+        match self {
+            Update::Announce { ts, .. } | Update::Withdraw { ts, .. } => *ts,
+        }
+    }
+
+    /// The collector peer that sent the message.
+    pub fn peer(&self) -> Asn {
+        match self {
+            Update::Announce { peer, .. } | Update::Withdraw { peer, .. } => *peer,
+        }
+    }
+
+    /// The affected prefix.
+    pub fn prefix(&self) -> Ipv4Prefix {
+        match self {
+            Update::Announce { announcement, .. } => announcement.prefix,
+            Update::Withdraw { prefix, .. } => *prefix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let a = Announcement::new(
+            "10.0.0.0/8".parse().unwrap(),
+            AsPath::from(vec![1, 2, 3]),
+        );
+        assert_eq!(a.origin(), Some(Asn(3)));
+
+        let up = Update::Announce {
+            ts: 42,
+            peer: Asn(1),
+            announcement: a.clone(),
+        };
+        assert_eq!(up.ts(), 42);
+        assert_eq!(up.peer(), Asn(1));
+        assert_eq!(up.prefix(), a.prefix);
+
+        let wd = Update::Withdraw {
+            ts: 43,
+            peer: Asn(1),
+            prefix: a.prefix,
+        };
+        assert_eq!(wd.ts(), 43);
+        assert_eq!(wd.prefix(), a.prefix);
+    }
+}

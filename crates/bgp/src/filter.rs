@@ -1,0 +1,147 @@
+//! Announcement hygiene, as applied by the paper before building tables.
+//!
+//! §3.3: "We disregard announcements for prefixes more specific than /24
+//! and less specific than /8" — the latter usually indicates
+//! misconfiguration (RFC 7454). We additionally drop paths with loops or
+//! reserved ASNs, which real collectors see regularly and which would
+//! poison the AS graph.
+
+use crate::Announcement;
+use serde::Serialize;
+
+/// Why an announcement was dropped, with counters for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FilterStats {
+    /// Accepted announcements.
+    pub accepted: u64,
+    /// Prefix more specific than the maximum length (default /24).
+    pub too_specific: u64,
+    /// Prefix less specific than the minimum length (default /8).
+    pub too_coarse: u64,
+    /// AS path contained a loop.
+    pub path_loop: u64,
+    /// AS path contained a reserved/private ASN.
+    pub reserved_asn: u64,
+    /// Empty AS path.
+    pub empty_path: u64,
+}
+
+impl FilterStats {
+    /// Total number of announcements inspected.
+    pub fn total(&self) -> u64 {
+        self.accepted
+            + self.too_specific
+            + self.too_coarse
+            + self.path_loop
+            + self.reserved_asn
+            + self.empty_path
+    }
+
+    /// Total dropped.
+    pub fn dropped(&self) -> u64 {
+        self.total() - self.accepted
+    }
+}
+
+/// The configurable sanity filter.
+#[derive(Debug, Clone)]
+pub struct SanityFilter {
+    /// Minimum acceptable prefix length (paper: 8).
+    pub min_len: u8,
+    /// Maximum acceptable prefix length (paper: 24).
+    pub max_len: u8,
+    /// Running statistics.
+    pub stats: FilterStats,
+}
+
+impl Default for SanityFilter {
+    fn default() -> Self {
+        SanityFilter {
+            min_len: 8,
+            max_len: 24,
+            stats: FilterStats::default(),
+        }
+    }
+}
+
+impl SanityFilter {
+    /// A filter with the paper's /8../24 bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check one announcement, updating counters. Returns `true` if it
+    /// should be kept.
+    pub fn accept(&mut self, a: &Announcement) -> bool {
+        if a.prefix.len() > self.max_len {
+            self.stats.too_specific += 1;
+            return false;
+        }
+        if a.prefix.len() < self.min_len {
+            self.stats.too_coarse += 1;
+            return false;
+        }
+        if a.path.is_empty() {
+            self.stats.empty_path += 1;
+            return false;
+        }
+        if a.path.has_loop() {
+            self.stats.path_loop += 1;
+            return false;
+        }
+        if a.path.has_reserved_asn() {
+            self.stats.reserved_asn += 1;
+            return false;
+        }
+        self.stats.accepted += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AsPath;
+
+    fn ann(prefix: &str, path: &[u32]) -> Announcement {
+        Announcement::new(prefix.parse().unwrap(), AsPath::from(path.to_vec()))
+    }
+
+    #[test]
+    fn accepts_normal() {
+        let mut f = SanityFilter::new();
+        assert!(f.accept(&ann("10.0.0.0/8", &[1, 2])));
+        assert!(f.accept(&ann("192.0.2.0/24", &[1, 2, 2, 3])));
+        assert_eq!(f.stats.accepted, 2);
+        assert_eq!(f.stats.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_length_violations() {
+        let mut f = SanityFilter::new();
+        assert!(!f.accept(&ann("192.0.2.0/25", &[1])));
+        assert!(!f.accept(&ann("192.0.2.128/32", &[1])));
+        assert!(!f.accept(&ann("0.0.0.0/0", &[1])));
+        assert!(!f.accept(&ann("16.0.0.0/7", &[1])));
+        assert_eq!(f.stats.too_specific, 2);
+        assert_eq!(f.stats.too_coarse, 2);
+    }
+
+    #[test]
+    fn drops_poisoned_paths() {
+        let mut f = SanityFilter::new();
+        assert!(!f.accept(&ann("10.0.0.0/8", &[1, 2, 1])));
+        assert!(!f.accept(&ann("10.0.0.0/8", &[1, 64512])));
+        assert!(!f.accept(&ann("10.0.0.0/8", &[])));
+        assert_eq!(f.stats.path_loop, 1);
+        assert_eq!(f.stats.reserved_asn, 1);
+        assert_eq!(f.stats.empty_path, 1);
+        assert_eq!(f.stats.total(), 3);
+    }
+
+    #[test]
+    fn prepending_passes() {
+        let mut f = SanityFilter::new();
+        assert!(f.accept(&ann("10.0.0.0/8", &[1, 2, 2, 2, 3])));
+    }
+}

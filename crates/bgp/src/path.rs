@@ -1,0 +1,187 @@
+//! AS paths.
+
+use serde::{Deserialize, Serialize};
+use spoofwatch_net::Asn;
+use std::fmt;
+
+/// An AS path as carried in a BGP announcement: the sequence of ASes the
+/// announcement traversed, *nearest first* — `path[0]` is the neighbor
+/// that sent us the route and the last element is the origin AS.
+///
+/// Prepending (an AS repeating itself consecutively for traffic
+/// engineering) is legal and preserved; the adjacency and validity
+/// helpers collapse it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AsPath(Vec<Asn>);
+
+impl AsPath {
+    /// Build from a nearest-first sequence.
+    pub fn new(hops: Vec<Asn>) -> Self {
+        AsPath(hops)
+    }
+
+    /// The empty path (only valid transiently, e.g. while originating).
+    pub fn empty() -> Self {
+        AsPath(Vec::new())
+    }
+
+    /// The hops, nearest first.
+    pub fn hops(&self) -> &[Asn] {
+        &self.0
+    }
+
+    /// Number of hops including prepending.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the path has no hops.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The origin AS (rightmost), if any.
+    pub fn origin(&self) -> Option<Asn> {
+        self.0.last().copied()
+    }
+
+    /// The AS the route was learned from (leftmost), if any.
+    pub fn head(&self) -> Option<Asn> {
+        self.0.first().copied()
+    }
+
+    /// Whether `asn` appears anywhere on the path — the Naive method's
+    /// membership test.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.0.contains(&asn)
+    }
+
+    /// Path length with consecutive prepending collapsed — the metric for
+    /// best-path selection.
+    pub fn effective_len(&self) -> usize {
+        self.dedup_hops().count()
+    }
+
+    /// Prepend an AS `count` times (as done when an AS propagates the
+    /// route onward).
+    pub fn prepend(&self, asn: Asn, count: usize) -> AsPath {
+        let mut hops = Vec::with_capacity(self.0.len() + count);
+        hops.extend(std::iter::repeat_n(asn, count));
+        hops.extend_from_slice(&self.0);
+        AsPath(hops)
+    }
+
+    /// Iterate hops with consecutive duplicates (prepending) collapsed.
+    pub fn dedup_hops(&self) -> impl Iterator<Item = Asn> + '_ {
+        let mut prev: Option<Asn> = None;
+        self.0.iter().copied().filter(move |a| {
+            let fresh = prev != Some(*a);
+            prev = Some(*a);
+            fresh
+        })
+    }
+
+    /// Directed adjacency pairs `(left, right)` where `left` is upstream
+    /// of `right` — the edges of the Full Cone graph (§3.2). Prepending is
+    /// collapsed so no self-edges are produced by it.
+    pub fn adjacencies(&self) -> Vec<(Asn, Asn)> {
+        let hops: Vec<Asn> = self.dedup_hops().collect();
+        hops.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// A path is loop-free iff no AS appears in two non-adjacent
+    /// positions (consecutive repeats are prepending, not loops).
+    pub fn has_loop(&self) -> bool {
+        let hops: Vec<Asn> = self.dedup_hops().collect();
+        let mut seen = std::collections::HashSet::with_capacity(hops.len());
+        hops.iter().any(|a| !seen.insert(*a))
+    }
+
+    /// Whether any hop is a reserved/private ASN, which should have been
+    /// stripped before reaching the global table.
+    pub fn has_reserved_asn(&self) -> bool {
+        self.0.iter().any(|a| a.is_reserved())
+    }
+}
+
+impl fmt::Display for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in &self.0 {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{}", a.0)?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl From<Vec<u32>> for AsPath {
+    fn from(v: Vec<u32>) -> Self {
+        AsPath(v.into_iter().map(Asn).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(v: &[u32]) -> AsPath {
+        AsPath::from(v.to_vec())
+    }
+
+    #[test]
+    fn origin_and_head() {
+        let p = path(&[100, 200, 300]);
+        assert_eq!(p.head(), Some(Asn(100)));
+        assert_eq!(p.origin(), Some(Asn(300)));
+        assert!(AsPath::empty().origin().is_none());
+    }
+
+    #[test]
+    fn prepending_is_not_a_loop() {
+        let p = path(&[100, 200, 200, 200, 300]);
+        assert!(!p.has_loop());
+        assert_eq!(p.effective_len(), 3);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn real_loops_detected() {
+        assert!(path(&[100, 200, 100]).has_loop());
+        assert!(path(&[100, 200, 300, 200]).has_loop());
+        assert!(!path(&[100, 200, 300]).has_loop());
+    }
+
+    #[test]
+    fn adjacencies_collapse_prepending() {
+        let p = path(&[100, 200, 200, 300]);
+        assert_eq!(
+            p.adjacencies(),
+            vec![(Asn(100), Asn(200)), (Asn(200), Asn(300))]
+        );
+        assert!(path(&[100]).adjacencies().is_empty());
+    }
+
+    #[test]
+    fn prepend_builds_propagation() {
+        let p = path(&[300]); // origin announces
+        let q = p.prepend(Asn(200), 1).prepend(Asn(100), 2);
+        assert_eq!(q.hops(), &[Asn(100), Asn(100), Asn(200), Asn(300)]);
+        assert_eq!(q.origin(), Some(Asn(300)));
+    }
+
+    #[test]
+    fn reserved_asn_detection() {
+        assert!(path(&[100, 64512, 300]).has_reserved_asn());
+        assert!(path(&[100, 23456]).has_reserved_asn());
+        assert!(!path(&[100, 200]).has_reserved_asn());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(path(&[1, 2, 3]).to_string(), "1 2 3");
+    }
+}

@@ -1,0 +1,164 @@
+//! A routing information base keyed by (prefix, peer).
+
+use crate::{Announcement, AsPath, Update};
+use spoofwatch_net::{Asn, Ipv4Prefix};
+use std::collections::BTreeMap;
+
+/// A collector-style RIB: for every prefix, the current route from each
+/// peer that has one. An `Announce` replaces the peer's previous route for
+/// the prefix (implicit withdrawal, as in BGP); a `Withdraw` removes it.
+#[derive(Debug, Clone, Default)]
+pub struct Rib {
+    routes: BTreeMap<Ipv4Prefix, BTreeMap<Asn, AsPath>>,
+}
+
+impl Rib {
+    /// An empty RIB.
+    pub fn new() -> Self {
+        Rib::default()
+    }
+
+    /// Apply one update message.
+    pub fn apply(&mut self, update: &Update) {
+        match update {
+            Update::Announce {
+                peer, announcement, ..
+            } => {
+                self.routes
+                    .entry(announcement.prefix)
+                    .or_default()
+                    .insert(*peer, announcement.path.clone());
+            }
+            Update::Withdraw { peer, prefix, .. } => {
+                if let Some(peers) = self.routes.get_mut(prefix) {
+                    peers.remove(peer);
+                    if peers.is_empty() {
+                        self.routes.remove(prefix);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Insert a route directly (table-dump ingestion).
+    pub fn insert(&mut self, peer: Asn, announcement: &Announcement) {
+        self.routes
+            .entry(announcement.prefix)
+            .or_default()
+            .insert(peer, announcement.path.clone());
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn num_prefixes(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Total number of (prefix, peer) routes.
+    pub fn num_routes(&self) -> usize {
+        self.routes.values().map(|m| m.len()).sum()
+    }
+
+    /// All current routes for a prefix, keyed by peer.
+    pub fn routes_for(&self, prefix: &Ipv4Prefix) -> Option<&BTreeMap<Asn, AsPath>> {
+        self.routes.get(prefix)
+    }
+
+    /// Deterministic best path for a prefix: shortest effective length,
+    /// ties broken by lowest peer ASN (stand-in for the full decision
+    /// process, which needs per-session attributes we do not model).
+    pub fn best_path(&self, prefix: &Ipv4Prefix) -> Option<(&Asn, &AsPath)> {
+        self.routes.get(prefix)?.iter().min_by_key(|(peer, path)| {
+            (path.effective_len(), peer.0)
+        })
+    }
+
+    /// Iterate all (prefix, peer, path) routes.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, Asn, &AsPath)> {
+        self.routes
+            .iter()
+            .flat_map(|(p, peers)| peers.iter().map(move |(peer, path)| (*p, *peer, path)))
+    }
+
+    /// Iterate prefixes currently routed.
+    pub fn prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.routes.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(prefix: &str, path: &[u32]) -> Announcement {
+        Announcement::new(prefix.parse().unwrap(), AsPath::from(path.to_vec()))
+    }
+
+    fn announce(peer: u32, prefix: &str, path: &[u32]) -> Update {
+        Update::Announce {
+            ts: 0,
+            peer: Asn(peer),
+            announcement: ann(prefix, path),
+        }
+    }
+
+    fn withdraw(peer: u32, prefix: &str) -> Update {
+        Update::Withdraw {
+            ts: 0,
+            peer: Asn(peer),
+            prefix: prefix.parse().unwrap(),
+        }
+    }
+
+    #[test]
+    fn announce_replaces_per_peer() {
+        let mut rib = Rib::new();
+        rib.apply(&announce(1, "10.0.0.0/8", &[1, 3]));
+        rib.apply(&announce(1, "10.0.0.0/8", &[1, 2, 3]));
+        rib.apply(&announce(2, "10.0.0.0/8", &[2, 3]));
+        assert_eq!(rib.num_prefixes(), 1);
+        assert_eq!(rib.num_routes(), 2);
+        let routes = rib.routes_for(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(routes[&Asn(1)].hops().len(), 3, "implicit withdrawal");
+    }
+
+    #[test]
+    fn withdraw_removes_and_cleans_up() {
+        let mut rib = Rib::new();
+        rib.apply(&announce(1, "10.0.0.0/8", &[1, 3]));
+        rib.apply(&withdraw(1, "10.0.0.0/8"));
+        assert_eq!(rib.num_prefixes(), 0);
+        // Withdrawing a route we never had is a no-op.
+        rib.apply(&withdraw(2, "11.0.0.0/8"));
+        assert_eq!(rib.num_prefixes(), 0);
+    }
+
+    #[test]
+    fn best_path_prefers_short_effective() {
+        let mut rib = Rib::new();
+        // Peer 1's path is longer in hops but shorter after prepending
+        // collapse.
+        rib.apply(&announce(1, "10.0.0.0/8", &[1, 3, 3, 3]));
+        rib.apply(&announce(2, "10.0.0.0/8", &[2, 5, 3]));
+        let (peer, _) = rib.best_path(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(*peer, Asn(1));
+    }
+
+    #[test]
+    fn best_path_tie_breaks_on_peer() {
+        let mut rib = Rib::new();
+        rib.apply(&announce(7, "10.0.0.0/8", &[7, 3]));
+        rib.apply(&announce(2, "10.0.0.0/8", &[2, 3]));
+        let (peer, _) = rib.best_path(&"10.0.0.0/8".parse().unwrap()).unwrap();
+        assert_eq!(*peer, Asn(2));
+    }
+
+    #[test]
+    fn iteration_covers_everything() {
+        let mut rib = Rib::new();
+        rib.apply(&announce(1, "10.0.0.0/8", &[1, 3]));
+        rib.apply(&announce(2, "10.0.0.0/8", &[2, 3]));
+        rib.apply(&announce(1, "192.0.2.0/24", &[1, 9]));
+        assert_eq!(rib.iter().count(), 3);
+        assert_eq!(rib.prefixes().count(), 2);
+    }
+}

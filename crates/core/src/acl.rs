@@ -1,0 +1,238 @@
+//! Filter-list (ACL) generation — the operational use of the method.
+//!
+//! The paper's introduction frames the missing piece for operators: "no
+//! reliable general mechanism for automatically creating these kinds of
+//! filter lists exists" (§2.1), and its conclusion notes that "every
+//! network on the inter-domain Internet can opt to apply \[the method\]
+//! to filter its incoming traffic". This module turns a classifier's
+//! per-AS valid address space into concrete prefix ACLs: a whitelist of
+//! aggregated CIDR blocks a peer may legitimately source, or the
+//! complementary static blacklist of bogon space.
+
+use crate::Classifier;
+use serde::Serialize;
+use spoofwatch_net::{Asn, InferenceMethod, Ipv4Prefix, OrgMode};
+use spoofwatch_trie::PrefixSet;
+
+/// A generated access control list for one peer.
+#[derive(Debug, Clone, Serialize)]
+pub struct PeerAcl {
+    /// The peer AS the list applies to.
+    pub peer: Asn,
+    /// Inference method the list was derived from.
+    pub method: InferenceMethod,
+    /// Whether multi-AS organizations were merged.
+    pub org: OrgMode,
+    /// Aggregated whitelist: traffic with a source outside these
+    /// prefixes should be dropped on the peering interface.
+    pub allow: Vec<Ipv4Prefix>,
+    /// Whitelisted space in /24 equivalents.
+    pub slash24: f64,
+}
+
+impl PeerAcl {
+    /// Whether a source address passes the list.
+    pub fn permits(&self, addr: u32) -> bool {
+        // ACLs are small after aggregation; for high-rate use convert to
+        // a PrefixSet once.
+        self.allow.iter().any(|p| p.contains(addr))
+    }
+
+    /// The list as a lookup set (for line-rate checks).
+    pub fn as_set(&self) -> PrefixSet {
+        self.allow.iter().collect()
+    }
+
+    /// Render in a router-ish `permit` syntax.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "! ACL for {} ({}, {}) — {:.0} /24s in {} entries\n",
+            self.peer,
+            self.method,
+            self.org,
+            self.slash24,
+            self.allow.len()
+        );
+        for p in &self.allow {
+            out.push_str(&format!("permit ip {p}\n"));
+        }
+        out.push_str("deny ip any\n");
+        out
+    }
+}
+
+/// Build the ingress whitelist for `peer`: the union of all prefixes
+/// whose origin lies in the peer's cone (or, for Naive, all prefixes the
+/// peer appears on a path of), aggregated to a minimal CIDR cover. An
+/// unknown peer yields an empty list (deny everything).
+pub fn peer_whitelist(
+    classifier: &Classifier,
+    peer: Asn,
+    method: InferenceMethod,
+    org: OrgMode,
+) -> PeerAcl {
+    let mut set = PrefixSet::new();
+    match method {
+        InferenceMethod::Naive => {
+            for (prefix, info) in classifier.table().iter() {
+                if info.has_on_path(peer) {
+                    set.insert(prefix);
+                }
+            }
+        }
+        _ => {
+            let cones = classifier.cones(method, org).expect("precomputed");
+            for (prefix, info) in classifier.table().iter() {
+                if cones.is_valid_source_any(peer, &info.origins) {
+                    set.insert(prefix);
+                }
+            }
+        }
+    }
+    let aggregated = set.aggregate();
+    PeerAcl {
+        peer,
+        method,
+        org,
+        slash24: aggregated.slash24_equivalents(),
+        allow: aggregated.iter().collect(),
+    }
+}
+
+/// The change between two generations of a peer's ACL — "prefix lists
+/// that must be generated and constantly maintained" (§2.1). Operators
+/// apply the `add` entries and retire the `remove` entries instead of
+/// reinstalling the full list.
+#[derive(Debug, Clone, Serialize)]
+pub struct AclDiff {
+    /// Address space newly permitted (CIDR-minimal).
+    pub add: Vec<Ipv4Prefix>,
+    /// Address space no longer permitted (CIDR-minimal).
+    pub remove: Vec<Ipv4Prefix>,
+}
+
+impl AclDiff {
+    /// Compute the update from `old` to `new`.
+    pub fn between(old: &PeerAcl, new: &PeerAcl) -> AclDiff {
+        let old_set = old.as_set();
+        let new_set = new.as_set();
+        AclDiff {
+            add: new_set.difference(&old_set).iter().collect(),
+            remove: old_set.difference(&new_set).iter().collect(),
+        }
+    }
+
+    /// Whether nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.add.is_empty() && self.remove.is_empty()
+    }
+}
+
+/// The static bogon blacklist (deny-list), aggregated.
+pub fn bogon_blacklist() -> Vec<Ipv4Prefix> {
+    spoofwatch_internet::bogon::bogon_set()
+        .aggregate()
+        .iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_asgraph::As2Org;
+    use spoofwatch_bgp::{Announcement, AsPath};
+    use spoofwatch_net::parse_addr;
+
+    fn ann(prefix: &str, path: &[u32]) -> Announcement {
+        Announcement::new(prefix.parse().unwrap(), AsPath::from(path.to_vec()))
+    }
+
+    fn classifier() -> Classifier {
+        Classifier::build(
+            &[
+                ann("20.0.0.0/8", &[1]),
+                ann("21.0.0.0/8", &[1]), // 20/8 + 21/8 aggregate into 20/7
+                ann("30.0.0.0/8", &[1, 2]),   // customer of 1
+                ann("40.0.0.0/8", &[3]),      // unrelated
+            ],
+            &As2Org::new(),
+        )
+    }
+
+    #[test]
+    fn whitelist_covers_cone_and_aggregates() {
+        let c = classifier();
+        let acl = peer_whitelist(&c, Asn(1), InferenceMethod::FullCone, OrgMode::Plain);
+        // 20/8 + 21/8 aggregate into 20.0.0.0/7.
+        assert!(acl.allow.contains(&"20.0.0.0/7".parse().unwrap()), "{:?}", acl.allow);
+        assert!(acl.permits(parse_addr("30.1.2.3").unwrap()), "customer space");
+        assert!(!acl.permits(parse_addr("40.1.2.3").unwrap()), "unrelated space");
+        assert_eq!(acl.slash24, 3.0 * 65536.0);
+        let set = acl.as_set();
+        assert!(set.contains_addr(parse_addr("21.255.0.1").unwrap()));
+    }
+
+    #[test]
+    fn stub_whitelist_is_own_space_only() {
+        let c = classifier();
+        let acl = peer_whitelist(&c, Asn(2), InferenceMethod::FullCone, OrgMode::Plain);
+        assert!(acl.permits(parse_addr("30.0.0.1").unwrap()));
+        assert!(!acl.permits(parse_addr("20.0.0.1").unwrap()));
+        assert_eq!(acl.slash24, 65536.0);
+    }
+
+    #[test]
+    fn naive_whitelist_requires_on_path() {
+        let c = classifier();
+        // AS 1 is on the path of 30/8 ("1 2"), so naive permits it.
+        let acl = peer_whitelist(&c, Asn(1), InferenceMethod::Naive, OrgMode::Plain);
+        assert!(acl.permits(parse_addr("30.0.0.1").unwrap()));
+        // Unknown AS gets an empty list.
+        let empty = peer_whitelist(&c, Asn(99), InferenceMethod::Naive, OrgMode::Plain);
+        assert!(empty.allow.is_empty());
+        assert!(!empty.permits(parse_addr("30.0.0.1").unwrap()));
+    }
+
+    #[test]
+    fn renders_router_syntax() {
+        let c = classifier();
+        let acl = peer_whitelist(&c, Asn(2), InferenceMethod::FullCone, OrgMode::Plain);
+        let text = acl.render();
+        assert!(text.contains("permit ip 30.0.0.0/8"));
+        assert!(text.ends_with("deny ip any\n"));
+    }
+
+    #[test]
+    fn acl_diff_tracks_routing_change() {
+        let before = Classifier::build(
+            &[ann("20.0.0.0/8", &[1]), ann("30.0.0.0/8", &[1, 2])],
+            &As2Org::new(),
+        );
+        // AS2 churns away; AS1 gains a new customer AS4.
+        let after = Classifier::build(
+            &[ann("20.0.0.0/8", &[1]), ann("50.0.0.0/8", &[1, 4])],
+            &As2Org::new(),
+        );
+        let old = peer_whitelist(&before, Asn(1), InferenceMethod::FullCone, OrgMode::Plain);
+        let new = peer_whitelist(&after, Asn(1), InferenceMethod::FullCone, OrgMode::Plain);
+        let diff = AclDiff::between(&old, &new);
+        assert_eq!(diff.add, vec!["50.0.0.0/8".parse().unwrap()]);
+        assert_eq!(diff.remove, vec!["30.0.0.0/8".parse().unwrap()]);
+        assert!(!diff.is_empty());
+        assert!(AclDiff::between(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn bogon_blacklist_is_canonical() {
+        let deny = bogon_blacklist();
+        assert!(!deny.is_empty());
+        // Aggregation keeps it non-overlapping and sorted.
+        for w in deny.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(!w[0].overlaps(&w[1]));
+        }
+        let set: PrefixSet = deny.iter().collect();
+        assert!(set.contains_addr(parse_addr("192.168.1.1").unwrap()));
+        assert!(!set.contains_addr(parse_addr("8.8.8.8").unwrap()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # spoofwatch-core
+//!
+//! The paper's contribution: passive detection and classification of
+//! inter-domain traffic with spoofed source IP addresses (Lichtblau et
+//! al., IMC 2017).
+//!
+//! The flow of the system mirrors the paper's §3–§4:
+//!
+//! 1. Ingest BGP announcements from route collectors and build the
+//!    routed table ([`spoofwatch_bgp::RoutedTable`]).
+//! 2. Infer per-AS **valid address space** three ways — Naive (on-path),
+//!    Customer Cone (over relationships inferred from the same BGP data,
+//!    [`relinfer`]), and Full Cone (transitive closure of the directed
+//!    AS-path graph) — each optionally adjusted for multi-AS
+//!    organizations ([`Classifier::build`]).
+//! 3. Classify every flow sequentially: **Bogon → Unrouted → Invalid →
+//!    Valid**, first match wins ([`Classifier::classify`]).
+//! 4. Account per member and per class ([`stats`]), tag stray traffic
+//!    from router interfaces ([`stray`]), and hunt false positives with
+//!    WHOIS/looking-glass evidence ([`fphunt`]).
+//!
+//! The [`acl`] module turns the inferred valid space into deployable
+//! ingress filter lists — the operational application the paper's
+//! conclusion points at.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acl;
+pub mod fphunt;
+mod pipeline;
+pub mod relinfer;
+pub mod stats;
+pub mod stray;
+
+pub use pipeline::Classifier;
+pub use stats::{ClassCounters, MemberBreakdown, Table1, Table1Row};

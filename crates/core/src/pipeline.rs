@@ -1,0 +1,313 @@
+//! The classification pipeline (paper Figure 3).
+
+use crate::relinfer::Relationships;
+use spoofwatch_asgraph::{augment_with_orgs, As2Org, ReachCones};
+use spoofwatch_bgp::{Announcement, RoutedTable};
+use spoofwatch_internet::bogon;
+use spoofwatch_net::{FlowRecord, InferenceMethod, OrgMode, TrafficClass};
+use spoofwatch_trie::PrefixSet;
+use std::collections::HashMap;
+
+/// The passive spoofing classifier.
+///
+/// Built once from BGP data, then applied to any number of flows. The
+/// pipeline is strictly sequential per the paper's Figure 3 — bogon,
+/// then unrouted, then the member-specific invalid check — so the four
+/// classes are mutually exclusive by construction.
+///
+/// All five valid-space variants (Naive; Customer Cone and Full Cone,
+/// each plain and org-adjusted) are precomputed so method comparisons
+/// (Table 1, Figure 2) run against identical inputs.
+pub struct Classifier {
+    bogons: PrefixSet,
+    table: RoutedTable,
+    cones: HashMap<(InferenceMethod, OrgMode), ReachCones>,
+    relationships: Relationships,
+}
+
+impl Classifier {
+    /// Build from the announcement corpus and the AS2Org dataset.
+    pub fn build(announcements: &[Announcement], orgs: &As2Org) -> Self {
+        let table = RoutedTable::build(announcements.iter());
+        let origin_units = table.origin_units();
+
+        // Full Cone: directed AS-path-graph edges.
+        let mut full_edges: Vec<_> = table.edges().iter().copied().collect();
+        full_edges.sort_unstable();
+        let full_plain = ReachCones::compute(&full_edges, &origin_units);
+        let mut full_org_edges = full_edges.clone();
+        augment_with_orgs(&mut full_org_edges, orgs);
+        let full_org = ReachCones::compute(&full_org_edges, &origin_units);
+
+        // Customer Cone: relationships inferred from the same paths.
+        let relationships = Relationships::infer(announcements.iter().map(|a| &a.path));
+        let cc_edges = relationships.provider_customer_edges();
+        let cc_plain = ReachCones::compute(&cc_edges, &origin_units);
+        let mut cc_org_edges = cc_edges.clone();
+        augment_with_orgs(&mut cc_org_edges, orgs);
+        let cc_org = ReachCones::compute(&cc_org_edges, &origin_units);
+
+        let mut cones = HashMap::new();
+        cones.insert((InferenceMethod::FullCone, OrgMode::Plain), full_plain);
+        cones.insert((InferenceMethod::FullCone, OrgMode::OrgAdjusted), full_org);
+        cones.insert((InferenceMethod::CustomerCone, OrgMode::Plain), cc_plain);
+        cones.insert((InferenceMethod::CustomerCone, OrgMode::OrgAdjusted), cc_org);
+
+        Classifier {
+            bogons: bogon::bogon_set(),
+            table,
+            cones,
+            relationships,
+        }
+    }
+
+    /// The merged routed table.
+    pub fn table(&self) -> &RoutedTable {
+        &self.table
+    }
+
+    /// The inferred relationship set behind the Customer Cone.
+    pub fn relationships(&self) -> &Relationships {
+        &self.relationships
+    }
+
+    /// The cone structure for a method/org combination (`None` for
+    /// Naive, which is per-prefix rather than per-cone).
+    pub fn cones(&self, method: InferenceMethod, org: OrgMode) -> Option<&ReachCones> {
+        self.cones.get(&(method, org))
+    }
+
+    /// Classify one flow with the paper's production settings: Full
+    /// Cone, org-adjusted (§4.3 chooses this as the most conservative).
+    pub fn classify(&self, flow: &FlowRecord) -> TrafficClass {
+        self.classify_with(flow, InferenceMethod::FullCone, OrgMode::OrgAdjusted)
+    }
+
+    /// Classify one flow with an explicit method. The Naive method
+    /// ignores `org` (the paper applies the org adjustment to the cone
+    /// methods only).
+    pub fn classify_with(
+        &self,
+        flow: &FlowRecord,
+        method: InferenceMethod,
+        org: OrgMode,
+    ) -> TrafficClass {
+        if self.bogons.contains_addr(flow.src) {
+            return TrafficClass::Bogon;
+        }
+        let Some((_prefix, info)) = self.table.lookup(flow.src) else {
+            return TrafficClass::Unrouted;
+        };
+        let valid = match method {
+            InferenceMethod::Naive => info.has_on_path(flow.member),
+            _ => self
+                .cones
+                .get(&(method, org))
+                .expect("all cone variants precomputed")
+                .is_valid_source_any(flow.member, &info.origins),
+        };
+        if valid {
+            TrafficClass::Valid
+        } else {
+            TrafficClass::Invalid
+        }
+    }
+
+    /// Classify a batch in parallel (order-preserving).
+    pub fn classify_trace(
+        &self,
+        flows: &[FlowRecord],
+        method: InferenceMethod,
+        org: OrgMode,
+    ) -> Vec<TrafficClass> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(flows.len().max(1));
+        let chunk = flows.len().div_ceil(threads).max(1);
+        let mut out = vec![TrafficClass::Valid; flows.len()];
+        crossbeam::thread::scope(|s| {
+            for (in_chunk, out_chunk) in flows.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    for (f, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *o = self.classify_with(f, method, org);
+                    }
+                });
+            }
+        })
+        .expect("classification threads do not panic");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_bgp::AsPath;
+    use spoofwatch_net::{parse_addr, Asn, Proto};
+
+    fn ann(prefix: &str, path: &[u32]) -> Announcement {
+        Announcement::new(prefix.parse().unwrap(), AsPath::from(path.to_vec()))
+    }
+
+    fn flow(src: &str, member: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: parse_addr(src).unwrap(),
+            dst: 1,
+            proto: Proto::Tcp,
+            sport: 1,
+            dport: 80,
+            packets: 1,
+            bytes: 40,
+            pkt_size: 40,
+            member: Asn(member),
+        }
+    }
+
+    /// A small world mirroring the paper's Figure 1c plus an extra
+    /// origin: A(1)–B(2) peer on top; C(3) under A; D(4) under B.
+    fn classifier() -> Classifier {
+        let announcements = vec![
+            // C's prefix as seen everywhere.
+            ann("20.0.0.0/8", &[3]),
+            ann("20.0.0.0/8", &[1, 3]),
+            ann("20.0.0.0/8", &[2, 1, 3]),
+            ann("20.0.0.0/8", &[4, 2, 1, 3]),
+            // D's prefix p2.
+            ann("30.0.0.0/8", &[4]),
+            ann("30.0.0.0/8", &[2, 4]),
+            ann("30.0.0.0/8", &[1, 2, 4]),
+            ann("30.0.0.0/8", &[3, 1, 2, 4]),
+            // A and B own space.
+            ann("40.0.0.0/8", &[1]),
+            ann("40.0.0.0/8", &[2, 1]),
+            ann("50.0.0.0/8", &[2]),
+            ann("50.0.0.0/8", &[1, 2]),
+        ];
+        Classifier::build(&announcements, &As2Org::new())
+    }
+
+    #[test]
+    fn sequential_precedence() {
+        let c = classifier();
+        // Bogon beats everything, even if it were routed.
+        assert_eq!(c.classify(&flow("10.1.2.3", 1)), TrafficClass::Bogon);
+        assert_eq!(c.classify(&flow("192.168.7.7", 1)), TrafficClass::Bogon);
+        // Unrouted: routable but unannounced.
+        assert_eq!(c.classify(&flow("99.0.0.1", 1)), TrafficClass::Unrouted);
+        // Routed + member valid.
+        assert_eq!(c.classify(&flow("40.0.0.1", 1)), TrafficClass::Valid);
+    }
+
+    #[test]
+    fn full_cone_covers_peer_customer() {
+        let c = classifier();
+        // Figure 1c: traffic from D's p2 forwarded by A.
+        let f = flow("30.0.0.1", 1);
+        assert_eq!(
+            c.classify_with(&f, InferenceMethod::FullCone, OrgMode::Plain),
+            TrafficClass::Valid,
+            "full cone accepts the peer's customer"
+        );
+        assert_eq!(
+            c.classify_with(&f, InferenceMethod::CustomerCone, OrgMode::Plain),
+            TrafficClass::Invalid,
+            "customer cone intentionally does not"
+        );
+    }
+
+    #[test]
+    fn naive_requires_on_path() {
+        let c = classifier();
+        // AS 4 (D) appears on an announcement path of C's prefix
+        // ("4 2 1 3"), so Naive accepts C-sourced traffic from member 4.
+        assert_eq!(
+            c.classify_with(&flow("20.0.0.1", 4), InferenceMethod::Naive, OrgMode::Plain),
+            TrafficClass::Valid
+        );
+        // AS 9 never appears anywhere.
+        assert_eq!(
+            c.classify_with(&flow("20.0.0.1", 9), InferenceMethod::Naive, OrgMode::Plain),
+            TrafficClass::Invalid
+        );
+    }
+
+    #[test]
+    fn own_space_is_always_valid() {
+        let c = classifier();
+        for method in InferenceMethod::ALL {
+            assert_eq!(
+                c.classify_with(&flow("30.0.0.1", 4), method, OrgMode::Plain),
+                TrafficClass::Valid,
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
+    fn org_adjustment_validates_siblings() {
+        let announcements = vec![
+            ann("20.0.0.0/8", &[3]),
+            ann("30.0.0.0/8", &[4]),
+        ];
+        // ASes 3 and 4 are one organization; no BGP link between them.
+        let orgs = As2Org::from_pairs([(Asn(3), 1), (Asn(4), 1)]);
+        let c = Classifier::build(&announcements, &orgs);
+        let f = flow("20.0.0.1", 4);
+        assert_eq!(
+            c.classify_with(&f, InferenceMethod::FullCone, OrgMode::Plain),
+            TrafficClass::Invalid
+        );
+        assert_eq!(
+            c.classify_with(&f, InferenceMethod::FullCone, OrgMode::OrgAdjusted),
+            TrafficClass::Valid
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let c = classifier();
+        let flows: Vec<FlowRecord> = (0..500)
+            .map(|i| {
+                let src = match i % 4 {
+                    0 => "10.0.0.1",
+                    1 => "99.0.0.1",
+                    2 => "30.0.0.1",
+                    _ => "40.0.0.1",
+                };
+                flow(src, 1 + (i % 4) as u32)
+            })
+            .collect();
+        let par = c.classify_trace(&flows, InferenceMethod::FullCone, OrgMode::Plain);
+        let ser: Vec<_> = flows
+            .iter()
+            .map(|f| c.classify_with(f, InferenceMethod::FullCone, OrgMode::Plain))
+            .collect();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn moas_prefix_any_origin_validates() {
+        let announcements = vec![
+            ann("20.0.0.0/8", &[3]),
+            ann("20.0.0.0/8", &[7]), // MOAS: also originated by 7
+            ann("60.0.0.0/8", &[8, 7]),
+        ];
+        let c = Classifier::build(&announcements, &As2Org::new());
+        // Member 8 carries origin 7 (edge 8→7), and 7 originates
+        // 20.0.0.0/8 too, so member 8 is valid for it.
+        assert_eq!(
+            c.classify_with(&flow("20.0.0.1", 8), InferenceMethod::FullCone, OrgMode::Plain),
+            TrafficClass::Valid
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let c = classifier();
+        assert!(c
+            .classify_trace(&[], InferenceMethod::FullCone, OrgMode::Plain)
+            .is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Stray-traffic recognition: router interface addresses (§5.2).
+//!
+//! Routers answering pings and emitting TTL-exceeded messages choose an
+//! arbitrary interface address as source; those addresses are often
+//! unannounced infrastructure space, so the traffic lands in Invalid (or
+//! Unrouted) without being spoofed. The paper harvests router addresses
+//! from traceroute data and drops members whose Invalid traffic is ≥50%
+//! router-sourced from further spoofing analysis.
+
+use serde::Serialize;
+use spoofwatch_net::{Asn, FlowRecord, Proto, TrafficClass};
+use std::collections::{BTreeMap, HashSet};
+
+/// Per-member router-IP statistics over Invalid traffic.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MemberStray {
+    /// Sampled Invalid packets.
+    pub invalid_packets: u64,
+    /// Sampled Invalid packets whose source is a known router interface.
+    pub router_packets: u64,
+}
+
+impl MemberStray {
+    /// Router share of the member's Invalid packets.
+    pub fn router_fraction(&self) -> f64 {
+        if self.invalid_packets == 0 {
+            0.0
+        } else {
+            self.router_packets as f64 / self.invalid_packets as f64
+        }
+    }
+}
+
+/// The §5.2 stray analysis result.
+#[derive(Debug, Clone, Serialize)]
+pub struct StrayReport {
+    /// Per-member counts (members with any Invalid traffic).
+    pub per_member: BTreeMap<Asn, MemberStray>,
+    /// Protocol mix of router-sourced packets: (ICMP, UDP, TCP) shares.
+    pub proto_shares: (f64, f64, f64),
+    /// Of the router-sourced UDP packets, the share destined to NTP
+    /// (the paper: 76.3%, hinting at reflection attempts on routers).
+    pub udp_ntp_fraction: f64,
+    /// Overall router share of Invalid packets (paper: <1%).
+    pub overall_router_fraction: f64,
+}
+
+impl StrayReport {
+    /// Analyze a classified trace against a harvested router-IP set.
+    pub fn analyze(
+        flows: &[FlowRecord],
+        classes: &[TrafficClass],
+        router_ips: &HashSet<u32>,
+    ) -> StrayReport {
+        assert_eq!(flows.len(), classes.len());
+        let mut per_member: BTreeMap<Asn, MemberStray> = BTreeMap::new();
+        let mut invalid_total = 0u64;
+        let mut router_total = 0u64;
+        let mut proto = [0u64; 3]; // icmp, udp, tcp
+        let mut udp_total = 0u64;
+        let mut udp_ntp = 0u64;
+        for (f, c) in flows.iter().zip(classes) {
+            if *c != TrafficClass::Invalid {
+                continue;
+            }
+            let entry = per_member.entry(f.member).or_default();
+            entry.invalid_packets += f.packets as u64;
+            invalid_total += f.packets as u64;
+            if router_ips.contains(&f.src) {
+                entry.router_packets += f.packets as u64;
+                router_total += f.packets as u64;
+                match f.proto {
+                    Proto::Icmp => proto[0] += f.packets as u64,
+                    Proto::Udp => {
+                        proto[1] += f.packets as u64;
+                        udp_total += f.packets as u64;
+                        if f.dport == 123 {
+                            udp_ntp += f.packets as u64;
+                        }
+                    }
+                    Proto::Tcp => proto[2] += f.packets as u64,
+                    Proto::Other(_) => {}
+                }
+            }
+        }
+        let share = |x: u64| {
+            if router_total == 0 {
+                0.0
+            } else {
+                x as f64 / router_total as f64
+            }
+        };
+        StrayReport {
+            per_member,
+            proto_shares: (share(proto[0]), share(proto[1]), share(proto[2])),
+            udp_ntp_fraction: if udp_total == 0 {
+                0.0
+            } else {
+                udp_ntp as f64 / udp_total as f64
+            },
+            overall_router_fraction: if invalid_total == 0 {
+                0.0
+            } else {
+                router_total as f64 / invalid_total as f64
+            },
+        }
+    }
+
+    /// Members whose Invalid traffic is at least `threshold` (paper:
+    /// 0.5) router-sourced — excluded from further spoofing analysis.
+    pub fn stray_dominated(&self, threshold: f64) -> HashSet<Asn> {
+        self.per_member
+            .iter()
+            .filter(|(_, s)| s.invalid_packets > 0 && s.router_fraction() >= threshold)
+            .map(|(m, _)| *m)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(src: u32, member: u32, proto: Proto, dport: u16, packets: u32) -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src,
+            dst: 1,
+            proto,
+            sport: 0,
+            dport,
+            packets,
+            bytes: packets as u64 * 56,
+            pkt_size: 56,
+            member: Asn(member),
+        }
+    }
+
+    #[test]
+    fn member_fractions_and_filtering() {
+        let routers: HashSet<u32> = [100, 200].into_iter().collect();
+        let flows = vec![
+            flow(100, 1, Proto::Icmp, 0, 8), // router
+            flow(999, 1, Proto::Tcp, 80, 2), // non-router
+            flow(999, 2, Proto::Tcp, 80, 5), // non-router only
+            flow(200, 3, Proto::Udp, 123, 4), // router NTP
+        ];
+        let classes = vec![TrafficClass::Invalid; 4];
+        let r = StrayReport::analyze(&flows, &classes, &routers);
+        assert_eq!(r.per_member[&Asn(1)].invalid_packets, 10);
+        assert_eq!(r.per_member[&Asn(1)].router_packets, 8);
+        assert!((r.per_member[&Asn(1)].router_fraction() - 0.8).abs() < 1e-9);
+        let dominated = r.stray_dominated(0.5);
+        assert!(dominated.contains(&Asn(1)));
+        assert!(!dominated.contains(&Asn(2)));
+        assert!(dominated.contains(&Asn(3)));
+        // Protocol mix of router packets: 8 ICMP, 4 UDP.
+        assert!((r.proto_shares.0 - 8.0 / 12.0).abs() < 1e-9);
+        assert!((r.proto_shares.1 - 4.0 / 12.0).abs() < 1e-9);
+        assert_eq!(r.udp_ntp_fraction, 1.0);
+        assert!((r.overall_router_fraction - 12.0 / 19.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn only_invalid_flows_count() {
+        let routers: HashSet<u32> = [100].into_iter().collect();
+        let flows = vec![flow(100, 1, Proto::Icmp, 0, 8)];
+        let classes = vec![TrafficClass::Valid];
+        let r = StrayReport::analyze(&flows, &classes, &routers);
+        assert!(r.per_member.is_empty());
+        assert_eq!(r.overall_router_fraction, 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: the classification pipeline against its components.
+
+use proptest::prelude::*;
+use spoofwatch_asgraph::As2Org;
+use spoofwatch_bgp::{Announcement, AsPath};
+use spoofwatch_core::Classifier;
+use spoofwatch_internet::bogon;
+use spoofwatch_net::{Asn, FlowRecord, InferenceMethod, Ipv4Prefix, OrgMode, Proto, TrafficClass};
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Announcement>> {
+    // Prefixes in a handful of /8s, short paths over a small AS pool.
+    prop::collection::vec(
+        (
+            20u32..60,
+            8u8..=24,
+            any::<u32>(),
+            prop::collection::vec(1u32..40, 1..5),
+        ),
+        1..40,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .map(|(octet, len, low, path)| {
+                let bits = (octet << 24) | (low & 0x00FF_FFFF);
+                Announcement::new(
+                    Ipv4Prefix::new_truncating(bits, len),
+                    AsPath::from(path),
+                )
+            })
+            .collect()
+    })
+}
+
+fn flow(src: u32, member: u32) -> FlowRecord {
+    FlowRecord {
+        ts: 0,
+        src,
+        dst: 1,
+        proto: Proto::Tcp,
+        sport: 1,
+        dport: 80,
+        packets: 1,
+        bytes: 40,
+        pkt_size: 40,
+        member: Asn(member),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pipeline's first two stages are exactly the component checks:
+    /// Bogon ⇔ bogon-list LPM hit; Unrouted ⇔ miss in the routed table
+    /// (given not bogon). And the invalid stage never fires for a
+    /// member's own origins.
+    #[test]
+    fn pipeline_stages_match_components(
+        corpus in arb_corpus(),
+        probes in prop::collection::vec(any::<u32>(), 1..60),
+        member in 1u32..40,
+    ) {
+        let classifier = Classifier::build(&corpus, &As2Org::new());
+        let bogons = bogon::bogon_set();
+        for src in probes {
+            let class = classifier.classify(&flow(src, member));
+            let is_bogon = bogons.contains_addr(src);
+            let routed = classifier.table().lookup(src);
+            match class {
+                TrafficClass::Bogon => prop_assert!(is_bogon),
+                TrafficClass::Unrouted => {
+                    prop_assert!(!is_bogon);
+                    prop_assert!(routed.is_none());
+                }
+                TrafficClass::Invalid | TrafficClass::Valid => {
+                    prop_assert!(!is_bogon);
+                    prop_assert!(routed.is_some());
+                }
+            }
+            // Own origins are always valid.
+            if let Some((_, info)) = routed {
+                if !is_bogon && info.has_origin(Asn(member)) {
+                    prop_assert_eq!(class, TrafficClass::Valid);
+                }
+            }
+        }
+    }
+
+    /// Method monotonicity on arbitrary corpora: Naive never tags less
+    /// Invalid than FULL (per flow: FULL=Invalid ⇒ NAIVE=Invalid), and
+    /// org adjustment never creates Invalid.
+    #[test]
+    fn method_monotonicity(
+        corpus in arb_corpus(),
+        probes in prop::collection::vec((any::<u32>(), 1u32..40), 1..60),
+    ) {
+        let classifier = Classifier::build(&corpus, &As2Org::new());
+        for (src, member) in probes {
+            let f = flow(src, member);
+            let full = classifier.classify_with(&f, InferenceMethod::FullCone, OrgMode::Plain);
+            let naive = classifier.classify_with(&f, InferenceMethod::Naive, OrgMode::Plain);
+            // Naive valid ⇒ member on some path of the prefix ⇒ member
+            // reaches the origin in the path graph ⇒ FULL valid.
+            if naive == TrafficClass::Valid {
+                prop_assert_eq!(full, TrafficClass::Valid, "src {:#x} member {}", src, member);
+            }
+            let full_org =
+                classifier.classify_with(&f, InferenceMethod::FullCone, OrgMode::OrgAdjusted);
+            if full == TrafficClass::Valid {
+                prop_assert_eq!(full_org, TrafficClass::Valid);
+            }
+        }
+    }
+
+    /// Org adjustment with sibling groups validates exactly the sibling
+    /// origins (and never invalidates anything).
+    #[test]
+    fn org_adjustment_is_additive(
+        corpus in arb_corpus(),
+        group in prop::collection::hash_set(1u32..40, 2..5),
+        probes in prop::collection::vec((any::<u32>(), 1u32..40), 1..40),
+    ) {
+        let orgs = As2Org::from_pairs(group.iter().map(|&a| (Asn(a), 1u32)));
+        let classifier = Classifier::build(&corpus, &orgs);
+        for (src, member) in probes {
+            let f = flow(src, member);
+            let plain = classifier.classify_with(&f, InferenceMethod::FullCone, OrgMode::Plain);
+            let adjusted =
+                classifier.classify_with(&f, InferenceMethod::FullCone, OrgMode::OrgAdjusted);
+            if plain == TrafficClass::Valid {
+                prop_assert_eq!(adjusted, TrafficClass::Valid);
+            }
+            // A flip Invalid→Valid is possible only through the added
+            // org mesh; verify the sound direction constructively: with
+            // an empty org dataset the adjusted classification must be
+            // identical to plain.
+            let no_orgs = Classifier::build(&corpus, &As2Org::new());
+            prop_assert_eq!(
+                no_orgs.classify_with(&f, InferenceMethod::FullCone, OrgMode::OrgAdjusted),
+                no_orgs.classify_with(&f, InferenceMethod::FullCone, OrgMode::Plain),
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The IPv4 address plan: carving routed space out of the routable
+//! (non-bogon) universe while leaving unrouted holes, reproducing the
+//! paper's Figure 1a proportions (bogon 13.8% / routed 68.1% / unrouted
+//! 18.1% of the whole space).
+
+use crate::bogon;
+use rand::{Rng, RngExt};
+use spoofwatch_net::Ipv4Prefix;
+use spoofwatch_trie::PrefixSet;
+
+/// Sequential block allocator over the routable (non-bogon) IPv4 space.
+///
+/// Between allocations it skips exponentially-sized holes so that the
+/// skipped (unrouted-but-routable) space converges to a configurable
+/// fraction of the allocated (routed) space. Alignment waste adds to the
+/// holes, which is physical: real unrouted space is exactly the gap
+/// between allocations.
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    /// Routable intervals `[start, end)` not yet exhausted, ascending.
+    intervals: Vec<(u64, u64)>,
+    /// Index of the interval the cursor is in.
+    cur: usize,
+    /// Next free address (within `intervals[cur]`).
+    cursor: u64,
+    /// Desired unrouted/routed ratio (`0.0` = allocate densely).
+    hole_ratio: f64,
+    /// Addresses handed out.
+    pub allocated_units: u64,
+}
+
+impl Allocator {
+    /// An allocator over the whole non-bogon space with the paper's
+    /// unrouted/routed ratio (18.1 / 68.1).
+    pub fn new() -> Self {
+        Self::with_hole_ratio(18.1 / 68.1)
+    }
+
+    /// An allocator with an explicit unrouted/routed target ratio.
+    pub fn with_hole_ratio(hole_ratio: f64) -> Self {
+        // Complement of the bogon set over [0, 2^32).
+        let bogons = bogon::bogon_set().intervals();
+        let mut intervals = Vec::with_capacity(bogons.len() + 1);
+        let mut prev = 0u64;
+        for (s, e) in bogons {
+            if s > prev {
+                intervals.push((prev, s));
+            }
+            prev = e;
+        }
+        if prev < (1u64 << 32) {
+            intervals.push((prev, 1u64 << 32));
+        }
+        let cursor = intervals.first().map_or(0, |iv| iv.0);
+        Allocator {
+            intervals,
+            cur: 0,
+            cursor,
+            hole_ratio,
+            allocated_units: 0,
+        }
+    }
+
+    /// Total routable space this allocator manages, in addresses.
+    pub fn routable_units(&self) -> u64 {
+        self.intervals.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Allocate the next aligned `/len` block, skipping a random hole
+    /// first. Returns `None` when the routable space is exhausted.
+    ///
+    /// The cursor moves strictly forward: interval tails too small for
+    /// the current request are abandoned (they become unrouted space).
+    /// Callers wanting dense packing should allocate large blocks first.
+    pub fn alloc<R: Rng + ?Sized>(&mut self, rng: &mut R, len: u8) -> Option<Ipv4Prefix> {
+        debug_assert!(len <= 32);
+        let size = 1u64 << (32 - len);
+        // Geometric number of same-sized hole blocks with mean
+        // `hole_ratio`, so skipped space stays block-aligned (no hidden
+        // alignment waste) and converges to `hole_ratio` × allocated.
+        if self.hole_ratio > 0.0 {
+            let p = self.hole_ratio / (1.0 + self.hole_ratio);
+            while rng.random_bool(p) {
+                self.cursor += size;
+            }
+        }
+        loop {
+            let (_, end) = *self.intervals.get(self.cur)?;
+            // Align up to the block size.
+            let aligned = (self.cursor + size - 1) & !(size - 1);
+            if aligned + size <= end {
+                self.cursor = aligned + size;
+                self.allocated_units += size;
+                return Some(Ipv4Prefix::new_truncating(aligned as u32, len));
+            }
+            // Exhaust this interval, move on.
+            self.cur += 1;
+            self.cursor = self.intervals.get(self.cur)?.0;
+        }
+    }
+}
+
+impl Default for Allocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary of an address plan, for the Figure 1a experiment.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct AddressPlanSummary {
+    /// Bogon fraction of the whole IPv4 space.
+    pub bogon_frac: f64,
+    /// Routed fraction of the whole IPv4 space.
+    pub routed_frac: f64,
+    /// Unrouted (routable, unannounced) fraction of the whole space.
+    pub unrouted_frac: f64,
+    /// Routed /24 equivalents.
+    pub routed_slash24: f64,
+}
+
+/// Compute the Figure 1a category shares for a set of routed prefixes.
+pub fn summarize(routed: &PrefixSet) -> AddressPlanSummary {
+    let total = (1u64 << 32) as f64;
+    let bogon_units = bogon::bogon_set().covered_units() as f64;
+    let routed_units = routed.covered_units() as f64;
+    AddressPlanSummary {
+        bogon_frac: bogon_units / total,
+        routed_frac: routed_units / total,
+        unrouted_frac: (total - bogon_units - routed_units) / total,
+        routed_slash24: routed_units / spoofwatch_net::UNITS_PER_SLASH24 as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_allocates_bogon_space() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut alloc = Allocator::new();
+        let bogons = bogon::bogon_set();
+        for _ in 0..500 {
+            let p = alloc.alloc(&mut rng, 16).unwrap();
+            assert!(!bogons.contains_addr(p.first()), "{p} in bogon space");
+            assert!(!bogons.contains_addr(p.last()), "{p} in bogon space");
+        }
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_ascending() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut alloc = Allocator::new();
+        let mut last_end = 0u64;
+        for _ in 0..300 {
+            let len = 14 + (rng.random::<u32>() % 10) as u8;
+            let p = alloc.alloc(&mut rng, len).unwrap();
+            assert!(p.first() as u64 >= last_end, "overlap at {p}");
+            last_end = p.last() as u64 + 1;
+        }
+    }
+
+    #[test]
+    fn hole_ratio_converges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ratio = 18.1 / 68.1;
+        let mut alloc = Allocator::with_hole_ratio(ratio);
+        let mut set = PrefixSet::new();
+        // Allocate a big slice of the space in /16s.
+        for _ in 0..120_000 {
+            match alloc.alloc(&mut rng, 16) {
+                Some(p) => {
+                    set.insert(p);
+                }
+                None => break,
+            }
+        }
+        let s = summarize(&set);
+        // Exhausted the space: routed + unrouted ≈ routable 86.2%, split
+        // by the hole ratio → routed ≈ 68.1%, unrouted ≈ 18.1%.
+        assert!((s.bogon_frac - 0.138).abs() < 0.01, "bogon {}", s.bogon_frac);
+        assert!((s.routed_frac - 0.681).abs() < 0.03, "routed {}", s.routed_frac);
+        assert!((s.unrouted_frac - 0.181).abs() < 0.03, "unrouted {}", s.unrouted_frac);
+    }
+
+    #[test]
+    fn dense_allocation_fills_space() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut alloc = Allocator::with_hole_ratio(0.0);
+        let mut count = 0u64;
+        while alloc.alloc(&mut rng, 8).is_some() {
+            count += 1;
+        }
+        // The non-bogon space contains ~215 fully free /8s; interval
+        // fragmentation around bogon islands costs a few.
+        assert!(count >= 200, "only {count} /8s allocated");
+        // The allocator is forward-only: once the cursor passed the last
+        // interval nothing fits any more, even small blocks.
+        assert!(alloc.alloc(&mut rng, 24).is_none());
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut alloc = Allocator::with_hole_ratio(0.0);
+        while alloc.alloc(&mut rng, 8).is_some() {}
+        while alloc.alloc(&mut rng, 16).is_some() {}
+        while alloc.alloc(&mut rng, 24).is_some() {}
+        assert!(alloc.alloc(&mut rng, 24).is_none());
+        assert!(alloc.alloc(&mut rng, 32).is_none());
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut alloc = Allocator::new();
+            (0..100)
+                .map(|_| alloc.alloc(&mut rng, 20).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

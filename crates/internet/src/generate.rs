@@ -1,0 +1,879 @@
+//! Whole-Internet generation from a seed.
+
+use crate::addressing::Allocator;
+use crate::propagation::{RouteClass, Router};
+use crate::topology::{
+    AsInfo, BusinessType, FilteringProfile, RelKind, Relationship, Tier, Topology,
+};
+use crate::whois::{OrgRecord, PolicyEntry, RouteObject, WhoisRegistry};
+use crate::stats;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngExt, SeedableRng};
+use spoofwatch_asgraph::{augment_with_orgs, As2Org, ReachCones};
+use spoofwatch_bgp::{Announcement, AsPath};
+use spoofwatch_net::{Asn, Ipv4Prefix};
+use std::collections::{HashMap, HashSet};
+
+/// Knobs of the synthetic Internet. All sizes scale down from the paper's
+/// measured universe (57K ASes, 727 IXP members, 34 collectors) while
+/// preserving the structural ratios the experiments depend on.
+#[derive(Debug, Clone)]
+pub struct InternetConfig {
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Total number of ASes.
+    pub num_ases: usize,
+    /// Size of the tier-1 clique.
+    pub num_tier1: usize,
+    /// Fraction of non-tier-1 ASes that are transit providers.
+    pub transit_fraction: f64,
+    /// Number of IXP member ASes (the paper's ~727).
+    pub num_ixp_members: usize,
+    /// Route collectors besides the IXP route server (the paper's 34).
+    pub num_collectors: usize,
+    /// BGP peer sessions per collector.
+    pub collector_peers_each: usize,
+    /// Fraction of ASes grouped into multi-AS organizations.
+    pub multi_as_org_fraction: f64,
+    /// Fraction of true multi-AS org groups present in the AS2Org
+    /// *dataset* (the rest are only discoverable via WHOIS — §4.4).
+    pub org_dataset_coverage: f64,
+    /// Fraction of multi-homed stubs announcing some prefixes to only a
+    /// subset of providers (asymmetry that trips the Naive method).
+    pub selective_announce_fraction: f64,
+    /// Fraction of multi-homed stubs using provider-assigned address
+    /// space that is announced only as the provider's covering prefix
+    /// (the §4.4 "uncommon setups").
+    pub provider_assigned_fraction: f64,
+    /// Number of tunnel arrangements invisible to both BGP and WHOIS
+    /// (the paper's cloud-startup case).
+    pub tunnel_setups: usize,
+    /// Mean NTP servers (potential amplifiers) per AS.
+    pub ntp_servers_per_as: f64,
+    /// Unrouted/routed space ratio (paper: 18.1/68.1).
+    pub unrouted_ratio: f64,
+}
+
+impl Default for InternetConfig {
+    fn default() -> Self {
+        InternetConfig {
+            seed: 0,
+            num_ases: 2000,
+            num_tier1: 10,
+            transit_fraction: 0.08,
+            num_ixp_members: 727,
+            num_collectors: 34,
+            collector_peers_each: 20,
+            multi_as_org_fraction: 0.06,
+            org_dataset_coverage: 0.7,
+            selective_announce_fraction: 0.08,
+            provider_assigned_fraction: 0.05,
+            tunnel_setups: 2,
+            ntp_servers_per_as: 2.0,
+            unrouted_ratio: 18.1 / 68.1,
+        }
+    }
+}
+
+impl InternetConfig {
+    /// A small configuration for tests (fast even in debug builds).
+    pub fn tiny(seed: u64) -> Self {
+        InternetConfig {
+            seed,
+            num_ases: 300,
+            num_tier1: 5,
+            transit_fraction: 0.1,
+            num_ixp_members: 80,
+            num_collectors: 6,
+            collector_peers_each: 8,
+            ..InternetConfig::default()
+        }
+    }
+}
+
+/// A fully generated Internet with ground truth.
+#[derive(Debug)]
+pub struct Internet {
+    /// The configuration it was generated from.
+    pub config: InternetConfig,
+    /// The AS topology (relationships, prefixes, policies).
+    pub topology: Topology,
+    /// Ground-truth organization structure.
+    pub orgs_truth: As2Org,
+    /// The (incomplete) AS2Org dataset handed to the classifier.
+    pub orgs_dataset: As2Org,
+    /// The WHOIS registry for the false-positive hunt.
+    pub whois: WhoisRegistry,
+    /// All BGP announcements observed across collectors and the IXP
+    /// route server during the window.
+    pub announcements: Vec<Announcement>,
+    /// The IXP's member ASes.
+    pub ixp_members: Vec<Asn>,
+    /// Numbered router interfaces per relationship: `(a_iface, b_iface)`
+    /// keyed by `(a, b)` as in the relationship.
+    pub link_ifaces: HashMap<(Asn, Asn), (u32, u32)>,
+    /// NTP servers (potential amplifiers): `(owner AS, address)`.
+    pub ntp_amplifiers: Vec<(Asn, u32)>,
+    /// Ground-truth cones: which origins each AS legitimately carries
+    /// (transit tree + org truth + tunnels + provider assignments).
+    pub truth_cones: ReachCones,
+    /// Tunnel arrangements `(carrier member, remote origin)` invisible to
+    /// BGP and WHOIS.
+    pub tunnels: Vec<(Asn, Asn)>,
+    /// Links revealed only by looking-glass data (not BGP, not WHOIS).
+    pub looking_glass_links: Vec<(Asn, Asn)>,
+    /// ASes feeding full tables to route collectors. Their directed
+    /// path-graph cones cover (nearly) the whole routed space — the
+    /// paper's "upwards of 5K ASes are a valid source for the entire
+    /// routed address space".
+    pub collector_peers: Vec<Asn>,
+}
+
+impl Internet {
+    /// Generate from a config. Deterministic in `config.seed`.
+    pub fn generate(config: InternetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        assert!(config.num_ases >= 50, "need at least 50 ASes");
+        assert!(config.num_tier1 >= 2 && config.num_tier1 < config.num_ases / 4);
+
+        // ---- ASNs (skip reserved ranges). -------------------------------
+        let mut asns: Vec<Asn> = Vec::with_capacity(config.num_ases);
+        let mut next = 10u32;
+        while asns.len() < config.num_ases {
+            let a = Asn(next);
+            next += 1;
+            if a.is_public() {
+                asns.push(a);
+            }
+        }
+
+        // ---- Tiers and business types. ----------------------------------
+        let num_transit =
+            ((config.num_ases - config.num_tier1) as f64 * config.transit_fraction) as usize;
+        let tier_of = |i: usize| {
+            if i < config.num_tier1 {
+                Tier::Tier1
+            } else if i < config.num_tier1 + num_transit {
+                Tier::Transit
+            } else {
+                Tier::Stub
+            }
+        };
+        let business_of = |rng: &mut StdRng, tier: Tier| match tier {
+            Tier::Tier1 => BusinessType::Nsp,
+            Tier::Transit => *[
+                BusinessType::Nsp,
+                BusinessType::Nsp,
+                BusinessType::Nsp,
+                BusinessType::Isp,
+                BusinessType::Other,
+            ]
+            .choose(rng)
+            .expect("non-empty"),
+            Tier::Stub => *[
+                BusinessType::Isp,
+                BusinessType::Isp,
+                BusinessType::Isp,
+                BusinessType::Hosting,
+                BusinessType::Hosting,
+                BusinessType::Content,
+                BusinessType::Other,
+                BusinessType::Other,
+                BusinessType::Other,
+                BusinessType::Other,
+            ]
+            .choose(rng)
+            .expect("non-empty"),
+        };
+
+        // ---- Relationships. ----------------------------------------------
+        let mut rels: Vec<Relationship> = Vec::new();
+        let mut rel_seen: HashSet<(Asn, Asn)> = HashSet::new();
+        let add_rel = |rels: &mut Vec<Relationship>,
+                           rel_seen: &mut HashSet<(Asn, Asn)>,
+                           a: Asn,
+                           b: Asn,
+                           kind: RelKind|
+         -> bool {
+            if a == b || rel_seen.contains(&(a, b)) || rel_seen.contains(&(b, a)) {
+                return false;
+            }
+            rel_seen.insert((a, b));
+            rels.push(Relationship { a, b, kind });
+            true
+        };
+
+        // Tier-1 full peering clique.
+        for i in 0..config.num_tier1 {
+            for j in i + 1..config.num_tier1 {
+                add_rel(&mut rels, &mut rel_seen, asns[i], asns[j], RelKind::Peering);
+            }
+        }
+        // Transit ASes: providers from tier1/earlier transit (preferential
+        // attachment via Zipf over the earlier index range).
+        let transit_end = config.num_tier1 + num_transit;
+        for i in config.num_tier1..transit_end {
+            let z = stats::Zipf::new(i, 0.9);
+            let n_providers = 1 + (rng.random::<u32>() % 3) as usize;
+            for _ in 0..n_providers {
+                let p = z.sample(&mut rng);
+                add_rel(&mut rels, &mut rel_seen, asns[p], asns[i], RelKind::Transit);
+            }
+            // Occasional transit-transit peering.
+            if i > config.num_tier1 + 1 && rng.random_bool(0.35) {
+                let j = config.num_tier1 + (rng.random::<u32>() as usize % (i - config.num_tier1));
+                add_rel(&mut rels, &mut rel_seen, asns[i], asns[j], RelKind::Peering);
+            }
+        }
+        // Stubs: 1..=3 providers from the transit layer (Zipf), rare
+        // direct tier-1 transit, occasional stub-stub peering.
+        let provider_pool_zipf = stats::Zipf::new(transit_end, 0.7);
+        for i in transit_end..config.num_ases {
+            let n_providers = 1 + (rng.random::<u32>() % 3) as usize;
+            let mut got = 0;
+            let mut guard = 0;
+            while got < n_providers && guard < 20 {
+                guard += 1;
+                let p = provider_pool_zipf.sample(&mut rng);
+                if add_rel(&mut rels, &mut rel_seen, asns[p], asns[i], RelKind::Transit) {
+                    got += 1;
+                }
+            }
+            if rng.random_bool(0.10) && i > transit_end + 1 {
+                let j = transit_end + (rng.random::<u32>() as usize % (i - transit_end));
+                add_rel(&mut rels, &mut rel_seen, asns[i], asns[j], RelKind::Peering);
+            }
+        }
+
+        // ---- Organizations. ----------------------------------------------
+        let mut orgs_truth = As2Org::new();
+        let mut org_id = 1u32;
+        let mut in_org: HashSet<usize> = HashSet::new();
+        let target_grouped = (config.num_ases as f64 * config.multi_as_org_fraction) as usize;
+        let mut grouped = 0usize;
+        while grouped + 2 <= target_grouped {
+            let size = 2 + (rng.random::<u32>() % 3) as usize; // 2..=4
+            let mut members = Vec::new();
+            let mut guard = 0;
+            while members.len() < size && guard < 50 {
+                guard += 1;
+                // Multi-AS organizations are predominantly carriers that
+                // grew by acquisition: bias membership toward the transit
+                // layer so sibling links sit where collectors can see
+                // them (the §4.3 FULL-vs-CC asymmetry depends on this).
+                let i = if rng.random_bool(0.6) && transit_end > config.num_tier1 {
+                    rng.random_range(config.num_tier1..transit_end)
+                } else {
+                    rng.random_range(0..config.num_ases)
+                };
+                if in_org.insert(i) {
+                    members.push(i);
+                }
+            }
+            if members.len() >= 2 {
+                for &i in &members {
+                    orgs_truth.assign(asns[i], org_id);
+                }
+                grouped += members.len();
+                org_id += 1;
+            }
+        }
+        // Singleton orgs for the rest.
+        for (i, a) in asns.iter().enumerate() {
+            if !in_org.contains(&i) {
+                orgs_truth.assign(*a, org_id);
+                org_id += 1;
+            }
+        }
+        // Org siblings usually interconnect with visible peering links:
+        // the Full Cone then covers their mutual traffic via the AS-path
+        // graph even when the AS2Org dataset misses the grouping, while
+        // the Customer Cone (customer-provider only) does not — the
+        // asymmetry the paper reports in §4.3.
+        {
+            let mut groups: Vec<Vec<Asn>> = orgs_truth
+                .multi_as_orgs()
+                .map(|(_, m)| m.to_vec())
+                .collect();
+            groups.sort();
+            for group in groups {
+                for w in group.windows(2) {
+                    if rng.random_bool(0.8) {
+                        add_rel(&mut rels, &mut rel_seen, w[0], w[1], RelKind::Peering);
+                    }
+                }
+            }
+        }
+        // The dataset covers only a fraction of the multi-AS groups.
+        let mut orgs_dataset = As2Org::new();
+        let mut hidden_org_groups: Vec<Vec<Asn>> = Vec::new();
+        {
+            let mut fresh = 1_000_000u32;
+            let mut groups: Vec<(u32, Vec<Asn>)> = orgs_truth
+                .multi_as_orgs()
+                .map(|(id, m)| (id, m.to_vec()))
+                .collect();
+            groups.sort_by_key(|(id, _)| *id);
+            for (id, members) in groups {
+                if rng.random_bool(config.org_dataset_coverage) {
+                    for m in &members {
+                        orgs_dataset.assign(*m, id);
+                    }
+                } else {
+                    hidden_org_groups.push(members.clone());
+                    // Present in the dataset as singletons.
+                    for m in &members {
+                        orgs_dataset.assign(*m, fresh);
+                        fresh += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- WHOIS registry. ----------------------------------------------
+        let mut whois = WhoisRegistry::new();
+        for (i, a) in asns.iter().enumerate() {
+            let org = orgs_truth.org(*a).expect("every AS has an org");
+            whois.add_org(
+                *a,
+                OrgRecord {
+                    org,
+                    name: format!("Org-{org} Networks"),
+                    contact: format!("noc@org{org}.example"),
+                },
+            );
+            // Published import/export policies for a subset of ASes.
+            if rng.random_bool(0.5) {
+                let imports: Vec<Asn> = rels
+                    .iter()
+                    .filter(|r| r.b == *a && r.kind == RelKind::Transit)
+                    .map(|r| r.a)
+                    .collect();
+                let exports: Vec<Asn> = rels
+                    .iter()
+                    .filter(|r| r.a == *a)
+                    .map(|r| r.b)
+                    .collect();
+                whois.add_policy(
+                    *a,
+                    PolicyEntry {
+                        imports_from: imports,
+                        exports_to: exports,
+                    },
+                );
+            }
+            let _ = i;
+        }
+
+        // ---- Address plan. -------------------------------------------------
+        let mut alloc = Allocator::with_hole_ratio(config.unrouted_ratio);
+        // Reserve a /10 of never-announced infrastructure space up front
+        // (the forward-only allocator cannot backfill after exhaustion):
+        // inter-AS link /30s are numbered from here, so router replies
+        // from these interfaces are Unrouted at the vantage point.
+        let infra_block = alloc
+            .alloc(&mut rng, 10)
+            .expect("fresh allocator yields a /10");
+        let mut infra_next: u32 = infra_block.bits();
+        let routable = alloc.routable_units();
+        let routed_target =
+            (routable as f64 * (1.0 / (1.0 + config.unrouted_ratio))) as u64;
+        // Heavy-tailed weights, larger for the core and eyeball networks.
+        let mut weights: Vec<f64> = Vec::with_capacity(config.num_ases);
+        let mut total_w = 0.0;
+        for i in 0..config.num_ases {
+            let tier_mult = match tier_of(i) {
+                Tier::Tier1 => 30.0,
+                Tier::Transit => 8.0,
+                Tier::Stub => 1.0,
+            };
+            let w = stats::pareto(&mut rng, 1.0, 1.1).min(5_000.0) * tier_mult;
+            total_w += w;
+            weights.push(w);
+        }
+        let mut prefixes_of: Vec<Vec<Ipv4Prefix>> = vec![Vec::new(); config.num_ases];
+        // Translate per-AS demand into block requests (power-of-two
+        // decomposition, /8..=/24), then serve them globally, biggest
+        // blocks first: the allocator is forward-only, so descending
+        // sizes avoid wasting interval tails on alignment.
+        let mut requests: Vec<(u8, usize)> = Vec::new(); // (len, AS index)
+        for (i, w) in weights.iter().enumerate() {
+            // 4% headroom keeps demand safely below supply so the tail
+            // of the request list still finds space despite hole noise.
+            let mut units = ((w / total_w) * routed_target as f64 * 0.96) as u64;
+            units = units.max(256); // at least one /24
+            while units >= 256 {
+                let k = (63 - units.leading_zeros() as u64).min(24); // cap at /8
+                requests.push(((32 - k) as u8, i));
+                units -= 1u64 << k;
+            }
+        }
+        requests.sort_by_key(|&(len, i)| (len, i)); // big blocks first, stable
+        for (len, i) in requests {
+            if let Some(p) = alloc.alloc(&mut rng, len) {
+                prefixes_of[i].push(p);
+            }
+        }
+        for row in &mut prefixes_of {
+            row.sort_unstable();
+        }
+
+        // ---- Provider-assigned (unannounced) customer space. ---------------
+        let providers_of_idx: HashMap<Asn, Vec<Asn>> = {
+            let mut m: HashMap<Asn, Vec<Asn>> = HashMap::new();
+            for r in &rels {
+                if r.kind == RelKind::Transit {
+                    m.entry(r.b).or_default().push(r.a);
+                }
+            }
+            m
+        };
+        let mut unannounced_of: Vec<Vec<Ipv4Prefix>> = vec![Vec::new(); config.num_ases];
+        let mut route_objects: Vec<RouteObject> = Vec::new();
+        for i in transit_end..config.num_ases {
+            let a = asns[i];
+            let provs = providers_of_idx.get(&a).cloned().unwrap_or_default();
+            if provs.len() >= 2 && rng.random_bool(config.provider_assigned_fraction) {
+                // Carve a /24 out of one provider's announced space.
+                let prov = provs[rng.random_range(0..provs.len())];
+                let pi = asns.iter().position(|x| *x == prov).expect("known");
+                if let Some(cover) = prefixes_of[pi].iter().find(|p| p.len() <= 22).copied() {
+                    // A deterministic-but-random /24 inside the cover.
+                    let sub_count = cover.num_addresses() / 256;
+                    let off = rng.random_range(0..sub_count) as u32 * 256;
+                    let sub = Ipv4Prefix::new_truncating(cover.bits() + off, 24);
+                    unannounced_of[i].push(sub);
+                    route_objects.push(RouteObject {
+                        prefix: sub,
+                        holder: a,
+                    });
+                }
+            }
+        }
+        for obj in &route_objects {
+            whois.add_route_object(*obj);
+        }
+
+        // ---- Filtering profiles (Figure 5 ground-truth mix). ----------------
+        // Probabilities of what an AS can LEAK (Bogon, Unrouted, Invalid),
+        // matched to the paper's observed member Venn shares.
+        let profile_table: [(f64, (bool, bool, bool)); 8] = [
+            (0.1852, (false, false, false)), // clean
+            (0.0963, (true, false, false)),  // bogon only
+            (0.0220, (false, true, false)),  // unrouted only
+            (0.0757, (false, false, true)),  // invalid only
+            (0.1898, (true, true, false)),   // bogon + unrouted
+            (0.1554, (true, false, true)),   // bogon + invalid
+            (0.0050, (false, true, true)),   // unrouted + invalid (rare)
+            (0.2706, (true, true, true)),    // leaks everything
+        ];
+        let mut ases_info: Vec<AsInfo> = Vec::with_capacity(config.num_ases);
+        for i in 0..config.num_ases {
+            let tier = tier_of(i);
+            let business = business_of(&mut rng, tier);
+            let u: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut leaks = (false, false, false);
+            for (p, l) in &profile_table {
+                acc += p;
+                if u < acc {
+                    leaks = *l;
+                    break;
+                }
+            }
+            // Large content providers run clean networks (paper §5.1).
+            if business == BusinessType::Content && rng.random_bool(0.7) {
+                leaks = (false, false, false);
+            }
+            ases_info.push(AsInfo {
+                asn: asns[i],
+                tier,
+                business,
+                org: orgs_truth.org(asns[i]).expect("assigned"),
+                prefixes: prefixes_of[i].clone(),
+                unannounced: unannounced_of[i].clone(),
+                filtering: FilteringProfile {
+                    filters_bogon: !leaks.0,
+                    filters_unrouted: !leaks.1,
+                    filters_invalid: !leaks.2,
+                },
+            });
+        }
+        let topology = Topology::new(ases_info, rels.clone());
+
+        // ---- IXP members: transit/hosting/ISP/content heavy, no tier-1 bias.
+        let mut member_pool: Vec<Asn> = (config.num_tier1..config.num_ases)
+            .map(|i| asns[i])
+            .collect();
+        // Deterministic shuffle.
+        for i in (1..member_pool.len()).rev() {
+            let j = rng.random_range(0..=i);
+            member_pool.swap(i, j);
+        }
+        let num_members = config.num_ixp_members.min(member_pool.len());
+        let mut ixp_members: Vec<Asn> = member_pool[..num_members].to_vec();
+        ixp_members.sort_unstable();
+        // IXP members peer with each other (multilateral peering via the
+        // route server) — add the peering relationships that are not
+        // already transit/peering pairs, with moderate density.
+        let mut rels_full = rels.clone();
+        for (i, &a) in ixp_members.iter().enumerate() {
+            for &b in &ixp_members[i + 1..] {
+                if rng.random_bool(0.02)
+                    && !rel_seen.contains(&(a, b)) && !rel_seen.contains(&(b, a)) {
+                        rel_seen.insert((a, b));
+                        rels_full.push(Relationship {
+                            a,
+                            b,
+                            kind: RelKind::Peering,
+                        });
+                    }
+            }
+        }
+        let topology = Topology::new(
+            topology.ases().cloned().collect(),
+            rels_full.clone(),
+        );
+
+        // ---- Tunnels (invisible to BGP and WHOIS). --------------------------
+        let mut tunnels = Vec::new();
+        for _ in 0..config.tunnel_setups {
+            let carrier = ixp_members[rng.random_range(0..ixp_members.len())];
+            let remote = asns[rng.random_range(0..config.num_ases)];
+            if carrier != remote {
+                tunnels.push((carrier, remote));
+            }
+        }
+
+        // ---- Selective announcements. ---------------------------------------
+        // Multi-homed stubs that withhold some prefixes from one provider.
+        let mut selective: HashMap<Asn, (HashSet<Asn>, Vec<Ipv4Prefix>)> = HashMap::new();
+        for &a in asns.iter().take(config.num_ases).skip(transit_end) {
+            let provs = topology.providers_of(a);
+            if provs.len() >= 2
+                && topology.info(a).expect("known").prefixes.len() >= 2
+                && rng.random_bool(config.selective_announce_fraction)
+            {
+                let excluded = provs[rng.random_range(0..provs.len())];
+                let pfx = topology.info(a).expect("known").prefixes.clone();
+                let restricted: Vec<Ipv4Prefix> = pfx[pfx.len() / 2..].to_vec();
+                selective.insert(a, ([excluded].into_iter().collect(), restricted));
+            }
+        }
+
+        // ---- Collectors and announcements. ----------------------------------
+        // Collector peers: drawn from the core (tier1 + transit) plus some
+        // stubs, as in reality.
+        let mut observers: Vec<Asn> = Vec::new();
+        {
+            let mut seen = HashSet::new();
+            for _ in 0..config.num_collectors {
+                for _ in 0..config.collector_peers_each {
+                    let i = if rng.random_bool(0.7) {
+                        rng.random_range(0..transit_end)
+                    } else {
+                        rng.random_range(0..config.num_ases)
+                    };
+                    if seen.insert(asns[i]) {
+                        observers.push(asns[i]);
+                    }
+                }
+            }
+        }
+
+        let mut collector_peers: Vec<Asn> = observers.clone();
+        collector_peers.sort_unstable();
+
+        let router = Router::new(&topology);
+        let mut announcements: Vec<Announcement> = Vec::new();
+        let empty_excl = HashSet::new();
+        for info in topology.ases() {
+            if info.prefixes.is_empty() {
+                continue;
+            }
+            let origin = info.asn;
+            let (excl, restricted) = match selective.get(&origin) {
+                Some((e, r)) => (e.clone(), r.clone()),
+                None => (HashSet::new(), Vec::new()),
+            };
+            let restricted_set: HashSet<Ipv4Prefix> = restricted.iter().copied().collect();
+            let normal: Vec<Ipv4Prefix> = info
+                .prefixes
+                .iter()
+                .filter(|p| !restricted_set.contains(p))
+                .copied()
+                .collect();
+            let classes: [(&HashSet<Asn>, &[Ipv4Prefix]); 2] =
+                [(&empty_excl, &normal), (&excl, &restricted)];
+            for (exclusions, prefixes) in classes {
+                if prefixes.is_empty() {
+                    continue;
+                }
+                let routes = router.routes_from_excluding(origin, exclusions);
+                let mut unique_paths: HashSet<Vec<Asn>> = HashSet::new();
+                for &obs in &observers {
+                    if let Some(path) = routes.path(obs) {
+                        unique_paths.insert(path);
+                    }
+                }
+                // The IXP route server hears only customer routes from
+                // members (multilateral peering semantics).
+                for &m in &ixp_members {
+                    if routes.class_of(m) >= RouteClass::Customer {
+                        if let Some(path) = routes.path(m) {
+                            unique_paths.insert(path);
+                        }
+                    }
+                }
+                let mut sorted_paths: Vec<Vec<Asn>> = unique_paths.into_iter().collect();
+                sorted_paths.sort();
+                for path in sorted_paths {
+                    for p in prefixes {
+                        announcements.push(Announcement::new(*p, AsPath::new(path.clone())));
+                    }
+                }
+            }
+        }
+
+        // ---- Router link numbering. ------------------------------------------
+        // Half the links use unannounced infrastructure space (so router
+        // replies look Unrouted), half are numbered from the provider's
+        // announced space (so they look Invalid at the vantage point).
+        // Link blocks come from the *same* allocator as prefixes so the
+        // two kinds of space never collide.
+        let mut link_ifaces = HashMap::new();
+        for r in &rels_full {
+            let use_infra =
+                rng.random_bool(0.3) && (infra_next as u64 + 4 <= infra_block.last() as u64);
+            let (ia, ib) = if use_infra {
+                let base = infra_next;
+                infra_next += 4;
+                (base + 1, base + 2)
+            } else {
+                // Number from the provider's (or first party's) space.
+                let owner = topology.info(r.a).expect("known");
+                match owner.prefixes.first() {
+                    Some(p) => {
+                        let off = rng.random_range(0..p.num_addresses() - 4) as u32;
+                        (p.bits() + off, p.bits() + off + 1)
+                    }
+                    None => continue,
+                }
+            };
+            link_ifaces.insert((r.a, r.b), (ia, ib));
+        }
+
+        // ---- NTP amplifiers. ----------------------------------------------
+        let mut ntp_amplifiers = Vec::new();
+        for info in topology.ases() {
+            if info.prefixes.is_empty() {
+                continue;
+            }
+            let lambda = config.ntp_servers_per_as;
+            // Poisson-ish: geometric count with matching mean.
+            let mut k = 0usize;
+            while rng.random_bool(lambda / (1.0 + lambda)) && k < 50 {
+                k += 1;
+            }
+            for _ in 0..k {
+                let p = info.prefixes[rng.random_range(0..info.prefixes.len())];
+                let addr = p.bits() + rng.random_range(0..p.num_addresses()) as u32;
+                ntp_amplifiers.push((info.asn, addr));
+            }
+        }
+
+        // ---- Ground-truth cones (who legitimately carries whom). -----------
+        let mut truth_edges: Vec<(Asn, Asn)> = topology.provider_customer_edges();
+        augment_with_orgs(&mut truth_edges, &orgs_truth);
+        for &(carrier, remote) in &tunnels {
+            truth_edges.push((carrier, remote));
+        }
+        let origin_units = topology.origin_units();
+        let truth_cones = ReachCones::compute(&truth_edges, &origin_units);
+
+        // Looking-glass data reveals one of the hidden org links (§4.4
+        // finds "one additional AS relationship based on looking glass
+        // information").
+        let looking_glass_links: Vec<(Asn, Asn)> = hidden_org_groups
+            .first()
+            .map(|g| vec![(g[0], g[1])])
+            .unwrap_or_default();
+
+        Internet {
+            config,
+            topology,
+            orgs_truth,
+            orgs_dataset,
+            whois,
+            announcements,
+            ixp_members,
+            link_ifaces,
+            ntp_amplifiers,
+            truth_cones,
+            tunnels,
+            looking_glass_links,
+            collector_peers,
+        }
+    }
+
+    /// A deterministic host address inside one of the AS's announced
+    /// prefixes (avoiding network/broadcast addresses of small blocks).
+    pub fn random_addr_of<R: Rng + ?Sized>(&self, rng: &mut R, asn: Asn) -> Option<u32> {
+        let info = self.topology.info(asn)?;
+        if info.prefixes.is_empty() {
+            return None;
+        }
+        let p = info.prefixes[rng.random_range(0..info.prefixes.len())];
+        let span = p.num_addresses();
+        Some(p.bits() + (1 + rng.random_range(0..span - 2)) as u32)
+    }
+
+    /// Whether, per ground truth, `member` legitimately carries traffic
+    /// sourced from `origin`'s address space.
+    pub fn legitimately_carries(&self, member: Asn, origin: Asn) -> bool {
+        self.truth_cones.is_valid_source(member, origin)
+    }
+
+    /// A propagation engine over this topology (for the active prober).
+    pub fn router(&self) -> Router<'_> {
+        Router::new(&self.topology)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Internet {
+        Internet::generate(InternetConfig::tiny(42))
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.announcements, b.announcements);
+        assert_eq!(a.ixp_members, b.ixp_members);
+        assert_eq!(a.ntp_amplifiers, b.ntp_amplifiers);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Internet::generate(InternetConfig::tiny(1));
+        let b = Internet::generate(InternetConfig::tiny(2));
+        assert_ne!(a.announcements, b.announcements);
+    }
+
+    #[test]
+    fn structure_sizes() {
+        let net = tiny();
+        assert_eq!(net.topology.len(), 300);
+        assert_eq!(net.ixp_members.len(), 80);
+        assert!(!net.announcements.is_empty());
+        assert!(net.ntp_amplifiers.len() > 50);
+        assert!(!net.link_ifaces.is_empty());
+    }
+
+    #[test]
+    fn every_as_originates_space() {
+        let net = tiny();
+        let with_prefixes = net
+            .topology
+            .ases()
+            .filter(|a| !a.prefixes.is_empty())
+            .count();
+        assert!(
+            with_prefixes as f64 > 0.95 * net.topology.len() as f64,
+            "only {with_prefixes} ASes have prefixes"
+        );
+    }
+
+    #[test]
+    fn prefixes_are_disjoint_across_ases() {
+        let net = tiny();
+        let mut intervals: Vec<(u64, u64)> = Vec::new();
+        for a in net.topology.ases() {
+            for p in &a.prefixes {
+                intervals.push((p.first() as u64, p.last() as u64 + 1));
+            }
+        }
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlapping allocations {w:?}");
+        }
+    }
+
+    #[test]
+    fn announcements_have_valid_paths() {
+        let net = tiny();
+        for a in &net.announcements {
+            assert!(!a.path.is_empty());
+            assert!(!a.path.has_loop(), "loop in {}", a.path);
+            let origin = a.path.origin().expect("non-empty");
+            let info = net.topology.info(origin).expect("origin exists");
+            assert!(
+                info.prefixes.contains(&a.prefix),
+                "{} does not originate {}",
+                origin,
+                a.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn truth_cones_cover_transit_tree() {
+        let net = tiny();
+        // Every provider must legitimately carry each of its customers.
+        for r in net.topology.relationships() {
+            if r.kind == RelKind::Transit {
+                assert!(
+                    net.legitimately_carries(r.a, r.b),
+                    "{} should carry customer {}",
+                    r.a,
+                    r.b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn org_dataset_is_subset_of_truth() {
+        let net = tiny();
+        let truth_groups: usize = net.orgs_truth.multi_as_orgs().count();
+        let dataset_groups: usize = net.orgs_dataset.multi_as_orgs().count();
+        assert!(dataset_groups <= truth_groups);
+        assert!(truth_groups > 0, "need multi-AS orgs for the experiments");
+        // Whatever the dataset groups, truth groups too.
+        for (_, members) in net.orgs_dataset.multi_as_orgs() {
+            for w in members.windows(2) {
+                assert!(net.orgs_truth.same_org(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn addr_sampling_stays_inside() {
+        let net = tiny();
+        let mut rng = StdRng::seed_from_u64(9);
+        for info in net.topology.ases().take(50) {
+            if info.prefixes.is_empty() {
+                continue;
+            }
+            let addr = net.random_addr_of(&mut rng, info.asn).unwrap();
+            assert!(
+                info.prefixes.iter().any(|p| p.contains(addr)),
+                "{addr:#x} outside {}",
+                info.asn
+            );
+        }
+    }
+
+    #[test]
+    fn members_are_real_ases() {
+        let net = tiny();
+        for m in &net.ixp_members {
+            assert!(net.topology.info(*m).is_some());
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # spoofwatch-internet
+//!
+//! A synthetic Internet: the substrate that stands in for the unavailable
+//! production datasets (global BGP feeds, the IXP's member topology,
+//! WHOIS, traceroute campaigns). Everything is generated from a seed, so
+//! every experiment is reproducible bit-for-bit.
+//!
+//! What it builds (see `DESIGN.md` §2 for the substitution arguments):
+//!
+//! * a tiered AS-level topology with Gao–Rexford business relationships
+//!   (tier-1 clique, transit hierarchy, stubs) and PeeringDB-style
+//!   business types;
+//! * an IPv4 address plan reproducing the paper's Figure 1a proportions —
+//!   bogon 13.8%, routed ≈ 68%, unrouted-but-routable ≈ 18% — with
+//!   heavy-tailed per-AS allocations;
+//! * multi-AS organizations, an AS2Org dataset with *configurable
+//!   incompleteness*, and a WHOIS registry that knows the truth (the raw
+//!   material of the paper's §4.4 false-positive hunt);
+//! * valley-free route propagation with selective-announcement noise,
+//!   yielding AS paths as observed by a fleet of partial-visibility route
+//!   collectors;
+//! * numbered inter-AS router links (mostly unannounced infrastructure
+//!   space) and a traceroute campaign that harvests router interface
+//!   addresses, as the paper does with CAIDA Ark data (§5.2);
+//! * per-AS ground-truth spoofing/filtering policies, so classifier
+//!   output can be scored against known labels — something the paper
+//!   itself could never do.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod bogon;
+pub mod churn;
+pub mod generate;
+pub mod propagation;
+pub mod stats;
+pub mod topology;
+pub mod traceroute;
+pub mod whois;
+
+pub use generate::{Internet, InternetConfig};
+pub use topology::{AsInfo, BusinessType, FilteringProfile, Relationship, RelKind, Tier, Topology};

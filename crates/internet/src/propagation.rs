@@ -1,0 +1,400 @@
+//! Valley-free (Gao–Rexford) route propagation.
+//!
+//! Computes, for one origin AS at a time, the route every other AS
+//! selects — respecting export policies (customer routes go to everyone;
+//! peer and provider routes go to customers only) and the canonical
+//! preference order customer > peer > provider, with hop count and then
+//! lowest neighbor ASN as deterministic tie-breakers.
+//!
+//! The per-origin result reconstructs full AS paths, which is what route
+//! collectors record and what the traffic generator uses to decide which
+//! IXP member carries whose traffic.
+
+use crate::topology::Topology;
+use spoofwatch_net::Asn;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+const NONE: u32 = u32::MAX;
+
+/// How a route was learned, in preference order (higher = preferred).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RouteClass {
+    /// No route.
+    Unreachable = 0,
+    /// Learned from a provider.
+    Provider = 1,
+    /// Learned from a peer.
+    Peer = 2,
+    /// Learned from a customer.
+    Customer = 3,
+    /// Self-originated.
+    Origin = 4,
+}
+
+/// The propagation engine: dense, sorted adjacency derived from a
+/// [`Topology`].
+#[derive(Debug)]
+pub struct Router<'a> {
+    topo: &'a Topology,
+    providers: Vec<Vec<u32>>,
+    customers: Vec<Vec<u32>>,
+    peers: Vec<Vec<u32>>,
+    asns: Arc<Vec<Asn>>,
+    index: Arc<HashMap<Asn, u32>>,
+}
+
+/// The routes every AS holds toward one origin.
+#[derive(Debug, Clone)]
+pub struct RouteMap {
+    origin: u32,
+    class: Vec<RouteClass>,
+    dist: Vec<u32>,
+    parent: Vec<u32>,
+    asns: Arc<Vec<Asn>>,
+    index: Arc<HashMap<Asn, u32>>,
+}
+
+impl<'a> Router<'a> {
+    /// Prepare the engine for a topology.
+    pub fn new(topo: &'a Topology) -> Self {
+        let n = topo.len();
+        let mut providers = vec![Vec::new(); n];
+        let mut customers = vec![Vec::new(); n];
+        let mut peers = vec![Vec::new(); n];
+        let asns: Vec<Asn> = topo.ases().map(|a| a.asn).collect();
+        let index: HashMap<Asn, u32> = asns
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (*a, i as u32))
+            .collect();
+        for (i, info) in topo.ases().enumerate() {
+            let put = |src: &[Asn], dst: &mut Vec<u32>| {
+                for a in src {
+                    dst.push(topo.dense_index(*a).expect("adjacency is closed") as u32);
+                }
+                dst.sort_unstable_by_key(|&j| asns[j as usize]);
+            };
+            put(topo.providers_of(info.asn), &mut providers[i]);
+            put(topo.customers_of(info.asn), &mut customers[i]);
+            put(topo.peers_of(info.asn), &mut peers[i]);
+        }
+        Router {
+            topo,
+            providers,
+            customers,
+            peers,
+            asns: Arc::new(asns),
+            index: Arc::new(index),
+        }
+    }
+
+    /// Routes toward `origin` with full export.
+    pub fn routes_from(&self, origin: Asn) -> RouteMap {
+        self.routes_from_excluding(origin, &HashSet::new())
+    }
+
+    /// Routes toward `origin` when the origin does **not** announce to
+    /// the neighbors in `excluded` — the "selective announcement"
+    /// behaviour that makes the Naive method misfire (§3.2).
+    pub fn routes_from_excluding(&self, origin: Asn, excluded: &HashSet<Asn>) -> RouteMap {
+        let n = self.topo.len();
+        let o = self
+            .topo
+            .dense_index(origin)
+            .expect("origin is part of the topology") as u32;
+        let mut class = vec![RouteClass::Unreachable; n];
+        let mut dist = vec![u32::MAX; n];
+        let mut parent = vec![NONE; n];
+        class[o as usize] = RouteClass::Origin;
+        dist[o as usize] = 0;
+
+        let origin_allows = |router: &Router, neighbor: u32| {
+            !excluded.contains(&router.asns[neighbor as usize])
+        };
+
+        // Phase A — customer routes climb provider chains (BFS; a plain
+        // queue suffices for uniform edge weights, and first-set-wins at
+        // equal distance honours the sorted-ASN tie-break).
+        let mut queue = VecDeque::new();
+        queue.push_back(o);
+        while let Some(v) = queue.pop_front() {
+            for &p in &self.providers[v as usize] {
+                if v == o && !origin_allows(self, p) {
+                    continue;
+                }
+                if class[p as usize] < RouteClass::Customer {
+                    class[p as usize] = RouteClass::Customer;
+                    dist[p as usize] = dist[v as usize] + 1;
+                    parent[p as usize] = v;
+                    queue.push_back(p);
+                }
+            }
+        }
+
+        // Phase B — one peer hop from anything with a customer route (or
+        // the origin). Process sources in (dist, asn) order so ties are
+        // deterministic.
+        let mut sources: Vec<u32> = (0..n as u32)
+            .filter(|&v| class[v as usize] >= RouteClass::Customer)
+            .collect();
+        sources.sort_unstable_by_key(|&v| (dist[v as usize], self.asns[v as usize]));
+        for &v in &sources {
+            for &q in &self.peers[v as usize] {
+                if v == o && !origin_allows(self, q) {
+                    continue;
+                }
+                if class[q as usize] == RouteClass::Unreachable
+                    || (class[q as usize] == RouteClass::Peer
+                        && dist[v as usize] + 1 < dist[q as usize])
+                {
+                    class[q as usize] = RouteClass::Peer;
+                    dist[q as usize] = dist[v as usize] + 1;
+                    parent[q as usize] = v;
+                }
+            }
+        }
+
+        // Phase C — provider routes flow down customer edges from every
+        // routed AS. Dijkstra-style with a (dist, asn) heap so shorter
+        // provider routes win deterministically.
+        let mut heap: BinaryHeap<Reverse<(u32, Asn, u32)>> = (0..n as u32)
+            .filter(|&v| class[v as usize] >= RouteClass::Peer)
+            .map(|v| Reverse((dist[v as usize], self.asns[v as usize], v)))
+            .collect();
+        while let Some(Reverse((d, _, v))) = heap.pop() {
+            if d > dist[v as usize] {
+                continue; // stale entry
+            }
+            for &c in &self.customers[v as usize] {
+                if v == o && !origin_allows(self, c) {
+                    continue;
+                }
+                let better = match class[c as usize] {
+                    RouteClass::Unreachable => true,
+                    RouteClass::Provider => d + 1 < dist[c as usize],
+                    _ => false,
+                };
+                if better {
+                    class[c as usize] = RouteClass::Provider;
+                    dist[c as usize] = d + 1;
+                    parent[c as usize] = v;
+                    heap.push(Reverse((d + 1, self.asns[c as usize], c)));
+                }
+            }
+        }
+
+        RouteMap {
+            origin: o,
+            class,
+            dist,
+            parent,
+            asns: Arc::clone(&self.asns),
+            index: Arc::clone(&self.index),
+        }
+    }
+}
+
+impl RouteMap {
+    fn idx(&self, asn: Asn) -> Option<u32> {
+        self.index.get(&asn).copied()
+    }
+
+    /// How `asn` learned its route toward the origin.
+    pub fn class_of(&self, asn: Asn) -> RouteClass {
+        self.idx(asn)
+            .map_or(RouteClass::Unreachable, |i| self.class[i as usize])
+    }
+
+    /// Whether `asn` has any route to the origin.
+    pub fn has_route(&self, asn: Asn) -> bool {
+        self.class_of(asn) != RouteClass::Unreachable
+    }
+
+    /// AS-level hop distance of `asn` from the origin.
+    pub fn dist_of(&self, asn: Asn) -> Option<u32> {
+        let i = self.idx(asn)?;
+        (self.class[i as usize] != RouteClass::Unreachable).then(|| self.dist[i as usize])
+    }
+
+    /// The AS path `observer … origin` (nearest-first BGP order) that
+    /// `observer` would announce to a route collector.
+    pub fn path(&self, observer: Asn) -> Option<Vec<Asn>> {
+        let mut i = self.idx(observer)?;
+        if self.class[i as usize] == RouteClass::Unreachable {
+            return None;
+        }
+        let mut hops = Vec::with_capacity(self.dist[i as usize] as usize + 1);
+        loop {
+            hops.push(self.asns[i as usize]);
+            if i == self.origin {
+                return Some(hops);
+            }
+            i = self.parent[i as usize];
+            debug_assert_ne!(i, NONE, "routed AS must have a parent chain");
+        }
+    }
+
+    /// The forwarding path for *traffic* from inside the origin AS toward
+    /// `target`: traffic follows the reverse of the routing tree edge by
+    /// edge. (`target … origin` reversed.)
+    pub fn traffic_path_to(&self, target: Asn) -> Option<Vec<Asn>> {
+        let mut p = self.path(target)?;
+        p.reverse();
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{AsInfo, BusinessType, FilteringProfile, RelKind, Relationship, Tier, Topology};
+
+    fn info(asn: u32) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier: Tier::Stub,
+            business: BusinessType::Other,
+            org: asn,
+            prefixes: vec![],
+            unannounced: vec![],
+            filtering: FilteringProfile::CLEAN,
+        }
+    }
+
+    fn transit(p: u32, c: u32) -> Relationship {
+        Relationship {
+            a: Asn(p),
+            b: Asn(c),
+            kind: RelKind::Transit,
+        }
+    }
+
+    fn peering(a: u32, b: u32) -> Relationship {
+        Relationship {
+            a: Asn(a),
+            b: Asn(b),
+            kind: RelKind::Peering,
+        }
+    }
+
+    /// Figure 1c's square: A–B peer on top, C under A, D under B.
+    fn square() -> Topology {
+        Topology::new(
+            vec![info(1), info(2), info(3), info(4)],
+            vec![transit(1, 3), transit(2, 4), peering(1, 2)],
+        )
+    }
+
+    #[test]
+    fn square_routes_are_valley_free() {
+        let topo = square();
+        let router = Router::new(&topo);
+        let routes = router.routes_from(Asn(4)); // D originates
+        assert_eq!(routes.class_of(Asn(2)), RouteClass::Customer);
+        assert_eq!(routes.class_of(Asn(1)), RouteClass::Peer);
+        assert_eq!(routes.class_of(Asn(3)), RouteClass::Provider);
+        // Path seen behind C: "3 1 2 4".
+        assert_eq!(
+            routes.path(Asn(3)).unwrap(),
+            vec![Asn(3), Asn(1), Asn(2), Asn(4)]
+        );
+        assert_eq!(routes.dist_of(Asn(3)), Some(3));
+        // Traffic from D toward C follows the reverse path.
+        assert_eq!(
+            routes.traffic_path_to(Asn(3)).unwrap(),
+            vec![Asn(4), Asn(2), Asn(1), Asn(3)]
+        );
+    }
+
+    /// Two peers do not give each other transit: a route learned from one
+    /// peer is not re-exported to another peer.
+    #[test]
+    fn no_peer_transit_valley() {
+        // 1–2 peer, 2–3 peer, chain only. 3 originates.
+        let topo = Topology::new(
+            vec![info(1), info(2), info(3)],
+            vec![peering(1, 2), peering(2, 3)],
+        );
+        let router = Router::new(&topo);
+        let routes = router.routes_from(Asn(3));
+        assert!(routes.has_route(Asn(2)), "direct peer hears it");
+        assert!(
+            !routes.has_route(Asn(1)),
+            "peer route must not cross a second peering link"
+        );
+    }
+
+    /// Customer routes are preferred over shorter peer/provider routes.
+    #[test]
+    fn customer_preference_beats_length() {
+        // 1 is provider of 2, 2 is provider of 3; 1 also peers with 3.
+        // Route to 3 at AS 1: customer route via 2 (2 hops) must beat the
+        // 1-hop peer route.
+        let topo = Topology::new(
+            vec![info(1), info(2), info(3)],
+            vec![transit(1, 2), transit(2, 3), peering(1, 3)],
+        );
+        let router = Router::new(&topo);
+        let routes = router.routes_from(Asn(3));
+        assert_eq!(routes.class_of(Asn(1)), RouteClass::Customer);
+        assert_eq!(routes.path(Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(3)]);
+    }
+
+    #[test]
+    fn multihomed_shortest_wins() {
+        // 4 is customer of both 2 and 3; 2 and 3 are customers of 1.
+        // 1 reaches 4 via the lower-ASN child at equal distance.
+        let topo = Topology::new(
+            vec![info(1), info(2), info(3), info(4)],
+            vec![transit(1, 2), transit(1, 3), transit(2, 4), transit(3, 4)],
+        );
+        let router = Router::new(&topo);
+        let routes = router.routes_from(Asn(4));
+        assert_eq!(routes.path(Asn(1)).unwrap(), vec![Asn(1), Asn(2), Asn(4)]);
+    }
+
+    #[test]
+    fn selective_announcement_hides_routes() {
+        let topo = square();
+        let router = Router::new(&topo);
+        // D withholds its announcement from provider 2: nobody hears it.
+        let excluded: HashSet<Asn> = [Asn(2)].into_iter().collect();
+        let routes = router.routes_from_excluding(Asn(4), &excluded);
+        assert!(!routes.has_route(Asn(2)));
+        assert!(!routes.has_route(Asn(1)));
+        assert!(!routes.has_route(Asn(3)));
+        assert_eq!(routes.class_of(Asn(4)), RouteClass::Origin);
+    }
+
+    #[test]
+    fn disconnected_as_unreachable() {
+        let topo = Topology::new(vec![info(1), info(2)], vec![]);
+        let router = Router::new(&topo);
+        let routes = router.routes_from(Asn(1));
+        assert!(!routes.has_route(Asn(2)));
+        assert!(routes.path(Asn(2)).is_none());
+        assert_eq!(routes.path(Asn(1)).unwrap(), vec![Asn(1)]);
+    }
+
+    /// Provider routes keep flowing down through multiple customer hops.
+    #[test]
+    fn provider_routes_descend_chains() {
+        // 1 originates; 1 is customer of 2; 2 peers 3; 3 provider of 4;
+        // 4 provider of 5.
+        let topo = Topology::new(
+            vec![info(1), info(2), info(3), info(4), info(5)],
+            vec![transit(2, 1), peering(2, 3), transit(3, 4), transit(4, 5)],
+        );
+        let router = Router::new(&topo);
+        let routes = router.routes_from(Asn(1));
+        assert_eq!(routes.class_of(Asn(3)), RouteClass::Peer);
+        assert_eq!(routes.class_of(Asn(4)), RouteClass::Provider);
+        assert_eq!(routes.class_of(Asn(5)), RouteClass::Provider);
+        assert_eq!(
+            routes.path(Asn(5)).unwrap(),
+            vec![Asn(5), Asn(4), Asn(3), Asn(2), Asn(1)]
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic heavy-tailed samplers.
+//!
+//! `rand_distr` is not in the allowed dependency set, so the handful of
+//! distributions the generators need are implemented here: Pareto (AS
+//! sizes, flow volumes), Zipf (port/host popularity), and log-normal
+//! (packet interarrival scale). All take a caller-provided RNG so every
+//! generated artefact is a pure function of its seed.
+
+use rand::{Rng, RngExt};
+
+/// Sample a Pareto-distributed value with scale `xm > 0` and shape
+/// `alpha > 0` by inverse-CDF.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    debug_assert!(xm > 0.0 && alpha > 0.0);
+    // U in (0, 1]; guard the open end so we never divide by zero.
+    let u: f64 = 1.0 - rng.random::<f64>();
+    xm / u.powf(1.0 / alpha)
+}
+
+/// Sample a standard normal via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample a log-normal value with location `mu` and scale `sigma`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// A Zipf sampler over ranks `0..n` with exponent `s`, using a
+/// precomputed CDF and binary search — O(n) setup, O(log n) per sample.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n ≥ 1` ranks with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is degenerate (cannot happen via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank in `0..n` (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - prev
+    }
+}
+
+/// The diurnal weekly load curve of regular inter-domain traffic: a
+/// smooth day/night swing (European IXP: trough in the early morning,
+/// peak in the evening) used by Figure 8b's time series.
+///
+/// Returns a multiplicative factor around 1.0 for a trace-relative time
+/// in seconds.
+pub fn diurnal_factor(ts: u32) -> f64 {
+    let hour = (ts % 86_400) as f64 / 3600.0;
+    // Peak around 20:00, trough around 08:00; amplitude ±0.45.
+    1.0 + 0.45 * ((hour - 14.0) * std::f64::consts::TAU / 24.0).sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 2.0, 1.2) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| pareto(&mut r, 1.0, 1.0)).collect();
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        let median = {
+            let mut s = samples.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            s[s.len() / 2]
+        };
+        assert!(max / median > 100.0, "tail too light: max {max}, median {median}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[99].saturating_sub(5));
+        // PMF sums to 1 and is monotone decreasing.
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.pmf(0) > z.pmf(1));
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 1.5);
+        let mut r = rng();
+        assert_eq!(z.sample(&mut r), 0);
+        assert!((z.pmf(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(lognormal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn diurnal_swings() {
+        let peak = diurnal_factor(20 * 3600);
+        let trough = diurnal_factor(8 * 3600);
+        assert!(peak > 1.3, "peak {peak}");
+        assert!(trough < 0.7, "trough {trough}");
+        // Periodic across days.
+        assert!((diurnal_factor(3600) - diurnal_factor(3600 + 86_400)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let z = Zipf::new(50, 1.1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+            assert_eq!(pareto(&mut a, 1.0, 2.0), pareto(&mut b, 1.0, 2.0));
+        }
+    }
+}

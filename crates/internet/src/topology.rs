@@ -1,0 +1,331 @@
+//! AS-level topology types and ground truth.
+
+use serde::{Deserialize, Serialize};
+use spoofwatch_net::{Asn, Ipv4Prefix};
+use std::collections::HashMap;
+
+/// Position in the transit hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// Transit-free core: full peering clique among themselves.
+    Tier1,
+    /// Mid-hierarchy transit provider (has both providers and customers).
+    Transit,
+    /// Stub: customers only of others, no customers of its own.
+    Stub,
+}
+
+/// PeeringDB-style business type (paper Figure 6 legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum BusinessType {
+    /// Network service provider / transit carrier.
+    Nsp,
+    /// End-user ("eyeball") ISP.
+    Isp,
+    /// Hosting / cloud / colocation.
+    Hosting,
+    /// Content provider / CDN.
+    Content,
+    /// Everything else (enterprise, education, …).
+    Other,
+}
+
+impl BusinessType {
+    /// All types in the paper's legend order.
+    pub const ALL: [BusinessType; 5] = [
+        BusinessType::Nsp,
+        BusinessType::Isp,
+        BusinessType::Hosting,
+        BusinessType::Content,
+        BusinessType::Other,
+    ];
+}
+
+impl std::fmt::Display for BusinessType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BusinessType::Nsp => "NSP",
+            BusinessType::Isp => "ISP",
+            BusinessType::Hosting => "Hosting",
+            BusinessType::Content => "Content",
+            BusinessType::Other => "Other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Kind of an inter-AS business relationship.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RelKind {
+    /// `a` provides transit to `b` (a = provider, b = customer).
+    Transit,
+    /// Settlement-free peering between `a` and `b`.
+    Peering,
+}
+
+/// One inter-AS relationship edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Relationship {
+    /// Provider (for [`RelKind::Transit`]) or first peer.
+    pub a: Asn,
+    /// Customer (for [`RelKind::Transit`]) or second peer.
+    pub b: Asn,
+    /// Relationship kind.
+    pub kind: RelKind,
+}
+
+/// Ground-truth egress filtering of an AS — what kinds of illegitimate
+/// source addresses can leave it. This is exactly the unobservable the
+/// paper infers lower bounds for (§5.1, Figure 5); here it is generated
+/// first and inferred later, so inference quality is measurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilteringProfile {
+    /// Drops egress packets with bogon sources.
+    pub filters_bogon: bool,
+    /// Drops egress packets with unrouted sources.
+    pub filters_unrouted: bool,
+    /// Full BCP38 egress validation: only own/customer space leaves
+    /// (blocks what the paper classifies as Invalid).
+    pub filters_invalid: bool,
+}
+
+impl FilteringProfile {
+    /// A fully clean network (filters everything).
+    pub const CLEAN: FilteringProfile = FilteringProfile {
+        filters_bogon: true,
+        filters_unrouted: true,
+        filters_invalid: true,
+    };
+
+    /// No filtering at all.
+    pub const OPEN: FilteringProfile = FilteringProfile {
+        filters_bogon: false,
+        filters_unrouted: false,
+        filters_invalid: false,
+    };
+
+    /// Whether every class is filtered.
+    pub fn is_clean(&self) -> bool {
+        self.filters_bogon && self.filters_unrouted && self.filters_invalid
+    }
+}
+
+/// Everything the generator knows about one AS.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// The AS number.
+    pub asn: Asn,
+    /// Hierarchy tier.
+    pub tier: Tier,
+    /// Business type.
+    pub business: BusinessType,
+    /// Organization id (for multi-AS organizations).
+    pub org: u32,
+    /// Prefixes this AS originates in BGP.
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// Address space the AS legitimately uses but does not announce
+    /// itself (e.g. provider-assigned space announced only as the
+    /// provider's covering prefix — the §4.4 "uncommon setups").
+    pub unannounced: Vec<Ipv4Prefix>,
+    /// Ground-truth egress filtering.
+    pub filtering: FilteringProfile,
+}
+
+/// The AS-level topology with adjacency indexes.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    ases: Vec<AsInfo>,
+    index: HashMap<Asn, usize>,
+    rels: Vec<Relationship>,
+    providers: Vec<Vec<Asn>>,
+    customers: Vec<Vec<Asn>>,
+    peers: Vec<Vec<Asn>>,
+}
+
+impl Topology {
+    /// Assemble a topology; relationships referring to unknown ASes are
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics if a relationship references an AS not in `ases` or relates
+    /// an AS to itself — both are generator bugs, not data conditions.
+    pub fn new(ases: Vec<AsInfo>, rels: Vec<Relationship>) -> Self {
+        let index: HashMap<Asn, usize> =
+            ases.iter().enumerate().map(|(i, a)| (a.asn, i)).collect();
+        assert_eq!(index.len(), ases.len(), "duplicate ASNs in topology");
+        let n = ases.len();
+        let mut providers = vec![Vec::new(); n];
+        let mut customers = vec![Vec::new(); n];
+        let mut peers = vec![Vec::new(); n];
+        for r in &rels {
+            assert_ne!(r.a, r.b, "self-relationship {}", r.a);
+            let ia = *index.get(&r.a).expect("relationship references known AS");
+            let ib = *index.get(&r.b).expect("relationship references known AS");
+            match r.kind {
+                RelKind::Transit => {
+                    customers[ia].push(r.b);
+                    providers[ib].push(r.a);
+                }
+                RelKind::Peering => {
+                    peers[ia].push(r.b);
+                    peers[ib].push(r.a);
+                }
+            }
+        }
+        Topology {
+            ases,
+            index,
+            rels,
+            providers,
+            customers,
+            peers,
+        }
+    }
+
+    /// Number of ASes.
+    pub fn len(&self) -> usize {
+        self.ases.len()
+    }
+
+    /// Whether the topology is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ases.is_empty()
+    }
+
+    /// Info for an AS.
+    pub fn info(&self, asn: Asn) -> Option<&AsInfo> {
+        self.index.get(&asn).map(|&i| &self.ases[i])
+    }
+
+    /// Dense index of an AS (stable across the topology's lifetime).
+    pub fn dense_index(&self, asn: Asn) -> Option<usize> {
+        self.index.get(&asn).copied()
+    }
+
+    /// Iterate all ASes.
+    pub fn ases(&self) -> impl Iterator<Item = &AsInfo> {
+        self.ases.iter()
+    }
+
+    /// All relationship edges.
+    pub fn relationships(&self) -> &[Relationship] {
+        &self.rels
+    }
+
+    /// The AS's transit providers.
+    pub fn providers_of(&self, asn: Asn) -> &[Asn] {
+        self.index
+            .get(&asn)
+            .map_or(&[], |&i| self.providers[i].as_slice())
+    }
+
+    /// The AS's transit customers.
+    pub fn customers_of(&self, asn: Asn) -> &[Asn] {
+        self.index
+            .get(&asn)
+            .map_or(&[], |&i| self.customers[i].as_slice())
+    }
+
+    /// The AS's settlement-free peers.
+    pub fn peers_of(&self, asn: Asn) -> &[Asn] {
+        self.index
+            .get(&asn)
+            .map_or(&[], |&i| self.peers[i].as_slice())
+    }
+
+    /// Provider→customer edge list (the Customer Cone's input).
+    pub fn provider_customer_edges(&self) -> Vec<(Asn, Asn)> {
+        self.rels
+            .iter()
+            .filter(|r| r.kind == RelKind::Transit)
+            .map(|r| (r.a, r.b))
+            .collect()
+    }
+
+    /// Ground-truth /24-equivalent units originated per AS.
+    pub fn origin_units(&self) -> HashMap<Asn, u64> {
+        self.ases
+            .iter()
+            .map(|a| {
+                (
+                    a.asn,
+                    a.prefixes.iter().map(|p| p.slash24_units()).sum(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(asn: u32) -> AsInfo {
+        AsInfo {
+            asn: Asn(asn),
+            tier: Tier::Stub,
+            business: BusinessType::Other,
+            org: asn,
+            prefixes: vec![],
+            unannounced: vec![],
+            filtering: FilteringProfile::CLEAN,
+        }
+    }
+
+    fn rel(a: u32, b: u32, kind: RelKind) -> Relationship {
+        Relationship {
+            a: Asn(a),
+            b: Asn(b),
+            kind,
+        }
+    }
+
+    #[test]
+    fn adjacency_views() {
+        let t = Topology::new(
+            vec![info(1), info(2), info(3)],
+            vec![rel(1, 2, RelKind::Transit), rel(2, 3, RelKind::Peering)],
+        );
+        assert_eq!(t.customers_of(Asn(1)), &[Asn(2)]);
+        assert_eq!(t.providers_of(Asn(2)), &[Asn(1)]);
+        assert_eq!(t.peers_of(Asn(2)), &[Asn(3)]);
+        assert_eq!(t.peers_of(Asn(3)), &[Asn(2)]);
+        assert!(t.providers_of(Asn(1)).is_empty());
+        assert!(t.customers_of(Asn(99)).is_empty(), "unknown AS is empty");
+        assert_eq!(t.provider_customer_edges(), vec![(Asn(1), Asn(2))]);
+    }
+
+    #[test]
+    fn origin_units_sum_prefixes() {
+        let mut a = info(1);
+        a.prefixes = vec!["10.0.0.0/16".parse().unwrap(), "11.0.0.0/24".parse().unwrap()];
+        let t = Topology::new(vec![a, info(2)], vec![]);
+        let u = t.origin_units();
+        assert_eq!(u[&Asn(1)], (1 << 16) + 256);
+        assert_eq!(u[&Asn(2)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "known AS")]
+    fn unknown_relationship_panics() {
+        Topology::new(vec![info(1)], vec![rel(1, 9, RelKind::Transit)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_asn_panics() {
+        Topology::new(vec![info(1), info(1)], vec![]);
+    }
+
+    #[test]
+    fn filtering_profile_helpers() {
+        assert!(FilteringProfile::CLEAN.is_clean());
+        assert!(!FilteringProfile::OPEN.is_clean());
+        let partial = FilteringProfile {
+            filters_bogon: true,
+            filters_unrouted: false,
+            filters_invalid: false,
+        };
+        assert!(!partial.is_clean());
+    }
+}

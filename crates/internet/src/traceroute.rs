@@ -1,0 +1,106 @@
+//! A traceroute campaign over the synthetic Internet — the stand-in for
+//! the CAIDA Ark dataset the paper uses to harvest router interface
+//! addresses (§5.2).
+
+use crate::generate::Internet;
+use rand::{Rng, RngExt};
+use spoofwatch_net::Asn;
+use std::collections::HashSet;
+
+/// One traceroute: the sequence of router interface addresses answering
+/// along the AS path from a source AS to a destination address's AS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traceroute {
+    /// Source AS the probe ran from.
+    pub from: Asn,
+    /// Destination AS.
+    pub to: Asn,
+    /// Responding router interface addresses, in hop order.
+    pub hops: Vec<u32>,
+}
+
+/// Run `n` traceroutes between random AS pairs and return them. The
+/// responding interface at each AS boundary is the *ingress* interface of
+/// the link crossed, which is how real traceroutes see it.
+pub fn campaign<R: Rng + ?Sized>(net: &Internet, rng: &mut R, n: usize) -> Vec<Traceroute> {
+    let ases: Vec<Asn> = net.topology.ases().map(|a| a.asn).collect();
+    let router = net.router();
+    let mut out = Vec::with_capacity(n);
+    let mut by_origin: std::collections::HashMap<Asn, crate::propagation::RouteMap> =
+        std::collections::HashMap::new();
+    for _ in 0..n {
+        let from = ases[rng.random_range(0..ases.len())];
+        let to = ases[rng.random_range(0..ases.len())];
+        if from == to {
+            continue;
+        }
+        // Traffic from `from` toward `to` follows the reverse of `to`'s
+        // routing tree.
+        let routes = by_origin
+            .entry(to)
+            .or_insert_with(|| router.routes_from(to));
+        let Some(path) = routes.traffic_path_to(from).map(|mut p| {
+            p.reverse(); // now from → … → to
+            p
+        }) else {
+            continue;
+        };
+        let mut hops = Vec::with_capacity(path.len());
+        for w in path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // The ingress interface of the AS being entered: whichever
+            // side of the link record belongs to `b`.
+            if let Some(&(ia, ib)) = net.link_ifaces.get(&(a, b)) {
+                let _ = ia;
+                hops.push(ib);
+            } else if let Some(&(ia, _)) = net.link_ifaces.get(&(b, a)) {
+                hops.push(ia);
+            }
+        }
+        if !hops.is_empty() {
+            out.push(Traceroute { from, to, hops });
+        }
+    }
+    out
+}
+
+/// Harvest the set of router interface addresses seen across a campaign —
+/// the §5.2 router-IP set used to tag stray traffic.
+pub fn harvest_router_ips(traces: &[Traceroute]) -> HashSet<u32> {
+    traces.iter().flat_map(|t| t.hops.iter().copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::InternetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn campaign_harvests_link_interfaces() {
+        let net = Internet::generate(InternetConfig::tiny(7));
+        let mut rng = StdRng::seed_from_u64(1);
+        let traces = campaign(&net, &mut rng, 400);
+        assert!(!traces.is_empty());
+        let ips = harvest_router_ips(&traces);
+        assert!(!ips.is_empty());
+        // Every harvested IP is a known link interface.
+        let known: HashSet<u32> = net
+            .link_ifaces
+            .values()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        for ip in &ips {
+            assert!(known.contains(ip), "{ip:#x} is not a link interface");
+        }
+    }
+
+    #[test]
+    fn deterministic_campaign() {
+        let net = Internet::generate(InternetConfig::tiny(7));
+        let a = campaign(&net, &mut StdRng::seed_from_u64(3), 100);
+        let b = campaign(&net, &mut StdRng::seed_from_u64(3), 100);
+        assert_eq!(a, b);
+    }
+}

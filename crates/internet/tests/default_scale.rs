@@ -1,0 +1,30 @@
+//! Scale/sanity checks for the default (paper-sized, scaled-down)
+//! configuration. Run in release for speed; in debug they still pass but
+//! take longer, so they are `#[ignore]`d by default and exercised by the
+//! bench harness and examples.
+
+use spoofwatch_internet::{Internet, InternetConfig};
+
+#[test]
+#[ignore = "heavy: run with --ignored or --release"]
+fn default_internet_reproduces_figure_1a() {
+    let net = Internet::generate(InternetConfig::default());
+    assert_eq!(net.topology.len(), 2000);
+    assert_eq!(net.ixp_members.len(), 727);
+
+    // Figure 1a proportions.
+    let mut routed = spoofwatch_trie::PrefixSet::new();
+    for a in net.topology.ases() {
+        for p in &a.prefixes {
+            routed.insert(*p);
+        }
+    }
+    let s = spoofwatch_internet::addressing::summarize(&routed);
+    assert!((s.bogon_frac - 0.138).abs() < 0.01, "bogon {}", s.bogon_frac);
+    assert!((s.routed_frac - 0.681).abs() < 0.05, "routed {}", s.routed_frac);
+    assert!(
+        (s.unrouted_frac - 0.181).abs() < 0.05,
+        "unrouted {}",
+        s.unrouted_frac
+    );
+}

@@ -1,0 +1,165 @@
+//! Property tests: valley-free route propagation on random topologies.
+
+use proptest::prelude::*;
+use spoofwatch_internet::propagation::{RouteClass, Router};
+use spoofwatch_internet::{
+    AsInfo, BusinessType, FilteringProfile, RelKind, Relationship, Tier, Topology,
+};
+use spoofwatch_net::Asn;
+
+fn info(asn: u32) -> AsInfo {
+    AsInfo {
+        asn: Asn(asn),
+        tier: Tier::Stub,
+        business: BusinessType::Other,
+        org: asn,
+        prefixes: vec![],
+        unannounced: vec![],
+        filtering: FilteringProfile::CLEAN,
+    }
+}
+
+/// A random acyclic-ish transit hierarchy plus random peering links:
+/// transit edges only point from lower index to higher (provider =
+/// earlier AS), which guarantees no customer-provider cycles.
+fn arb_topology() -> impl Strategy<Value = (usize, Vec<(u32, u32, bool)>)> {
+    (3usize..14).prop_flat_map(|n| {
+        let edges = prop::collection::vec(
+            (0u32..n as u32, 0u32..n as u32, prop::bool::ANY),
+            1..30,
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, raw: &[(u32, u32, bool)]) -> Topology {
+    let mut rels = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b, peering) in raw {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if a == b || !seen.insert((a, b)) {
+            continue;
+        }
+        rels.push(Relationship {
+            a: Asn(a + 1),
+            b: Asn(b + 1),
+            kind: if peering { RelKind::Peering } else { RelKind::Transit },
+        });
+    }
+    Topology::new((1..=n as u32).map(info).collect(), rels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every selected path is valley-free: route classes along the path
+    /// from any AS toward the origin never "go back up" — once a peer or
+    /// provider edge is taken (looking from the origin outward), only
+    /// provider-learned hops may follow.
+    #[test]
+    fn paths_are_valley_free((n, raw) in arb_topology()) {
+        let topo = build(n, &raw);
+        let router = Router::new(&topo);
+        for origin in 1..=n as u32 {
+            let routes = router.routes_from(Asn(origin));
+            for obs in 1..=n as u32 {
+                let Some(path) = routes.path(Asn(obs)) else { continue };
+                prop_assert_eq!(*path.last().unwrap(), Asn(origin));
+                prop_assert_eq!(path[0], Asn(obs));
+                // No AS repeats on a selected path.
+                let mut s = std::collections::HashSet::new();
+                for hop in &path {
+                    prop_assert!(s.insert(*hop), "loop in {:?}", path);
+                }
+                // Valley-freedom: walking from the observer toward the
+                // origin, classify each hop's edge and check the legal
+                // pattern: down* peer? up*  (observer side first).
+                let mut phase = 0; // 0 = provider edges (down toward origin), 1 = peer, 2 = customer (up)
+                for w in path.windows(2) {
+                    let (x, y) = (w[0], w[1]);
+                    // Edge x→y along the path: y is x's route toward the
+                    // origin. Determine the business relation.
+                    let kind = if topo.providers_of(x).contains(&y) {
+                        2 // x climbs to its provider: customer-learned at y side
+                    } else if topo.peers_of(x).contains(&y) {
+                        1
+                    } else {
+                        prop_assert!(topo.customers_of(x).contains(&y), "unknown edge {x}->{y}");
+                        0
+                    };
+                    // Phases may only increase along the walk
+                    // (down… peer? up…) — wait: from observer to origin
+                    // the legal sequence is up* peer? down* in terms of
+                    // the *observer* climbing first. kind==2 is climbing.
+                    // Map: climbing=0, peer=1, descending=2.
+                    let stage = match kind {
+                        2 => 0,
+                        1 => 1,
+                        _ => 2,
+                    };
+                    prop_assert!(stage >= phase, "valley in {:?}", path);
+                    // Peer edges may appear at most once.
+                    phase = if stage == 1 { 2.min(stage + 1) } else { stage.max(phase) };
+                    if stage == 1 {
+                        phase = 2; // after a peer edge only descents remain...
+                    }
+                }
+            }
+        }
+    }
+
+    /// Preference: if an AS has any customer route to the origin
+    /// available in the topology (i.e. the origin is in its customer
+    /// subtree), the selected route class is Customer.
+    #[test]
+    fn customer_routes_preferred((n, raw) in arb_topology()) {
+        let topo = build(n, &raw);
+        let router = Router::new(&topo);
+        // Customer subtree via DFS on customer edges.
+        let in_subtree = |root: Asn, target: Asn| {
+            let mut stack = vec![root];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(v) = stack.pop() {
+                if v == target {
+                    return true;
+                }
+                if seen.insert(v) {
+                    stack.extend(topo.customers_of(v).iter().copied());
+                }
+            }
+            false
+        };
+        for origin in 1..=n as u32 {
+            let routes = router.routes_from(Asn(origin));
+            for asn in 1..=n as u32 {
+                if asn == origin {
+                    continue;
+                }
+                if in_subtree(Asn(asn), Asn(origin)) {
+                    prop_assert_eq!(
+                        routes.class_of(Asn(asn)),
+                        RouteClass::Customer,
+                        "AS{} should use its customer route to AS{}", asn, origin
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reachability is symmetric under full export: if A has a route to
+    /// B's origin, then B has a route toward A's origin (valley-free
+    /// reachability is symmetric on the same underlying graph).
+    #[test]
+    fn reachability_symmetric((n, raw) in arb_topology()) {
+        let topo = build(n, &raw);
+        let router = Router::new(&topo);
+        let maps: Vec<_> = (1..=n as u32).map(|o| router.routes_from(Asn(o))).collect();
+        for a in 1..=n {
+            for b in 1..=n {
+                let ab = maps[b - 1].has_route(Asn(a as u32));
+                let ba = maps[a - 1].has_route(Asn(b as u32));
+                prop_assert_eq!(ab, ba, "asymmetric reachability {} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! "IPFIX-lite": a fixed-layout binary codec for flow records.
+//!
+//! Layout (big-endian):
+//!
+//! ```text
+//! file   := magic "IPFX" | version u16 | record*
+//! record := ts u32 | src u32 | dst u32 | proto u8 | sport u16 | dport u16
+//!         | packets u32 | bytes u64 | pkt_size u16 | member u32
+//! ```
+//!
+//! Records are fixed-size (35 bytes), so the reader can detect torn files
+//! exactly and random access is trivial.
+
+use bytes::{Buf, BufMut};
+use spoofwatch_net::{Asn, FlowRecord, Proto};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"IPFX";
+const VERSION: u16 = 1;
+/// Size of one encoded record.
+pub const RECORD_LEN: usize = 35;
+
+/// IPFIX-lite decode errors.
+#[derive(Debug)]
+pub enum IpfixError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong magic.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Stream ended inside a record.
+    Truncated,
+}
+
+impl fmt::Display for IpfixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpfixError::Io(e) => write!(f, "IPFIX-lite I/O error: {e}"),
+            IpfixError::BadMagic => f.write_str("IPFIX-lite: bad magic"),
+            IpfixError::BadVersion(v) => write!(f, "IPFIX-lite: unsupported version {v}"),
+            IpfixError::Truncated => f.write_str("IPFIX-lite: truncated record"),
+        }
+    }
+}
+
+impl std::error::Error for IpfixError {}
+
+impl From<io::Error> for IpfixError {
+    fn from(e: io::Error) -> Self {
+        IpfixError::Io(e)
+    }
+}
+
+/// Encode one record into a 35-byte array.
+pub fn encode_record(f: &FlowRecord) -> [u8; RECORD_LEN] {
+    let mut out = [0u8; RECORD_LEN];
+    let mut buf = &mut out[..];
+    buf.put_u32(f.ts);
+    buf.put_u32(f.src);
+    buf.put_u32(f.dst);
+    buf.put_u8(f.proto.number());
+    buf.put_u16(f.sport);
+    buf.put_u16(f.dport);
+    buf.put_u32(f.packets);
+    buf.put_u64(f.bytes);
+    buf.put_u16(f.pkt_size);
+    buf.put_u32(f.member.0);
+    out
+}
+
+/// Decode one 35-byte record.
+pub fn decode_record(mut data: &[u8]) -> Result<FlowRecord, IpfixError> {
+    if data.len() < RECORD_LEN {
+        return Err(IpfixError::Truncated);
+    }
+    Ok(FlowRecord {
+        ts: data.get_u32(),
+        src: data.get_u32(),
+        dst: data.get_u32(),
+        proto: Proto::from_number(data.get_u8()),
+        sport: data.get_u16(),
+        dport: data.get_u16(),
+        packets: data.get_u32(),
+        bytes: data.get_u64(),
+        pkt_size: data.get_u16(),
+        member: Asn(data.get_u32()),
+    })
+}
+
+/// Streaming writer.
+pub struct IpfixWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> IpfixWriter<W> {
+    /// Write the header and return the writer.
+    pub fn new(mut inner: W) -> io::Result<Self> {
+        inner.write_all(MAGIC)?;
+        inner.write_all(&VERSION.to_be_bytes())?;
+        Ok(IpfixWriter { inner, written: 0 })
+    }
+
+    /// Append one record.
+    pub fn write_record(&mut self, f: &FlowRecord) -> io::Result<()> {
+        self.inner.write_all(&encode_record(f))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn count(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Streaming reader.
+pub struct IpfixReader<R: Read> {
+    inner: R,
+}
+
+impl<R: Read> IpfixReader<R> {
+    /// Read and validate the header.
+    pub fn new(mut inner: R) -> Result<Self, IpfixError> {
+        let mut magic = [0u8; 4];
+        inner.read_exact(&mut magic).map_err(|_| IpfixError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(IpfixError::BadMagic);
+        }
+        let mut ver = [0u8; 2];
+        inner.read_exact(&mut ver).map_err(|_| IpfixError::Truncated)?;
+        let version = u16::from_be_bytes(ver);
+        if version != VERSION {
+            return Err(IpfixError::BadVersion(version));
+        }
+        Ok(IpfixReader { inner })
+    }
+
+    /// Read the next record; `Ok(None)` at clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<FlowRecord>, IpfixError> {
+        let mut buf = [0u8; RECORD_LEN];
+        let mut got = 0usize;
+        while got < RECORD_LEN {
+            match self.inner.read(&mut buf[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => return Err(IpfixError::Truncated),
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        decode_record(&buf).map(Some)
+    }
+
+    /// Drain all remaining records.
+    pub fn collect_records(&mut self) -> Result<Vec<FlowRecord>, IpfixError> {
+        let mut out = Vec::new();
+        while let Some(r) = self.next_record()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+}
+
+/// Encode a batch to memory.
+pub fn encode(flows: &[FlowRecord]) -> Vec<u8> {
+    let mut w = IpfixWriter::new(Vec::with_capacity(6 + flows.len() * RECORD_LEN))
+        .expect("Vec writes cannot fail");
+    for f in flows {
+        w.write_record(f).expect("Vec writes cannot fail");
+    }
+    w.finish().expect("Vec writes cannot fail")
+}
+
+/// Decode a complete buffer.
+pub fn decode(data: &[u8]) -> Result<Vec<FlowRecord>, IpfixError> {
+    IpfixReader::new(data)?.collect_records()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FlowRecord> {
+        vec![
+            FlowRecord {
+                ts: 100,
+                src: 0x0A000001,
+                dst: 0xC0000201,
+                proto: Proto::Udp,
+                sport: 53124,
+                dport: 123,
+                packets: 3,
+                bytes: 180,
+                pkt_size: 60,
+                member: Asn(64496 - 1),
+            },
+            FlowRecord {
+                ts: u32::MAX,
+                src: 0,
+                dst: u32::MAX,
+                proto: Proto::Other(255),
+                sport: 0,
+                dport: 65535,
+                packets: u32::MAX,
+                bytes: u64::MAX,
+                pkt_size: u16::MAX,
+                member: Asn(u32::MAX),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let flows = sample();
+        assert_eq!(decode(&encode(&flows)).unwrap(), flows);
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn record_size_is_fixed() {
+        let bytes = encode(&sample());
+        assert_eq!(bytes.len(), 6 + 2 * RECORD_LEN);
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        assert!(matches!(decode(b"XXXX\x00\x01"), Err(IpfixError::BadMagic)));
+        let mut bytes = encode(&[]);
+        bytes[5] = 9;
+        assert!(matches!(decode(&bytes), Err(IpfixError::BadVersion(9))));
+    }
+
+    #[test]
+    fn truncation_detected_at_every_cut() {
+        let bytes = encode(&sample());
+        for cut in 6..bytes.len() {
+            match decode(&bytes[..cut]) {
+                Ok(flows) => assert_eq!(
+                    (cut - 6) % RECORD_LEN,
+                    0,
+                    "cut {cut} decoded {} records",
+                    flows.len()
+                ),
+                Err(IpfixError::Truncated) => {}
+                Err(e) => panic!("unexpected error at cut {cut}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn writer_counts() {
+        let mut w = IpfixWriter::new(Vec::new()).unwrap();
+        assert_eq!(w.count(), 0);
+        for f in sample() {
+            w.write_record(&f).unwrap();
+        }
+        assert_eq!(w.count(), 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Random 1-out-of-N packet sampling.
+//!
+//! The paper's traces are "collected using a random 1 out of 10K sampling
+//! of all packets crossing the IXP's switching fabric" (§4.1). Given a
+//! true flow of `n` packets, the number of sampled packets is
+//! `Binomial(n, 1/N)`; this module draws that efficiently (exact
+//! Bernoulli loop for small `n`, normal approximation for large `n`) and
+//! scales flow records accordingly.
+
+use rand::{Rng, RngExt};
+use spoofwatch_net::FlowRecord;
+
+/// A packet sampler with rate `1/n`.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketSampler {
+    n: u32,
+}
+
+impl PacketSampler {
+    /// The paper's 1-out-of-10 000 sampler.
+    pub const PAPER: PacketSampler = PacketSampler { n: 10_000 };
+
+    /// A sampler with rate `1/n` (`n ≥ 1`; `n == 1` keeps everything).
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 1);
+        PacketSampler { n }
+    }
+
+    /// The sampling divisor `N`.
+    pub fn rate(&self) -> u32 {
+        self.n
+    }
+
+    /// Draw how many of `true_packets` get sampled.
+    pub fn sample_count<R: Rng + ?Sized>(&self, rng: &mut R, true_packets: u64) -> u32 {
+        if self.n == 1 {
+            return true_packets.min(u32::MAX as u64) as u32;
+        }
+        let p = 1.0 / self.n as f64;
+        if true_packets <= 512 {
+            // Exact Bernoulli trials.
+            let mut k = 0u32;
+            for _ in 0..true_packets {
+                if rng.random_bool(p) {
+                    k += 1;
+                }
+            }
+            k
+        } else {
+            // Normal approximation to Binomial(n, p), clamped at 0.
+            let mean = true_packets as f64 * p;
+            let sd = (true_packets as f64 * p * (1.0 - p)).sqrt();
+            let z = {
+                // Box–Muller.
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random();
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            };
+            (mean + sd * z).round().max(0.0) as u32
+        }
+    }
+
+    /// Sample a true flow into a recorded flow: `None` when no packet of
+    /// the flow was sampled (the common case for small flows at 1/10K).
+    pub fn sample_flow<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        mut flow: FlowRecord,
+        true_packets: u64,
+    ) -> Option<FlowRecord> {
+        let k = self.sample_count(rng, true_packets);
+        if k == 0 {
+            return None;
+        }
+        flow.packets = k;
+        flow.bytes = k as u64 * flow.pkt_size as u64;
+        Some(flow)
+    }
+
+    /// Extrapolate a sampled count back to an estimated true count.
+    pub fn extrapolate(&self, sampled: u64) -> u64 {
+        sampled * self.n as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spoofwatch_net::{Asn, Proto};
+
+    fn flow() -> FlowRecord {
+        FlowRecord {
+            ts: 0,
+            src: 1,
+            dst: 2,
+            proto: Proto::Tcp,
+            sport: 1,
+            dport: 80,
+            packets: 0,
+            bytes: 0,
+            pkt_size: 100,
+            member: Asn(1),
+        }
+    }
+
+    #[test]
+    fn rate_one_keeps_everything() {
+        let s = PacketSampler::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.sample_count(&mut rng, 12345), 12345);
+    }
+
+    #[test]
+    fn small_flows_usually_vanish() {
+        let s = PacketSampler::PAPER;
+        let mut rng = StdRng::seed_from_u64(1);
+        let kept = (0..10_000)
+            .filter(|_| s.sample_flow(&mut rng, flow(), 10).is_some())
+            .count();
+        // P(keep) = 1 - (1 - 1e-4)^10 ≈ 0.1%.
+        assert!(kept < 40, "kept {kept} of 10k tiny flows");
+    }
+
+    #[test]
+    fn mean_is_unbiased_small_and_large() {
+        let s = PacketSampler::new(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        for &n in &[400u64, 50_000] {
+            let trials = 2_000;
+            let total: u64 = (0..trials)
+                .map(|_| s.sample_count(&mut rng, n) as u64)
+                .sum();
+            let mean = total as f64 / trials as f64;
+            let expect = n as f64 / 100.0;
+            assert!(
+                (mean - expect).abs() / expect < 0.05,
+                "n={n}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_flow_scales_bytes() {
+        let s = PacketSampler::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = s.sample_flow(&mut rng, flow(), 10_000).unwrap();
+        assert_eq!(f.bytes, f.packets as u64 * 100);
+        assert!(f.packets > 4_000 && f.packets < 6_000);
+    }
+
+    #[test]
+    fn extrapolation() {
+        assert_eq!(PacketSampler::PAPER.extrapolate(50), 500_000);
+    }
+}

@@ -1,0 +1,1236 @@
+//! The seeded traffic generator.
+//!
+//! Produces the 4-week flow trace the classifier consumes, containing
+//! every phenomenon the paper observes at its vantage point — each flow
+//! tagged with a ground-truth [`TrafficLabel`], which is the one thing a
+//! synthetic trace can offer that the real one cannot: detector output
+//! becomes scorable.
+//!
+//! Flows are generated directly in the *sampled* domain (each record's
+//! `packets` field is the count a 1/10K packet sampler would have
+//! recorded); the [`crate::sampler`] module provides the true-domain
+//! sampling used by the packet-level pipeline and its tests.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use spoofwatch_internet::stats::{diurnal_factor, pareto, Zipf};
+use spoofwatch_internet::{bogon, Internet};
+use spoofwatch_net::flow::ports;
+use spoofwatch_net::{Asn, FlowRecord, Ipv4Prefix, Proto};
+use spoofwatch_trie::{PrefixSet, PrefixTrie};
+use std::collections::HashMap;
+
+/// Ground truth for one generated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficLabel {
+    /// Ordinary user traffic with a legitimate source.
+    Regular,
+    /// Bogon-source leakage from misconfigured NAT/CPE gear.
+    NatLeak,
+    /// Randomly spoofed flooding attack (uniform sources).
+    RandomSpoofFlood,
+    /// Flood with sources drawn from unrouted space (the port-27015 case).
+    SteamFlood,
+    /// NTP amplification trigger: selectively spoofed victim source.
+    NtpTrigger,
+    /// NTP amplifier response toward the victim (legitimate source).
+    NtpResponse,
+    /// Stray traffic from genuine router interface addresses.
+    StrayRouter,
+    /// Legitimate traffic from provider-assigned, unannounced space
+    /// (§4.4 "uncommon setups").
+    ProviderAssigned,
+    /// Same-organization traffic where the org link is hidden from the
+    /// AS2Org dataset (§4.4 missing links).
+    HiddenOrgInternal,
+    /// Tunnel-carried traffic from a remote AS's space (§4.4).
+    TunnelCarried,
+}
+
+impl TrafficLabel {
+    /// Whether ground truth says the source address was spoofed.
+    pub fn is_spoofed(self) -> bool {
+        matches!(
+            self,
+            TrafficLabel::RandomSpoofFlood | TrafficLabel::SteamFlood | TrafficLabel::NtpTrigger
+        )
+    }
+
+    /// Whether the flow is "stray" in the paper's sense: illegitimate-
+    /// looking but carrying a genuine source address.
+    pub fn is_stray(self) -> bool {
+        matches!(self, TrafficLabel::NatLeak | TrafficLabel::StrayRouter)
+    }
+}
+
+/// Volume knobs, all in sampled-domain counts.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Trace seed (independent of the Internet seed).
+    pub seed: u64,
+    /// Trace length in seconds (paper: 4 weeks).
+    pub duration_secs: u32,
+    /// Number of regular flow records.
+    pub regular_flows: usize,
+    /// Mean NAT-leak records per bogon-leaking member.
+    pub nat_leak_mean_flows: f64,
+    /// Number of random-spoofing flood events.
+    pub flood_events: usize,
+    /// Sampled packets of the largest flood.
+    pub flood_max_packets: u32,
+    /// Number of unrouted-source (Steam) flood events.
+    pub steam_events: usize,
+    /// Number of NTP amplification events.
+    pub ntp_events: usize,
+    /// Share of all trigger packets emitted by the single top event
+    /// (paper: one member sources 91.94% of Invalid NTP traffic).
+    pub ntp_top_share: f64,
+    /// Total sampled NTP trigger packets across all events.
+    pub ntp_total_triggers: u32,
+    /// Fraction of contacted amplifiers that actually respond (the
+    /// ZMap-overlap analog, §7).
+    pub amplifier_response_rate: f64,
+    /// Amplification factor in bytes (responses/trigger).
+    pub amplification_factor: f64,
+    /// Mean stray-router records per member with visible router links.
+    pub stray_mean_flows: f64,
+    /// Flow records sourced from provider-assigned unannounced space.
+    pub provider_assigned_flows: usize,
+    /// Flow records of hidden-org internal traffic per hidden group.
+    pub hidden_org_flows: usize,
+    /// Flow records of tunnel-carried traffic per tunnel.
+    pub tunnel_flows: usize,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0,
+            duration_secs: 4 * 7 * 86_400,
+            regular_flows: 500_000,
+            nat_leak_mean_flows: 8.0,
+            flood_events: 8,
+            flood_max_packets: 12_000,
+            steam_events: 2,
+            ntp_events: 10,
+            ntp_top_share: 0.9,
+            ntp_total_triggers: 12_000,
+            amplifier_response_rate: 0.16,
+            amplification_factor: 10.0,
+            stray_mean_flows: 5.0,
+            provider_assigned_flows: 1_500,
+            hidden_org_flows: 400,
+            tunnel_flows: 500,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// A small configuration for tests.
+    pub fn tiny(seed: u64) -> Self {
+        TrafficConfig {
+            seed,
+            regular_flows: 30_000,
+            flood_max_packets: 2_500,
+            ntp_total_triggers: 2_500,
+            nat_leak_mean_flows: 6.0,
+            stray_mean_flows: 6.0,
+            provider_assigned_flows: 300,
+            hidden_org_flows: 120,
+            tunnel_flows: 150,
+            ..TrafficConfig::default()
+        }
+    }
+}
+
+/// The generated trace: flows plus parallel ground-truth labels.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The sampled flow records, sorted by timestamp.
+    pub flows: Vec<FlowRecord>,
+    /// Ground truth, parallel to `flows`.
+    pub labels: Vec<TrafficLabel>,
+    /// Trace duration in seconds.
+    pub duration: u32,
+    /// Notional packet sampling divisor (counts are already sampled).
+    pub sample_rate: u32,
+}
+
+impl Trace {
+    /// Number of flow records.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterate `(flow, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&FlowRecord, TrafficLabel)> {
+        self.flows.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Generate the full trace for an Internet.
+    pub fn generate(net: &Internet, cfg: &TrafficConfig) -> Trace {
+        Generator::new(net, cfg).run()
+    }
+}
+
+/// Internal generator state.
+struct Generator<'a> {
+    net: &'a Internet,
+    cfg: &'a TrafficConfig,
+    rng: StdRng,
+    members: Vec<Asn>,
+    /// Member indices sorted by descending heavy-tailed traffic weight;
+    /// regular traffic samples ranks through a Zipf over this order.
+    member_zipf_order: Vec<usize>,
+    /// Members in the top 5% by regular-traffic weight. Attacks are
+    /// placed behind these so no member's traffic becomes attack-only
+    /// (Figure 4 caps the Bogon/Unrouted share of any member near 10%).
+    heavy_members: std::collections::HashSet<Asn>,
+    /// Cached cone origins (with prefixes) per member.
+    cones: HashMap<Asn, Vec<Asn>>,
+    /// Owner AS of every announced prefix.
+    owner: PrefixTrie<Asn>,
+    /// All announced space (ground truth, for policy filters).
+    routed: PrefixSet,
+    bogons: PrefixSet,
+    flows: Vec<FlowRecord>,
+    labels: Vec<TrafficLabel>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(net: &'a Internet, cfg: &'a TrafficConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5f0f_11e5);
+        let members = net.ixp_members.clone();
+        let mut member_weight = Vec::with_capacity(members.len());
+        for m in &members {
+            let business = net.topology.info(*m).expect("member exists").business;
+            let mult = match business {
+                spoofwatch_internet::BusinessType::Content => 8.0,
+                spoofwatch_internet::BusinessType::Nsp => 5.0,
+                spoofwatch_internet::BusinessType::Isp => 3.0,
+                spoofwatch_internet::BusinessType::Hosting => 2.0,
+                spoofwatch_internet::BusinessType::Other => 1.0,
+            };
+            member_weight.push(pareto(&mut rng, 1.0, 0.9).min(10_000.0) * mult);
+        }
+        // Sampling order: index of members sorted by descending weight,
+        // sampled through a Zipf over ranks.
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by(|&a, &b| member_weight[b].total_cmp(&member_weight[a]));
+
+        let mut owner = PrefixTrie::new();
+        let mut routed = PrefixSet::new();
+        for info in net.topology.ases() {
+            for p in &info.prefixes {
+                owner.insert(*p, info.asn);
+                routed.insert(*p);
+            }
+        }
+        let mut cones = HashMap::new();
+        for m in &members {
+            let origins: Vec<Asn> = net
+                .truth_cones
+                .cone_origins(*m)
+                .into_iter()
+                .filter(|o| {
+                    net.topology
+                        .info(*o)
+                        .is_some_and(|i| !i.prefixes.is_empty())
+                })
+                .collect();
+            cones.insert(*m, origins);
+        }
+        let heavy_members: std::collections::HashSet<Asn> = order
+            [..(members.len() / 20).max(4).min(members.len())]
+            .iter()
+            .map(|&i| members[i])
+            .collect();
+        Generator {
+            net,
+            cfg,
+            rng,
+            members,
+            member_zipf_order: order,
+            heavy_members,
+            cones,
+            owner,
+            routed,
+            bogons: bogon::bogon_set(),
+            flows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Trace {
+        self.regular();
+        self.nat_leaks();
+        self.floods();
+        self.steam_floods();
+        self.ntp_amplification();
+        self.stray_routers();
+        self.uncommon_setups();
+        // Sort by time; co-sort labels.
+        let mut idx: Vec<usize> = (0..self.flows.len()).collect();
+        idx.sort_by_key(|&i| (self.flows[i].ts, i));
+        let flows = idx.iter().map(|&i| self.flows[i]).collect();
+        let labels = idx.iter().map(|&i| self.labels[i]).collect();
+        Trace {
+            flows,
+            labels,
+            duration: self.cfg.duration_secs,
+            sample_rate: 10_000,
+        }
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    fn push(&mut self, flow: FlowRecord, label: TrafficLabel) {
+        self.flows.push(flow);
+        self.labels.push(label);
+    }
+
+    /// A diurnal-weighted timestamp (rejection sampling).
+    fn diurnal_ts(&mut self) -> u32 {
+        loop {
+            let ts = self.rng.random_range(0..self.cfg.duration_secs);
+            let f = diurnal_factor(ts) / 1.45;
+            if self.rng.random_bool(f.clamp(0.01, 1.0)) {
+                return ts;
+            }
+        }
+    }
+
+    /// A member sampled by traffic weight (Zipf over the weight order).
+    fn weighted_member(&mut self, zipf: &Zipf) -> Asn {
+        let rank = zipf.sample(&mut self.rng);
+        self.members[self.member_zipf_order[rank]]
+    }
+
+    /// An address legitimately carried by `member` (own/customer/org
+    /// space per ground truth).
+    fn carried_addr(&mut self, member: Asn) -> Option<u32> {
+        let origins = self.cones.get(&member)?;
+        if origins.is_empty() {
+            return None;
+        }
+        let o = origins[self.rng.random_range(0..origins.len())];
+        self.net.random_addr_of(&mut self.rng, o)
+    }
+
+    /// A random address in unrouted (routable, unannounced) space.
+    fn unrouted_addr(&mut self) -> u32 {
+        loop {
+            let a: u32 = self.rng.random();
+            if !self.bogons.contains_addr(a) && !self.routed.contains_addr(a) {
+                return a;
+            }
+        }
+    }
+
+    /// What the member's ground-truth egress filtering does to a source
+    /// address; `true` = the packet escapes into the IXP.
+    fn passes_egress(&self, member: Asn, src: u32) -> bool {
+        let prof = self
+            .net
+            .topology
+            .info(member)
+            .expect("member exists")
+            .filtering;
+        if self.bogons.contains_addr(src) {
+            return !prof.filters_bogon;
+        }
+        match self.owner.lookup(src) {
+            None => !prof.filters_unrouted,
+            Some((_, owner)) => {
+                if self.net.legitimately_carries(member, *owner) {
+                    true
+                } else {
+                    !prof.filters_invalid
+                }
+            }
+        }
+    }
+
+    // ---- components ------------------------------------------------------
+
+    /// Ordinary member-to-member traffic: diurnal, bimodal packet sizes,
+    /// HTTP(S)-dominated TCP plus random-port UDP (BitTorrent-like).
+    fn regular(&mut self) {
+        let zipf = Zipf::new(self.members.len(), 1.05);
+        for _ in 0..self.cfg.regular_flows {
+            let m_in = self.weighted_member(&zipf);
+            let m_out = self.weighted_member(&zipf);
+            let (Some(src), Some(dst)) = (self.carried_addr(m_in), self.carried_addr(m_out))
+            else {
+                continue;
+            };
+            let ts = self.diurnal_ts();
+            let flow = if self.rng.random_bool(0.62) {
+                // TCP: half client→server requests/ACKs, half
+                // server→client data.
+                let port = if self.rng.random_bool(0.7) { ports::HTTP } else { ports::HTTPS };
+                let server_side = self.rng.random_bool(0.5);
+                let (sport, dport) = if server_side {
+                    (port, self.rng.random_range(32768..61000))
+                } else {
+                    (self.rng.random_range(32768..61000), port)
+                };
+                let pkt_size = if server_side {
+                    1400 + self.rng.random_range(0..100)
+                } else {
+                    40 + self.rng.random_range(0..40)
+                };
+                let packets = 1 + pareto(&mut self.rng, 1.0, 1.3) as u32 % 64;
+                FlowRecord {
+                    ts,
+                    src,
+                    dst,
+                    proto: Proto::Tcp,
+                    sport,
+                    dport,
+                    packets,
+                    bytes: packets as u64 * pkt_size as u64,
+                    pkt_size,
+                    member: m_in,
+                }
+            } else {
+                // UDP with ephemeral ports on both sides (BitTorrent-
+                // like). Peers run on end hosts inside the member's own
+                // network, so the source is own space, not cone space.
+                let src = self
+                    .net
+                    .random_addr_of(&mut self.rng, m_in)
+                    .unwrap_or(src);
+                let pkt_size = 80 + self.rng.random_range(0..1200);
+                let packets = 1 + pareto(&mut self.rng, 1.0, 1.5) as u32 % 32;
+                FlowRecord {
+                    ts,
+                    src,
+                    dst,
+                    proto: Proto::Udp,
+                    sport: self.rng.random_range(1025..65000),
+                    dport: self.rng.random_range(1025..65000),
+                    packets,
+                    bytes: packets as u64 * pkt_size as u64,
+                    pkt_size,
+                    member: m_in,
+                }
+            };
+            self.push(flow, TrafficLabel::Regular);
+        }
+    }
+
+    /// Bogon leakage from misconfigured NAT/CPE devices: user-driven
+    /// (diurnal), concentrated in RFC1918, tiny TCP connection attempts.
+    fn nat_leaks(&mut self) {
+        let members = self.members.clone();
+        for m in members {
+            let prof = self.net.topology.info(m).expect("member").filtering;
+            if prof.filters_bogon {
+                continue;
+            }
+            let business = self.net.topology.info(m).expect("member").business;
+            let mult = match business {
+                spoofwatch_internet::BusinessType::Isp => 2.0,
+                spoofwatch_internet::BusinessType::Hosting => 1.5,
+                spoofwatch_internet::BusinessType::Content => 0.2,
+                _ => 1.0,
+            };
+            let n = self.poisson_ish(self.cfg.nat_leak_mean_flows * mult);
+            for _ in 0..n {
+                let src = self.bogon_leak_addr();
+                let Some(dst) = self.random_member_addr() else { continue };
+                let ts = self.diurnal_ts();
+                let pkt_size = 40 + self.rng.random_range(0..20);
+                let packets = 1 + self.rng.random_range(0..3);
+                let port = if self.rng.random_bool(0.8) { ports::HTTP } else { ports::HTTPS };
+                let sport = self.rng.random_range(1025..65000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst,
+                        proto: Proto::Tcp,
+                        sport,
+                        dport: port,
+                        packets,
+                        bytes: packets as u64 * pkt_size as u64,
+                        pkt_size,
+                        member: m,
+                    },
+                    TrafficLabel::NatLeak,
+                );
+            }
+        }
+    }
+
+    /// Random-spoofing SYN floods: uniform random sources toward a single
+    /// victim, bursty in time. Sources the member's egress filter would
+    /// catch are dropped before they reach the fabric.
+    fn floods(&mut self) {
+        let sizes = event_sizes(
+            &mut self.rng,
+            self.cfg.flood_events,
+            self.cfg.flood_max_packets,
+        );
+        for pkts in sizes {
+            // Attacker sits behind a member that leaks spoofed traffic.
+            let Some(m) = self.pick_attack_member(|p| !p.filters_invalid || !p.filters_unrouted)
+            else {
+                continue;
+            };
+            let Some(victim) = self.random_member_addr() else { continue };
+            let t0 = self.rng.random_range(0..self.cfg.duration_secs.saturating_sub(7200));
+            let dur = 600 + self.rng.random_range(0..21_600);
+            let dport = *[
+                ports::HTTP,
+                ports::HTTP,
+                ports::HTTPS,
+                ports::P10100,
+                ports::COD,
+            ]
+            .get(self.rng.random_range(0..5))
+            .expect("in range");
+            for _ in 0..pkts {
+                let src: u32 = self.rng.random();
+                if !self.passes_egress(m, src) {
+                    continue;
+                }
+                let ts = t0 + self.rng.random_range(0..dur);
+                let pkt_size = 40 + self.rng.random_range(0..20);
+                let sport = self.rng.random_range(1025..65000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst: victim,
+                        proto: Proto::Tcp,
+                        sport,
+                        dport,
+                        packets: 1,
+                        bytes: pkt_size as u64,
+                        pkt_size,
+                        member: m,
+                    },
+                    TrafficLabel::RandomSpoofFlood,
+                );
+            }
+        }
+    }
+
+    /// Floods whose sources are drawn from unrouted space only, toward
+    /// game servers (the paper's port-27015 observation).
+    fn steam_floods(&mut self) {
+        for _ in 0..self.cfg.steam_events {
+            let Some(m) = self.pick_attack_member(|p| !p.filters_unrouted) else {
+                continue;
+            };
+            let Some(victim) = self.random_member_addr() else { continue };
+            let t0 = self.rng.random_range(0..self.cfg.duration_secs.saturating_sub(3600));
+            let dur = 300 + self.rng.random_range(0..7200);
+            let pkts = self.cfg.flood_max_packets / 4 + self.rng.random_range(0..1000);
+            for _ in 0..pkts {
+                let src = self.unrouted_addr();
+                let ts = t0 + self.rng.random_range(0..dur);
+                let pkt_size = 44 + self.rng.random_range(0..16);
+                let sport = self.rng.random_range(1025..65000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst: victim,
+                        proto: Proto::Udp,
+                        sport,
+                        dport: ports::STEAM,
+                        packets: 1,
+                        bytes: pkt_size as u64,
+                        pkt_size,
+                        member: m,
+                    },
+                    TrafficLabel::SteamFlood,
+                );
+            }
+        }
+    }
+
+    /// NTP amplification: selectively spoofed triggers to amplifiers,
+    /// plus the responses of the amplifiers that exist and answer.
+    fn ntp_amplification(&mut self) {
+        if self.net.ntp_amplifiers.is_empty() || self.cfg.ntp_events == 0 {
+            return;
+        }
+        // Event trigger budgets: the top event takes `ntp_top_share`,
+        // the rest split the remainder by rank.
+        let total = self.cfg.ntp_total_triggers as f64;
+        let mut budgets = vec![total * self.cfg.ntp_top_share];
+        let rest = total - budgets[0];
+        let others = self.cfg.ntp_events.saturating_sub(1).max(1);
+        for k in 0..others {
+            budgets.push(rest * 0.5f64.powi(k as i32 + 1).max(f64::MIN_POSITIVE));
+        }
+        // One attacker member dominates (paper: 91.94% from one member).
+        let top_member = self.pick_attack_member(|p| !p.filters_invalid);
+        let amp_pool = self.net.ntp_amplifiers.clone();
+        // Precompute a member that carries each amplifier's owner (for
+        // response ingress).
+        let carrier_of: HashMap<Asn, Asn> = {
+            let mut m = HashMap::new();
+            for (owner, _) in &amp_pool {
+                if m.contains_key(owner) {
+                    continue;
+                }
+                if let Some(c) = self
+                    .members
+                    .iter()
+                    .find(|mm| self.net.legitimately_carries(**mm, *owner))
+                {
+                    m.insert(*owner, *c);
+                }
+            }
+            m
+        };
+        // Mid-window start for the top event so Figure 11c's week-3 view
+        // has signal.
+        for (ev, budget) in budgets.into_iter().enumerate() {
+            let pkts = budget as u32;
+            if pkts == 0 {
+                continue;
+            }
+            let m = if ev == 0 {
+                match top_member {
+                    Some(m) => m,
+                    None => continue,
+                }
+            } else {
+                match self.pick_attack_member(|p| !p.filters_invalid) {
+                    Some(m) => m,
+                    None => continue,
+                }
+            };
+            // The victim is someone the attacker member does NOT carry.
+            let Some(victim) = self.victim_not_carried_by(m) else { continue };
+            // Amplifier strategy: big events spray many amplifiers
+            // uniformly; small ones hammer a handful.
+            let n_amps = if ev == 0 {
+                // The dominant attack hammers a handful of amplifiers
+                // hard (paper: "some attacks involve only a handful of
+                // amplifiers (90) receiving the bulk of trigger traffic").
+                90.min(amp_pool.len())
+            } else if ev == 1 {
+                // The runner-up sprays a large population uniformly
+                // (paper: top-2 contacted 13,377 amplifiers).
+                (amp_pool.len() * 3 / 5).max(1)
+            } else if self.rng.random_bool(0.5) {
+                90.min(amp_pool.len())
+            } else {
+                (300 + self.rng.random_range(0..700)).min(amp_pool.len())
+            };
+            let mut amps = amp_pool.clone();
+            // Deterministic partial shuffle to pick n_amps.
+            for i in 0..n_amps {
+                let j = i + self.rng.random_range(0..amps.len() - i);
+                amps.swap(i, j);
+            }
+            let amps = &amps[..n_amps];
+            // Event window: the top event lands in week 3.
+            let week = self.cfg.duration_secs / 4;
+            let (t0, dur) = if ev == 0 && self.cfg.duration_secs >= 4 * 7 * 86_400 {
+                (2 * week + week / 4, week)
+            } else {
+                let dur = 1800 + self.rng.random_range(0..43_200);
+                (
+                    self.rng.random_range(0..self.cfg.duration_secs.saturating_sub(dur)),
+                    dur,
+                )
+            };
+            let per_amp = (pkts / n_amps as u32).max(1);
+            let responders = (n_amps as f64 * self.cfg.amplifier_response_rate) as usize;
+            let trigger_size = 48u16;
+            let response_size =
+                (trigger_size as f64 * self.cfg.amplification_factor) as u16;
+            for (i, (owner, amp)) in amps.iter().enumerate() {
+                // Skew per-amplifier load for the "handful hammered"
+                // pattern while keeping totals.
+                let n = if i == 0 { per_amp * 2 } else { per_amp };
+                let ts = t0 + self.rng.random_range(0..dur.max(1));
+                let sport = self.rng.random_range(1025..65000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src: victim,
+                        dst: *amp,
+                        proto: Proto::Udp,
+                        sport,
+                        dport: ports::NTP,
+                        packets: n,
+                        bytes: n as u64 * trigger_size as u64,
+                        pkt_size: trigger_size,
+                        member: m,
+                    },
+                    TrafficLabel::NtpTrigger,
+                );
+                if i < responders {
+                    if let Some(&carrier) = carrier_of.get(owner) {
+                        self.push(
+                            FlowRecord {
+                                ts: ts + 1,
+                                src: *amp,
+                                dst: victim,
+                                proto: Proto::Udp,
+                                sport: ports::NTP,
+                                dport: sport,
+                                packets: n,
+                                bytes: n as u64 * response_size as u64,
+                                pkt_size: response_size,
+                                member: carrier,
+                            },
+                            TrafficLabel::NtpResponse,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Stray traffic from router interfaces: mostly ICMP (ping replies,
+    /// TTL exceeded), some UDP/TCP (§5.2: 83% / 14.4% / 2.3%).
+    fn stray_routers(&mut self) {
+        // Interfaces per member: both ends of links the member's AS
+        // terminates. Egress ACLs apply to stray traffic too (the source
+        // addresses are genuine but not necessarily "own space"), so a
+        // member only leaks interface classes its profile permits:
+        // unannounced infrastructure /30s need `!filters_unrouted`,
+        // provider-numbered links need `!filters_invalid`.
+        let mut ifaces_of: HashMap<Asn, Vec<u32>> = HashMap::new();
+        for (&(a, b), &(ia, ib)) in &self.net.link_ifaces {
+            ifaces_of.entry(a).or_default().push(ia);
+            ifaces_of.entry(b).or_default().push(ib);
+        }
+        // Hash-map iteration order must not leak into the RNG stream.
+        for v in ifaces_of.values_mut() {
+            v.sort_unstable();
+        }
+        let members = self.members.clone();
+        for m in members {
+            let prof = self.net.topology.info(m).expect("member").filtering;
+            let Some(all_ifaces) = ifaces_of.get(&m).cloned() else { continue };
+            let ifaces: Vec<u32> = all_ifaces
+                .into_iter()
+                .filter(|&ip| {
+                    let routed = self.routed.contains_addr(ip);
+                    if routed {
+                        // Provider-numbered: looks Invalid at the IXP.
+                        !prof.filters_invalid
+                    } else {
+                        !prof.filters_unrouted
+                    }
+                })
+                .collect();
+            if ifaces.is_empty() {
+                continue;
+            }
+            // Some members are stray-dominated (Figure 7's diagonal).
+            let mult = if self.rng.random_bool(0.25) { 4.0 } else { 1.0 };
+            let n = self.poisson_ish(self.cfg.stray_mean_flows * mult);
+            for _ in 0..n {
+                let src = ifaces[self.rng.random_range(0..ifaces.len())];
+                let Some(dst) = self.random_member_addr() else { continue };
+                let ts = self.rng.random_range(0..self.cfg.duration_secs);
+                let roll: f64 = self.rng.random();
+                let (proto, sport, dport, pkt_size) = if roll < 0.83 {
+                    (Proto::Icmp, 0, 0, 52 + self.rng.random_range(0..13))
+                } else if roll < 0.974 {
+                    // Router-destined reflection attempts show up as UDP
+                    // toward NTP from few sources (§5.2).
+                    (
+                        Proto::Udp,
+                        self.rng.random_range(1025..65000),
+                        ports::NTP,
+                        48,
+                    )
+                } else {
+                    (
+                        Proto::Tcp,
+                        self.rng.random_range(1025..65000),
+                        ports::HTTP,
+                        40,
+                    )
+                };
+                let packets = 1 + self.rng.random_range(0..3);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst,
+                        proto,
+                        sport,
+                        dport,
+                        packets,
+                        bytes: packets as u64 * pkt_size as u64,
+                        pkt_size,
+                        member: m,
+                    },
+                    TrafficLabel::StrayRouter,
+                );
+            }
+        }
+    }
+
+    /// The §4.4 false-positive sources: provider-assigned space used via
+    /// the other provider, hidden-org internal traffic, and tunnels. All
+    /// carry large data packets so they dominate Invalid *bytes*, as the
+    /// paper's hunt found (59.9% of bytes removed).
+    fn uncommon_setups(&mut self) {
+        // Provider-assigned space.
+        let holders: Vec<(Asn, Ipv4Prefix)> = self
+            .net
+            .topology
+            .ases()
+            .flat_map(|a| a.unannounced.iter().map(move |p| (a.asn, *p)))
+            .collect();
+        if !holders.is_empty() {
+            for _ in 0..self.cfg.provider_assigned_flows {
+                let (holder, prefix) = holders[self.rng.random_range(0..holders.len())];
+                // Enters via the holder itself if a member, else via a
+                // member that carries the holder.
+                let member = if self.members.contains(&holder) {
+                    holder
+                } else {
+                    match self
+                        .members
+                        .iter()
+                        .find(|m| self.net.legitimately_carries(**m, holder))
+                    {
+                        Some(m) => *m,
+                        None => continue,
+                    }
+                };
+                let src = prefix.bits() + self.rng.random_range(1..prefix.num_addresses() - 1) as u32;
+                let Some(dst) = self.random_member_addr() else { continue };
+                let ts = self.diurnal_ts();
+                // Mixed request/data sizes: bigger than attack packets,
+                // far from all-1400B — the hunt's byte reduction must
+                // exceed its packet reduction, not dwarf it.
+                let pkt_size = if self.rng.random_bool(0.2) {
+                    1300 + self.rng.random_range(0..200)
+                } else {
+                    80 + self.rng.random_range(0..200)
+                };
+                let packets = 1 + self.rng.random_range(0..8);
+                let sport = self.rng.random_range(32768..61000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst,
+                        proto: Proto::Tcp,
+                        sport,
+                        dport: ports::HTTPS,
+                        packets,
+                        bytes: packets as u64 * pkt_size as u64,
+                        pkt_size,
+                        member,
+                    },
+                    TrafficLabel::ProviderAssigned,
+                );
+            }
+        }
+
+        // Hidden multi-AS organizations exchanging internal traffic.
+        let hidden_pairs: Vec<(Asn, Asn)> = {
+            let mut v = Vec::new();
+            for (_, group) in self.net.orgs_truth.multi_as_orgs() {
+                for w in group.windows(2) {
+                    if !self.net.orgs_dataset.same_org(w[0], w[1]) {
+                        v.push((w[0], w[1]));
+                    }
+                }
+            }
+            // Hash-map iteration order must not leak into the RNG stream.
+            v.sort_unstable();
+            v
+        };
+        for &(a, b) in &hidden_pairs {
+            // One side must be (or be carried by) a member.
+            let member = if self.members.contains(&a) {
+                a
+            } else {
+                match self
+                    .members
+                    .iter()
+                    .find(|m| self.net.legitimately_carries(**m, a))
+                {
+                    Some(m) => *m,
+                    None => continue,
+                }
+            };
+            for _ in 0..self.cfg.hidden_org_flows {
+                let (Some(src), Some(dst)) = (
+                    self.net.random_addr_of(&mut self.rng, b),
+                    self.net.random_addr_of(&mut self.rng, a),
+                ) else {
+                    break;
+                };
+                let ts = self.diurnal_ts();
+                let pkt_size = if self.rng.random_bool(0.2) {
+                    1200 + self.rng.random_range(0..300)
+                } else {
+                    70 + self.rng.random_range(0..180)
+                };
+                let packets = 1 + self.rng.random_range(0..6);
+                let sport = self.rng.random_range(32768..61000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst,
+                        proto: Proto::Tcp,
+                        sport,
+                        dport: ports::HTTPS,
+                        packets,
+                        bytes: packets as u64 * pkt_size as u64,
+                        pkt_size,
+                        member,
+                    },
+                    TrafficLabel::HiddenOrgInternal,
+                );
+            }
+        }
+
+        // Tunnels: the carrier member sources the remote AS's space.
+        let tunnels = self.net.tunnels.clone();
+        for (carrier, remote) in tunnels {
+            for _ in 0..self.cfg.tunnel_flows {
+                let Some(src) = self.net.random_addr_of(&mut self.rng, remote) else {
+                    break;
+                };
+                let Some(dst) = self.random_member_addr() else { continue };
+                let ts = self.diurnal_ts();
+                let pkt_size = if self.rng.random_bool(0.25) {
+                    1300 + self.rng.random_range(0..200)
+                } else {
+                    90 + self.rng.random_range(0..220)
+                };
+                let packets = 1 + self.rng.random_range(0..10);
+                let sport = self.rng.random_range(32768..61000);
+                self.push(
+                    FlowRecord {
+                        ts,
+                        src,
+                        dst,
+                        proto: Proto::Tcp,
+                        sport,
+                        dport: ports::HTTPS,
+                        packets,
+                        bytes: packets as u64 * pkt_size as u64,
+                        pkt_size,
+                        member: carrier,
+                    },
+                    TrafficLabel::TunnelCarried,
+                );
+            }
+        }
+    }
+
+    // ---- small utilities ---------------------------------------------------
+
+    fn poisson_ish(&mut self, mean: f64) -> usize {
+        // Geometric with the requested mean — close enough for count
+        // dispersion and much cheaper than exact Poisson.
+        let p = mean / (1.0 + mean);
+        let mut k = 0usize;
+        while self.rng.random_bool(p) && k < 100_000 {
+            k += 1;
+        }
+        k
+    }
+
+    fn bogon_leak_addr(&mut self) -> u32 {
+        let roll: f64 = self.rng.random();
+        let (prefix, weight_multicast): (Ipv4Prefix, bool) = if roll < 0.5 {
+            ("10.0.0.0/8".parse().expect("static"), false)
+        } else if roll < 0.8 {
+            ("192.168.0.0/16".parse().expect("static"), false)
+        } else if roll < 0.9 {
+            ("172.16.0.0/12".parse().expect("static"), false)
+        } else if roll < 0.97 {
+            ("100.64.0.0/10".parse().expect("static"), false)
+        } else {
+            // A sliver of multicast/future-use noise.
+            ("224.0.0.0/3".parse().expect("static"), true)
+        };
+        let _ = weight_multicast;
+        prefix.bits() + self.rng.random_range(0..prefix.num_addresses()) as u32
+    }
+
+    fn random_member_addr(&mut self) -> Option<u32> {
+        for _ in 0..8 {
+            let m = self.members[self.rng.random_range(0..self.members.len())];
+            if let Some(a) = self.carried_addr(m) {
+                return Some(a);
+            }
+        }
+        None
+    }
+
+    fn pick_member<F: Fn(&spoofwatch_internet::FilteringProfile) -> bool>(
+        &mut self,
+        pred: F,
+    ) -> Option<Asn> {
+        let candidates: Vec<Asn> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| pred(&self.net.topology.info(*m).expect("member").filtering))
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[self.rng.random_range(0..candidates.len())])
+        }
+    }
+
+    /// An *attack* member: attacks originate behind edge networks
+    /// (compromised hosts in stubs/hosters), not behind full-feed
+    /// collector peers or transit cores — those have near-universal
+    /// cones, so spoofing from them is undetectable by construction (the
+    /// paper's own caveat about its conservative Full Cone).
+    fn pick_attack_member<F: Fn(&spoofwatch_internet::FilteringProfile) -> bool>(
+        &mut self,
+        pred: F,
+    ) -> Option<Asn> {
+        let candidates: Vec<Asn> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| {
+                let info = self.net.topology.info(*m).expect("member");
+                info.tier == spoofwatch_internet::Tier::Stub
+                    && pred(&info.filtering)
+                    && self.heavy_members.contains(m)
+                    && self.net.collector_peers.binary_search(m).is_err()
+            })
+            .collect();
+        if !candidates.is_empty() {
+            return Some(candidates[self.rng.random_range(0..candidates.len())]);
+        }
+        // Relax the weight floor but keep the stub/non-collector-peer
+        // requirements before giving up entirely.
+        let relaxed: Vec<Asn> = self
+            .members
+            .iter()
+            .copied()
+            .filter(|m| {
+                let info = self.net.topology.info(*m).expect("member");
+                info.tier == spoofwatch_internet::Tier::Stub
+                    && pred(&info.filtering)
+                    && self.net.collector_peers.binary_search(m).is_err()
+            })
+            .collect();
+        if relaxed.is_empty() {
+            self.pick_member(pred)
+        } else {
+            Some(relaxed[self.rng.random_range(0..relaxed.len())])
+        }
+    }
+
+    fn victim_not_carried_by(&mut self, member: Asn) -> Option<u32> {
+        for _ in 0..32 {
+            let addr = self.random_member_addr()?;
+            if let Some((_, owner)) = self.owner.lookup(addr) {
+                if !self.net.legitimately_carries(member, *owner) {
+                    return Some(addr);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Heavy-tailed event sizes: the biggest event gets `max`, the rest
+/// halve down the ranks with jitter.
+fn event_sizes(rng: &mut StdRng, n: usize, max: u32) -> Vec<u32> {
+    (0..n)
+        .map(|k| {
+            let base = (max as f64 * 0.5f64.powi(k as i32)).max(50.0);
+            let jitter = 0.7 + rng.random::<f64>() * 0.6;
+            (base * jitter) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_internet::InternetConfig;
+
+    fn trace() -> (Internet, Trace) {
+        let net = Internet::generate(InternetConfig::tiny(11));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(5));
+        (net, trace)
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = Internet::generate(InternetConfig::tiny(11));
+        let a = Trace::generate(&net, &TrafficConfig::tiny(5));
+        let b = Trace::generate(&net, &TrafficConfig::tiny(5));
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn sorted_and_parallel() {
+        let (_, trace) = trace();
+        assert_eq!(trace.flows.len(), trace.labels.len());
+        assert!(!trace.is_empty());
+        for w in trace.flows.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn all_phenomena_present() {
+        let (_, trace) = trace();
+        use TrafficLabel::*;
+        for want in [
+            Regular,
+            NatLeak,
+            RandomSpoofFlood,
+            SteamFlood,
+            NtpTrigger,
+            NtpResponse,
+            StrayRouter,
+            ProviderAssigned,
+            HiddenOrgInternal,
+            TunnelCarried,
+        ] {
+            assert!(
+                trace.labels.contains(&want),
+                "missing phenomenon {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn members_are_real_and_timestamps_bounded() {
+        let (net, trace) = trace();
+        for f in &trace.flows {
+            assert!(net.ixp_members.contains(&f.member), "{} not a member", f.member);
+            assert!(f.ts < trace.duration);
+            assert!(f.packets > 0);
+            assert_eq!(f.bytes, f.packets as u64 * f.pkt_size as u64);
+        }
+    }
+
+    #[test]
+    fn regular_traffic_dominates() {
+        let (_, trace) = trace();
+        let regular = trace
+            .labels
+            .iter()
+            .filter(|l| **l == TrafficLabel::Regular)
+            .count();
+        assert!(
+            regular as f64 > 0.4 * trace.len() as f64,
+            "regular is only {regular}/{}",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn nat_leaks_are_bogon_sourced() {
+        let (_, trace) = trace();
+        let bogons = bogon::bogon_set();
+        for (f, l) in trace.iter() {
+            if l == TrafficLabel::NatLeak {
+                assert!(bogons.contains_addr(f.src), "{:#x}", f.src);
+            }
+        }
+    }
+
+    #[test]
+    fn ntp_triggers_target_port_123() {
+        let (_, trace) = trace();
+        let mut triggers = 0;
+        for (f, l) in trace.iter() {
+            if l == TrafficLabel::NtpTrigger {
+                assert_eq!(f.dport, ports::NTP);
+                assert_eq!(f.proto, Proto::Udp);
+                triggers += 1;
+            }
+        }
+        assert!(triggers > 10, "only {triggers} triggers");
+    }
+
+    #[test]
+    fn responses_mirror_triggers() {
+        let (_, trace) = trace();
+        let trigger_bytes: u64 = trace
+            .iter()
+            .filter(|(_, l)| *l == TrafficLabel::NtpTrigger)
+            .map(|(f, _)| f.bytes)
+            .sum();
+        let response_bytes: u64 = trace
+            .iter()
+            .filter(|(_, l)| *l == TrafficLabel::NtpResponse)
+            .map(|(f, _)| f.bytes)
+            .sum();
+        assert!(response_bytes > 0);
+        // Only ~16% of amplifiers respond, but with 10× amplification:
+        // responses land within sane bounds of trigger volume.
+        assert!(
+            response_bytes as f64 > 0.3 * trigger_bytes as f64,
+            "responses {response_bytes} vs triggers {trigger_bytes}"
+        );
+    }
+
+    #[test]
+    fn steam_floods_use_unrouted_sources() {
+        let (net, trace) = trace();
+        let mut routed = PrefixSet::new();
+        for a in net.topology.ases() {
+            for p in &a.prefixes {
+                routed.insert(*p);
+            }
+        }
+        let bogons = bogon::bogon_set();
+        for (f, l) in trace.iter() {
+            if l == TrafficLabel::SteamFlood {
+                assert_eq!(f.dport, ports::STEAM);
+                assert!(!routed.contains_addr(f.src));
+                assert!(!bogons.contains_addr(f.src));
+            }
+        }
+    }
+
+    #[test]
+    fn stray_mostly_icmp() {
+        let (_, trace) = trace();
+        let stray: Vec<_> = trace
+            .iter()
+            .filter(|(_, l)| *l == TrafficLabel::StrayRouter)
+            .map(|(f, _)| f)
+            .collect();
+        assert!(stray.len() > 20);
+        let icmp = stray.iter().filter(|f| f.proto == Proto::Icmp).count();
+        let frac = icmp as f64 / stray.len() as f64;
+        assert!((frac - 0.83).abs() < 0.12, "ICMP fraction {frac}");
+    }
+
+    #[test]
+    fn spoofed_labels_classified() {
+        assert!(TrafficLabel::NtpTrigger.is_spoofed());
+        assert!(TrafficLabel::RandomSpoofFlood.is_spoofed());
+        assert!(!TrafficLabel::NtpResponse.is_spoofed());
+        assert!(TrafficLabel::NatLeak.is_stray());
+        assert!(TrafficLabel::StrayRouter.is_stray());
+        assert!(!TrafficLabel::Regular.is_stray());
+    }
+}

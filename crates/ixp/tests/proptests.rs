@@ -1,0 +1,85 @@
+//! Property tests: IPFIX-lite codec round-trips and sampler statistics.
+
+use proptest::prelude::*;
+use spoofwatch_ixp::ipfix;
+use spoofwatch_ixp::PacketSampler;
+use spoofwatch_net::{Asn, FlowRecord, Proto};
+
+fn arb_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u16>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(ts, src, dst, proto, sport, dport, packets, bytes, pkt_size, member)| FlowRecord {
+                ts,
+                src,
+                dst,
+                proto: Proto::from_number(proto),
+                sport,
+                dport,
+                packets,
+                bytes,
+                pkt_size,
+                member: Asn(member),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// IPFIX-lite encode→decode is the identity for arbitrary records.
+    #[test]
+    fn ipfix_roundtrip(flows in prop::collection::vec(arb_flow(), 0..50)) {
+        let bytes = ipfix::encode(&flows);
+        prop_assert_eq!(ipfix::decode(&bytes).unwrap(), flows);
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn ipfix_decode_never_panics(data in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = ipfix::decode(&data);
+    }
+
+    /// Truncating a valid stream yields a clean prefix or a truncation
+    /// error — never phantom records.
+    #[test]
+    fn ipfix_truncation_yields_prefix(
+        flows in prop::collection::vec(arb_flow(), 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = ipfix::encode(&flows);
+        let cut = 6 + ((bytes.len() - 6) as f64 * cut_frac) as usize;
+        if let Ok(decoded) = ipfix::decode(&bytes[..cut]) {
+            prop_assert!(decoded.len() <= flows.len());
+            prop_assert_eq!(&decoded[..], &flows[..decoded.len()]);
+        }
+    }
+
+    /// The sampler never produces more sampled than true packets, and
+    /// rate 1 is the identity.
+    #[test]
+    fn sampler_bounds(true_packets in 0u64..100_000, rate in 1u32..10_000, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = PacketSampler::new(rate);
+        let k = s.sample_count(&mut rng, true_packets);
+        if rate == 1 {
+            prop_assert_eq!(k as u64, true_packets);
+        }
+        // Allow generous slack for the normal approximation's tail.
+        let p = 1.0 / rate as f64;
+        let mean = true_packets as f64 * p;
+        let sd = (true_packets as f64 * p * (1.0 - p)).sqrt();
+        prop_assert!((k as f64) <= mean + 8.0 * sd + 1.0, "k={k} mean={mean} sd={sd}");
+    }
+}

@@ -1,0 +1,65 @@
+//! IPv4 address helpers.
+//!
+//! Throughout `spoofwatch` an IPv4 address is a plain `u32` in host byte
+//! order (`10.0.0.1` is `0x0A00_0001`). This keeps the hot classification
+//! path allocation-free and makes bit manipulation (longest-prefix match,
+//! trie walks) direct. These helpers convert to and from dotted-quad text
+//! and `std::net::Ipv4Addr`.
+
+use crate::error::NetError;
+use std::net::Ipv4Addr;
+
+/// Format a `u32` address as dotted-quad text.
+///
+/// ```
+/// assert_eq!(spoofwatch_net::fmt_addr(0x0A00_0001), "10.0.0.1");
+/// ```
+pub fn fmt_addr(addr: u32) -> String {
+    Ipv4Addr::from(addr).to_string()
+}
+
+/// Parse dotted-quad text into a `u32` address.
+///
+/// ```
+/// assert_eq!(spoofwatch_net::parse_addr("10.0.0.1").unwrap(), 0x0A00_0001);
+/// assert!(spoofwatch_net::parse_addr("10.0.0.256").is_err());
+/// ```
+pub fn parse_addr(s: &str) -> Result<u32, NetError> {
+    s.parse::<Ipv4Addr>()
+        .map(u32::from)
+        .map_err(|_| NetError::BadAddress(s.to_owned()))
+}
+
+/// The top octet (`a` in `a.b.c.d`) of an address; the bin index used by the
+/// paper's Figure 10 address-structure histograms.
+#[inline]
+pub fn slash8_index(addr: u32) -> u8 {
+    (addr >> 24) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for s in ["0.0.0.0", "255.255.255.255", "192.0.2.7", "8.8.8.8"] {
+            assert_eq!(fmt_addr(parse_addr(s).unwrap()), s);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for s in ["", "1.2.3", "1.2.3.4.5", "300.1.1.1", "a.b.c.d", "1.2.3.4/8"] {
+            assert!(parse_addr(s).is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn slash8_bins() {
+        assert_eq!(slash8_index(parse_addr("10.1.2.3").unwrap()), 10);
+        assert_eq!(slash8_index(parse_addr("224.0.0.1").unwrap()), 224);
+        assert_eq!(slash8_index(0), 0);
+        assert_eq!(slash8_index(u32::MAX), 255);
+    }
+}

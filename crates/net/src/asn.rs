@@ -1,0 +1,121 @@
+//! Autonomous system numbers.
+
+use crate::error::NetError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An autonomous system number (32-bit, RFC 6793).
+///
+/// `Asn` is a transparent newtype over `u32` so it can be used as a cheap
+/// copyable key in maps, bitset indices, and wire formats, while still being
+/// a distinct type from addresses and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// AS 0 is reserved (RFC 7607) and must never originate or appear in
+    /// paths; we use it as a sentinel for "no AS".
+    pub const RESERVED_ZERO: Asn = Asn(0);
+
+    /// AS_TRANS (RFC 6793), used when 4-byte ASNs are carried over 2-byte
+    /// sessions. Seeing it as a real path element indicates mangled data.
+    pub const AS_TRANS: Asn = Asn(23456);
+
+    /// Whether this ASN is in a range reserved for private use
+    /// (64512..=65534 per RFC 6996, 4200000000..=4294967294 per RFC 6996)
+    /// or documentation (64496..=64511, 65536..=65551 per RFC 5398).
+    ///
+    /// Private ASNs should be stripped before announcements reach the
+    /// global table; their presence in observed paths is a data-quality
+    /// signal the BGP substrate checks for.
+    pub fn is_reserved(self) -> bool {
+        matches!(self.0,
+            0
+            | 23456
+            | 64496..=64511
+            | 64512..=65534
+            | 65535
+            | 65536..=65551
+            | 4200000000..=4294967294
+            | 4294967295)
+    }
+
+    /// Whether the ASN is usable as a public, globally routable AS number.
+    pub fn is_public(self) -> bool {
+        !self.is_reserved()
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(a: Asn) -> Self {
+        a.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetError;
+
+    /// Accepts both `AS64500` (case-insensitive) and plain `64500`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetError::BadAsn(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse() {
+        assert_eq!(Asn(3320).to_string(), "AS3320");
+        assert_eq!("AS3320".parse::<Asn>().unwrap(), Asn(3320));
+        assert_eq!("as3320".parse::<Asn>().unwrap(), Asn(3320));
+        assert_eq!("3320".parse::<Asn>().unwrap(), Asn(3320));
+        assert!("ASxyz".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("-3".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn reserved_ranges() {
+        assert!(Asn(0).is_reserved());
+        assert!(Asn::AS_TRANS.is_reserved());
+        assert!(Asn(64512).is_reserved());
+        assert!(Asn(65534).is_reserved());
+        assert!(Asn(65535).is_reserved());
+        assert!(Asn(4200000000).is_reserved());
+        assert!(Asn(4294967295).is_reserved());
+        assert!(Asn(64496).is_reserved(), "documentation range");
+        assert!(Asn(1).is_public());
+        assert!(Asn(3320).is_public());
+        assert!(Asn(64495).is_public());
+        assert!(Asn(65552).is_public());
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(Asn(10) < Asn(200));
+    }
+}

@@ -1,0 +1,151 @@
+//! The classification vocabulary of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four mutually exclusive classes the pipeline assigns to a flow,
+/// in match order (the pipeline of the paper's Figure 3 is strictly
+/// sequential: first match wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Source address in reserved space (RFC1918, multicast, future use…)
+    /// that must never appear in the inter-domain Internet.
+    Bogon,
+    /// Source address in routable space but covered by no announcement in
+    /// the global routing table.
+    Unrouted,
+    /// Source address is routed, but the emitting member AS is not a
+    /// legitimate source for it under the chosen inference method.
+    Invalid,
+    /// Everything else — called "regular" traffic in the paper's analysis
+    /// sections.
+    Valid,
+}
+
+impl TrafficClass {
+    /// All classes in pipeline order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Bogon,
+        TrafficClass::Unrouted,
+        TrafficClass::Invalid,
+        TrafficClass::Valid,
+    ];
+
+    /// The three illegitimate classes (everything but [`TrafficClass::Valid`]).
+    pub const ILLEGITIMATE: [TrafficClass; 3] = [
+        TrafficClass::Bogon,
+        TrafficClass::Unrouted,
+        TrafficClass::Invalid,
+    ];
+
+    /// Whether the class denotes illegitimate source addresses.
+    pub fn is_illegitimate(self) -> bool {
+        self != TrafficClass::Valid
+    }
+
+    /// Stable dense index for array-backed per-class accounting.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::Bogon => 0,
+            TrafficClass::Unrouted => 1,
+            TrafficClass::Invalid => 2,
+            TrafficClass::Valid => 3,
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrafficClass::Bogon => "Bogon",
+            TrafficClass::Unrouted => "Unrouted",
+            TrafficClass::Invalid => "Invalid",
+            TrafficClass::Valid => "Valid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three approaches of §3.2 for inferring valid address space per AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InferenceMethod {
+    /// AS is a valid source for a prefix iff it appears on the AS path of
+    /// some announcement of that prefix.
+    Naive,
+    /// AS is a valid source for prefixes originated inside its customer
+    /// cone (provider→customer reachability; CAIDA-style).
+    CustomerCone,
+    /// AS is a valid source for prefixes originated by any AS in its
+    /// transitive closure on the directed AS-path graph (left AS upstream
+    /// of right AS); the paper's most conservative method.
+    FullCone,
+}
+
+impl InferenceMethod {
+    /// All methods, in the paper's Table 1 column order (FULL, NAIVE, CC).
+    pub const ALL: [InferenceMethod; 3] = [
+        InferenceMethod::FullCone,
+        InferenceMethod::Naive,
+        InferenceMethod::CustomerCone,
+    ];
+}
+
+impl fmt::Display for InferenceMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InferenceMethod::Naive => "NAIVE",
+            InferenceMethod::CustomerCone => "CC",
+            InferenceMethod::FullCone => "FULL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether valid-space inference merges ASes of the same multi-AS
+/// organization (§3.2, "Multi-AS Organizations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrgMode {
+    /// Use BGP-visible links only.
+    Plain,
+    /// Add a full mesh between ASes of the same organization before cone
+    /// computation, sharing the joint cone and address space.
+    OrgAdjusted,
+}
+
+impl fmt::Display for OrgMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrgMode::Plain => f.write_str("plain"),
+            OrgMode::OrgAdjusted => f.write_str("multi-AS orgs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn illegitimacy() {
+        assert!(TrafficClass::Bogon.is_illegitimate());
+        assert!(TrafficClass::Unrouted.is_illegitimate());
+        assert!(TrafficClass::Invalid.is_illegitimate());
+        assert!(!TrafficClass::Valid.is_illegitimate());
+        assert_eq!(TrafficClass::ILLEGITIMATE.len(), 3);
+    }
+
+    #[test]
+    fn display_matches_paper_terms() {
+        assert_eq!(TrafficClass::Bogon.to_string(), "Bogon");
+        assert_eq!(InferenceMethod::FullCone.to_string(), "FULL");
+        assert_eq!(InferenceMethod::CustomerCone.to_string(), "CC");
+        assert_eq!(OrgMode::OrgAdjusted.to_string(), "multi-AS orgs");
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type shared by the parsing routines in this crate.
+
+use std::fmt;
+
+/// Errors produced when parsing addresses, prefixes, or ASNs from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The textual IPv4 address was malformed.
+    BadAddress(String),
+    /// The textual CIDR prefix was malformed (bad address, missing `/`,
+    /// or prefix length outside `0..=32`).
+    BadPrefix(String),
+    /// The prefix length was outside `0..=32`.
+    BadPrefixLen(u32),
+    /// The textual ASN was malformed.
+    BadAsn(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadAddress(s) => write!(f, "malformed IPv4 address: {s:?}"),
+            NetError::BadPrefix(s) => write!(f, "malformed IPv4 prefix: {s:?}"),
+            NetError::BadPrefixLen(l) => write!(f, "prefix length out of range: /{l}"),
+            NetError::BadAsn(s) => write!(f, "malformed ASN: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::BadPrefix("10.0.0.0/33".into());
+        assert!(e.to_string().contains("10.0.0.0/33"));
+        let e = NetError::BadPrefixLen(40);
+        assert!(e.to_string().contains("/40"));
+    }
+}

@@ -1,0 +1,178 @@
+//! IPFIX-style flow summaries.
+
+use crate::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Transport protocol of a flow, by IP protocol number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Proto {
+    /// IP protocol 1.
+    Icmp,
+    /// IP protocol 6.
+    Tcp,
+    /// IP protocol 17.
+    Udp,
+    /// Anything else, with its protocol number.
+    Other(u8),
+}
+
+impl Proto {
+    /// The IANA protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Proto::Icmp => 1,
+            Proto::Tcp => 6,
+            Proto::Udp => 17,
+            Proto::Other(n) => n,
+        }
+    }
+
+    /// Build from an IANA protocol number, canonicalizing the three named
+    /// protocols.
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => Proto::Icmp,
+            6 => Proto::Tcp,
+            17 => Proto::Udp,
+            other => Proto::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Proto {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Proto::Icmp => f.write_str("ICMP"),
+            Proto::Tcp => f.write_str("TCP"),
+            Proto::Udp => f.write_str("UDP"),
+            Proto::Other(n) => write!(f, "proto{n}"),
+        }
+    }
+}
+
+/// Well-known ports that the paper's Figure 9 application mix breaks out.
+pub mod ports {
+    /// HTTP.
+    pub const HTTP: u16 = 80;
+    /// HTTPS.
+    pub const HTTPS: u16 = 443;
+    /// NTP — the dominant amplification vector in the study.
+    pub const NTP: u16 = 123;
+    /// Steam / Source engine game traffic, a commonly attacked port.
+    pub const STEAM: u16 = 27015;
+    /// Observed high-volume port in the paper's Figure 9 mix.
+    pub const P10100: u16 = 10100;
+    /// Call of Duty game servers, also broken out in Figure 9.
+    pub const COD: u16 = 28960;
+    /// The six ports Figure 9 breaks out, in its display order.
+    pub const FIGURE9: [u16; 6] = [HTTP, HTTPS, NTP, STEAM, P10100, COD];
+}
+
+/// One sampled inter-domain flow as captured at the vantage point.
+///
+/// This mirrors the information content of the paper's IPFIX records:
+/// IP/transport header fields, sampled packet/byte counts, and — crucially
+/// for the classifier — *via which IXP member the flow entered the fabric*.
+/// Counts are the raw sampled values; multiply by the sampling rate
+/// (1/10 000 in the paper) to extrapolate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Seconds since the start of the trace.
+    pub ts: u32,
+    /// Source IPv4 address (host byte order) — the field under test.
+    pub src: u32,
+    /// Destination IPv4 address (host byte order).
+    pub dst: u32,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Source transport port (0 for ICMP and friends).
+    pub sport: u16,
+    /// Destination transport port (0 for ICMP and friends).
+    pub dport: u16,
+    /// Sampled packet count.
+    pub packets: u32,
+    /// Sampled byte count.
+    pub bytes: u64,
+    /// Average IP packet size within this flow, bytes. Carried explicitly
+    /// because the byte/packet quotient of a sampled flow loses the
+    /// per-packet size distribution that Figure 8a needs.
+    pub pkt_size: u16,
+    /// The IXP member AS whose port the flow entered on.
+    pub member: Asn,
+}
+
+impl FlowRecord {
+    /// Average bytes per packet, falling back to the quotient when the
+    /// explicit size is missing (zero).
+    pub fn avg_packet_size(&self) -> f64 {
+        if self.pkt_size != 0 {
+            self.pkt_size as f64
+        } else if self.packets == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.packets as f64
+        }
+    }
+
+    /// Hour-of-trace bin (for time series).
+    pub fn hour(&self) -> u32 {
+        self.ts / 3600
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proto_numbers_roundtrip() {
+        for n in 0u8..=255 {
+            assert_eq!(Proto::from_number(n).number(), n);
+        }
+        assert_eq!(Proto::from_number(6), Proto::Tcp);
+        assert_eq!(Proto::from_number(17), Proto::Udp);
+        assert_eq!(Proto::from_number(1), Proto::Icmp);
+        assert!(matches!(Proto::from_number(47), Proto::Other(47)));
+    }
+
+    #[test]
+    fn avg_size_prefers_explicit() {
+        let mut f = FlowRecord {
+            ts: 0,
+            src: 1,
+            dst: 2,
+            proto: Proto::Tcp,
+            sport: 1234,
+            dport: 80,
+            packets: 10,
+            bytes: 15000,
+            pkt_size: 40,
+            member: Asn(1),
+        };
+        assert_eq!(f.avg_packet_size(), 40.0);
+        f.pkt_size = 0;
+        assert_eq!(f.avg_packet_size(), 1500.0);
+        f.packets = 0;
+        assert_eq!(f.avg_packet_size(), 0.0);
+    }
+
+    #[test]
+    fn hour_bins() {
+        let mut f = FlowRecord {
+            ts: 7199,
+            src: 0,
+            dst: 0,
+            proto: Proto::Udp,
+            sport: 0,
+            dport: 0,
+            packets: 1,
+            bytes: 60,
+            pkt_size: 60,
+            member: Asn(1),
+        };
+        assert_eq!(f.hour(), 1);
+        f.ts = 7200;
+        assert_eq!(f.hour(), 2);
+    }
+}

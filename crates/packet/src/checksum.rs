@@ -1,0 +1,87 @@
+//! The Internet checksum (RFC 1071) and the TCP/UDP pseudo-header.
+
+/// Sum a byte slice as 16-bit big-endian words into a 32-bit accumulator
+/// (without folding). Odd trailing bytes are padded with zero on the right,
+/// as the RFC specifies.
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([w[0], w[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator to 16 bits and complement it.
+pub fn finish(mut acc: u32) -> u16 {
+    while acc > 0xFFFF {
+        acc = (acc & 0xFFFF) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// One-shot checksum of a contiguous buffer.
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(sum(data))
+}
+
+/// Verify a buffer whose checksum field is already in place: the folded
+/// sum over the whole buffer must be zero.
+pub fn verify(data: &[u8]) -> bool {
+    finish(sum(data)) == 0
+}
+
+/// The IPv4 pseudo-header contribution for TCP/UDP checksums:
+/// source, destination, zero+protocol, and transport length.
+pub fn pseudo_header(src: u32, dst: u32, proto: u8, len: u16) -> u32 {
+    (src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF) + u32::from(proto) + u32::from(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The worked example from RFC 1071 §3: words 0x0001 0xf203 0xf4f5 0xf6f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let acc = sum(&data);
+        assert_eq!(acc, 0x2_DDF0);
+        assert_eq!(finish(acc), !0xDDF2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_right() {
+        assert_eq!(sum(&[0xAB]), 0xAB00);
+        assert_eq!(sum(&[0x12, 0x34, 0x56]), 0x1234 + 0x5600);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x11, 0x00,
+                            0x00, 0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00, 0x00, 0x02];
+        let c = checksum(&data);
+        data[10] = (c >> 8) as u8;
+        data[11] = c as u8;
+        assert!(verify(&data));
+        data[12] ^= 0x01;
+        assert!(!verify(&data), "corruption must be caught");
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn pseudo_header_contribution() {
+        // Symmetric in src/dst.
+        assert_eq!(
+            pseudo_header(0x0A000001, 0x0A000002, 17, 8),
+            pseudo_header(0x0A000002, 0x0A000001, 17, 8)
+        );
+    }
+}

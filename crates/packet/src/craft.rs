@@ -1,0 +1,142 @@
+//! Complete-packet crafting helpers.
+//!
+//! These build full, checksummed IPv4 packets for the traffic generators,
+//! the active spoofing prober, and the pcap examples — one function per
+//! packet shape the study cares about.
+
+use crate::icmp::IcmpHeader;
+use crate::ipv4::Ipv4Header;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+
+/// A bare TCP SYN — the unit of SYN flooding attacks (§2.1).
+pub fn tcp_syn(src: u32, dst: u32, sport: u16, dport: u16, seq: u32) -> Vec<u8> {
+    let mut payload = Vec::new();
+    TcpHeader::syn(sport, dport, seq).emit(&mut payload, src, dst, &[]);
+    let mut pkt = Vec::with_capacity(20 + payload.len());
+    Ipv4Header::simple(src, dst, 6, payload.len()).emit(&mut pkt);
+    pkt.extend_from_slice(&payload);
+    pkt
+}
+
+/// A TCP segment with payload (regular data traffic).
+pub fn tcp_data(
+    src: u32,
+    dst: u32,
+    sport: u16,
+    dport: u16,
+    seq: u32,
+    data: &[u8],
+) -> Vec<u8> {
+    let hdr = TcpHeader {
+        sport,
+        dport,
+        seq,
+        ack: 1,
+        flags: crate::TcpFlags::ACK | crate::TcpFlags::PSH,
+        window: 65535,
+    };
+    let mut payload = Vec::new();
+    hdr.emit(&mut payload, src, dst, data);
+    let mut pkt = Vec::with_capacity(20 + payload.len());
+    Ipv4Header::simple(src, dst, 6, payload.len()).emit(&mut pkt);
+    pkt.extend_from_slice(&payload);
+    pkt
+}
+
+/// A UDP datagram.
+pub fn udp(src: u32, dst: u32, sport: u16, dport: u16, data: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    UdpHeader { sport, dport }.emit(&mut payload, src, dst, data);
+    let mut pkt = Vec::with_capacity(20 + payload.len());
+    Ipv4Header::simple(src, dst, 17, payload.len()).emit(&mut pkt);
+    pkt.extend_from_slice(&payload);
+    pkt
+}
+
+/// An NTP `monlist`-style trigger packet: a tiny UDP request to port 123
+/// whose spoofed source is the amplification victim. The 8-byte body is
+/// the classic mode-7 MON_GETLIST request shape.
+pub fn ntp_trigger(victim_src: u32, amplifier: u32, sport: u16) -> Vec<u8> {
+    let body = [0x17, 0x00, 0x03, 0x2a, 0x00, 0x00, 0x00, 0x00];
+    udp(victim_src, amplifier, sport, 123, &body)
+}
+
+/// An ICMP echo request.
+pub fn icmp_echo(src: u32, dst: u32, ident: u16, seq: u16, data: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    IcmpHeader::echo_request(ident, seq).emit(&mut payload, data);
+    let mut pkt = Vec::with_capacity(20 + payload.len());
+    Ipv4Header::simple(src, dst, 1, payload.len()).emit(&mut pkt);
+    pkt.extend_from_slice(&payload);
+    pkt
+}
+
+/// A router's ICMP time-exceeded reply quoting the first 28 bytes of the
+/// offending packet — the canonical *stray* traffic of §5.2: its source is
+/// a genuine router interface address that may be unrouted or invalid at
+/// the vantage point.
+pub fn icmp_time_exceeded(router_src: u32, dst: u32, offending: &[u8]) -> Vec<u8> {
+    let quote = &offending[..offending.len().min(28)];
+    let mut payload = Vec::new();
+    IcmpHeader::time_exceeded().emit(&mut payload, quote);
+    let mut pkt = Vec::with_capacity(20 + payload.len());
+    Ipv4Header::simple(router_src, dst, 1, payload.len()).emit(&mut pkt);
+    pkt.extend_from_slice(&payload);
+    pkt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::extract_flow;
+    use spoofwatch_net::Proto;
+
+    #[test]
+    fn syn_parses_back() {
+        let pkt = tcp_syn(0x0A000001, 0x0B000001, 4444, 80, 42);
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(f.src, 0x0A000001);
+        assert_eq!(f.dst, 0x0B000001);
+        assert_eq!(f.proto, Proto::Tcp);
+        assert_eq!((f.sport, f.dport), (4444, 80));
+        assert_eq!(f.size as usize, pkt.len());
+    }
+
+    #[test]
+    fn ntp_trigger_is_small_and_targets_123() {
+        let pkt = ntp_trigger(0xC0000201, 0x08080808, 51234);
+        assert!(pkt.len() < 60, "trigger packets are tiny: {}", pkt.len());
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(f.dport, 123);
+        assert_eq!(f.proto, Proto::Udp);
+        assert_eq!(f.src, 0xC0000201, "source is the victim (spoofed)");
+    }
+
+    #[test]
+    fn time_exceeded_quotes_offender() {
+        let offending = udp(1, 2, 3, 4, &[0u8; 64]);
+        let pkt = icmp_time_exceeded(0x0A0A0A01, 0xCB007102, &offending);
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(f.proto, Proto::Icmp);
+        assert_eq!((f.sport, f.dport), (0, 0));
+        // 20 IP + 8 ICMP + 28 quote
+        assert_eq!(pkt.len(), 56);
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let pkt = icmp_echo(7, 8, 100, 1, b"pingpayload");
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(f.proto, Proto::Icmp);
+        assert_eq!(f.size as usize, pkt.len());
+    }
+
+    #[test]
+    fn tcp_data_carries_payload() {
+        let pkt = tcp_data(1, 2, 80, 5000, 1, &[0xAB; 1400]);
+        assert_eq!(pkt.len(), 20 + 20 + 1400);
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(f.sport, 80);
+    }
+}

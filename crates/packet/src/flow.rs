@@ -1,0 +1,100 @@
+//! Flow extraction: packet bytes → the fields a flow record carries.
+
+use crate::ipv4::Ipv4Header;
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::PacketError;
+use spoofwatch_net::Proto;
+
+/// The flow-relevant fields of one packet, as extracted from its headers.
+/// This is the packet-level precursor of [`spoofwatch_net::FlowRecord`]
+/// (which additionally aggregates counts and knows the ingress member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketFlow {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Source port (0 when the protocol has none).
+    pub sport: u16,
+    /// Destination port (0 when the protocol has none).
+    pub dport: u16,
+    /// Total IP packet size in bytes.
+    pub size: u16,
+}
+
+/// Parse a raw IPv4 packet and pull out its flow fields, validating every
+/// checksum on the way. Transport parsing failures surface as errors —
+/// the sampler decides whether to count or drop malformed packets.
+pub fn extract_flow(packet: &[u8]) -> Result<PacketFlow, PacketError> {
+    let (ip, payload) = Ipv4Header::parse(packet)?;
+    let (sport, dport) = match ip.proto {
+        6 => {
+            let (tcp, _) = TcpHeader::parse(payload, ip.src, ip.dst)?;
+            (tcp.sport, tcp.dport)
+        }
+        17 => {
+            let (udp, _) = UdpHeader::parse(payload, ip.src, ip.dst)?;
+            (udp.sport, udp.dport)
+        }
+        _ => (0, 0),
+    };
+    Ok(PacketFlow {
+        src: ip.src,
+        dst: ip.dst,
+        proto: Proto::from_number(ip.proto),
+        sport,
+        dport,
+        size: ip.total_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::craft;
+
+    #[test]
+    fn udp_flow() {
+        let pkt = craft::udp(0x01020304, 0x05060708, 1000, 2000, b"hello");
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(
+            f,
+            PacketFlow {
+                src: 0x01020304,
+                dst: 0x05060708,
+                proto: Proto::Udp,
+                sport: 1000,
+                dport: 2000,
+                size: (20 + 8 + 5) as u16,
+            }
+        );
+    }
+
+    #[test]
+    fn non_transport_protocols_have_no_ports() {
+        // Craft a protocol-47 (GRE) packet by hand.
+        let mut pkt = Vec::new();
+        Ipv4Header::simple(1, 2, 47, 4).emit(&mut pkt);
+        pkt.extend_from_slice(&[0u8; 4]);
+        let f = extract_flow(&pkt).unwrap();
+        assert_eq!(f.proto, Proto::Other(47));
+        assert_eq!((f.sport, f.dport), (0, 0));
+    }
+
+    #[test]
+    fn corrupt_transport_is_an_error() {
+        let mut pkt = craft::udp(1, 2, 3, 4, b"data");
+        let last = pkt.len() - 1;
+        pkt[last] ^= 0xFF; // corrupt payload → UDP checksum fails
+        assert_eq!(extract_flow(&pkt), Err(PacketError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_packet_is_an_error() {
+        let pkt = craft::tcp_syn(1, 2, 3, 4, 5);
+        assert!(extract_flow(&pkt[..12]).is_err());
+    }
+}

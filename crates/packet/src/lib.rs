@@ -1,0 +1,33 @@
+//! # spoofwatch-packet
+//!
+//! Wire formats for the packet-level side of the system: IPv4, TCP, UDP,
+//! and ICMPv4 headers with full checksum generation and validation, a
+//! classic libpcap file writer/reader, packet crafting helpers for the
+//! traffic generators and the active spoofing prober, and flow extraction
+//! (packet bytes → [`spoofwatch_net::FlowRecord`] fields).
+//!
+//! The design follows smoltcp's philosophy: plain structs encoded to and
+//! parsed from byte slices with explicit validation and no compile-time
+//! tricks. Parsing never panics on malformed input — every failure mode is
+//! a [`PacketError`] variant, and the test suite includes truncation and
+//! corruption injection for each format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod craft;
+mod error;
+pub mod flow;
+pub mod icmp;
+pub mod ipv4;
+pub mod pcap;
+pub mod tcp;
+pub mod udp;
+
+pub use error::PacketError;
+pub use icmp::IcmpHeader;
+pub use ipv4::Ipv4Header;
+pub use pcap::{PcapPacket, PcapReader, PcapWriter};
+pub use tcp::{TcpFlags, TcpHeader};
+pub use udp::UdpHeader;

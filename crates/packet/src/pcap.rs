@@ -1,0 +1,311 @@
+//! Classic libpcap capture file format (the pre-pcapng `.pcap` format).
+//!
+//! We write `LINKTYPE_RAW` (101) captures — each record body is a bare
+//! IPv4 packet, which is exactly what an IXP-fabric tap of IP traffic
+//! looks like after L2 stripping. The reader accepts both byte orders and
+//! both microsecond (`0xa1b2c3d4`) and nanosecond (`0xa1b23c4d`) magics,
+//! and fails gracefully on truncated files.
+
+use crate::PacketError;
+use std::io::{self, Read, Write};
+
+/// Microsecond-resolution magic number.
+pub const MAGIC_USEC: u32 = 0xa1b2_c3d4;
+/// Nanosecond-resolution magic number.
+pub const MAGIC_NSEC: u32 = 0xa1b2_3c4d;
+/// LINKTYPE_RAW: raw IP packets, no link-layer header.
+pub const LINKTYPE_RAW: u32 = 101;
+/// Snap length we write (full packets, standard tcpdump default).
+pub const SNAPLEN: u32 = 262_144;
+
+/// One captured packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Capture timestamp, seconds part.
+    pub ts_sec: u32,
+    /// Capture timestamp, sub-second part in the file's resolution.
+    pub ts_frac: u32,
+    /// Original length on the wire (may exceed `data.len()` if the
+    /// capture was snapped).
+    pub orig_len: u32,
+    /// Captured bytes (a raw IPv4 packet under `LINKTYPE_RAW`).
+    pub data: Vec<u8>,
+}
+
+impl PcapPacket {
+    /// A full (unsnapped) capture of `data` at `ts_sec.ts_usec`.
+    pub fn full(ts_sec: u32, ts_usec: u32, data: Vec<u8>) -> Self {
+        PcapPacket {
+            ts_sec,
+            ts_frac: ts_usec,
+            orig_len: data.len() as u32,
+            data,
+        }
+    }
+}
+
+/// Streaming pcap writer (microsecond resolution, native-order fields
+/// written little-endian, LINKTYPE_RAW).
+pub struct PcapWriter<W: Write> {
+    inner: W,
+}
+
+impl<W: Write> PcapWriter<W> {
+    /// Write the global header and return the writer.
+    pub fn new(mut inner: W) -> io::Result<Self> {
+        let mut hdr = [0u8; 24];
+        hdr[0..4].copy_from_slice(&MAGIC_USEC.to_le_bytes());
+        hdr[4..6].copy_from_slice(&2u16.to_le_bytes()); // version major
+        hdr[6..8].copy_from_slice(&4u16.to_le_bytes()); // version minor
+        // thiszone (4) and sigfigs (4) stay zero
+        hdr[16..20].copy_from_slice(&SNAPLEN.to_le_bytes());
+        hdr[20..24].copy_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        inner.write_all(&hdr)?;
+        Ok(PcapWriter { inner })
+    }
+
+    /// Append one packet record.
+    pub fn write_packet(&mut self, pkt: &PcapPacket) -> io::Result<()> {
+        let mut rec = [0u8; 16];
+        rec[0..4].copy_from_slice(&pkt.ts_sec.to_le_bytes());
+        rec[4..8].copy_from_slice(&pkt.ts_frac.to_le_bytes());
+        rec[8..12].copy_from_slice(&(pkt.data.len() as u32).to_le_bytes());
+        rec[12..16].copy_from_slice(&pkt.orig_len.to_le_bytes());
+        self.inner.write_all(&rec)?;
+        self.inner.write_all(&pkt.data)
+    }
+
+    /// Flush and return the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.inner.flush()?;
+        Ok(self.inner)
+    }
+}
+
+/// Errors from reading a pcap stream: either I/O or format violations.
+#[derive(Debug)]
+pub enum PcapReadError {
+    /// Underlying reader failed.
+    Io(io::Error),
+    /// The stream violated the pcap format.
+    Format(PacketError),
+}
+
+impl std::fmt::Display for PcapReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapReadError::Io(e) => write!(f, "pcap I/O error: {e}"),
+            PcapReadError::Format(e) => write!(f, "pcap format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PcapReadError {}
+
+impl From<io::Error> for PcapReadError {
+    fn from(e: io::Error) -> Self {
+        PcapReadError::Io(e)
+    }
+}
+
+/// Streaming pcap reader handling both endiannesses and both timestamp
+/// resolutions.
+pub struct PcapReader<R: Read> {
+    inner: R,
+    swapped: bool,
+    /// Link type from the global header (101 for files we write).
+    pub linktype: u32,
+    /// Snap length from the global header; records claiming more captured
+    /// bytes are rejected.
+    pub snaplen: u32,
+    /// Whether timestamps are nanosecond resolution.
+    pub nanosecond: bool,
+}
+
+impl<R: Read> PcapReader<R> {
+    /// Read and validate the global header.
+    pub fn new(mut inner: R) -> Result<Self, PcapReadError> {
+        let mut hdr = [0u8; 24];
+        inner.read_exact(&mut hdr)?;
+        let magic = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+        let (swapped, nanosecond) = match magic {
+            MAGIC_USEC => (false, false),
+            MAGIC_NSEC => (false, true),
+            m if m.swap_bytes() == MAGIC_USEC => (true, false),
+            m if m.swap_bytes() == MAGIC_NSEC => (true, true),
+            m => return Err(PcapReadError::Format(PacketError::BadMagic(m))),
+        };
+        let u32_at = |b: &[u8; 24], i: usize| {
+            let v = u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+            if swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let snaplen = u32_at(&hdr, 16);
+        let linktype = u32_at(&hdr, 20);
+        Ok(PcapReader {
+            inner,
+            swapped,
+            linktype,
+            snaplen,
+            nanosecond,
+        })
+    }
+
+    /// Read the next packet; `Ok(None)` at a clean end-of-file, an error
+    /// if the file ends inside a record.
+    pub fn next_packet(&mut self) -> Result<Option<PcapPacket>, PcapReadError> {
+        // Read the record header in two steps so a clean end-of-file
+        // (zero bytes before the next record) is distinguishable from a
+        // file torn mid-record.
+        let mut rec = [0u8; 16];
+        let mut first = 0usize;
+        while first < rec.len() {
+            match self.inner.read(&mut rec[first..]) {
+                Ok(0) if first == 0 => return Ok(None), // clean EOF
+                Ok(0) => return Err(PcapReadError::Format(PacketError::Truncated)),
+                Ok(n) => first += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let u32_at = |b: &[u8; 16], i: usize| {
+            let v = u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+            if self.swapped {
+                v.swap_bytes()
+            } else {
+                v
+            }
+        };
+        let ts_sec = u32_at(&rec, 0);
+        let ts_frac = u32_at(&rec, 4);
+        let incl_len = u32_at(&rec, 8);
+        let orig_len = u32_at(&rec, 12);
+        if incl_len > self.snaplen || incl_len > orig_len {
+            return Err(PcapReadError::Format(PacketError::BadRecord));
+        }
+        let mut data = vec![0u8; incl_len as usize];
+        self.inner
+            .read_exact(&mut data)
+            .map_err(|_| PcapReadError::Format(PacketError::Truncated))?;
+        Ok(Some(PcapPacket {
+            ts_sec,
+            ts_frac,
+            orig_len,
+            data,
+        }))
+    }
+
+    /// Drain the remaining packets into a vector.
+    pub fn collect_packets(&mut self) -> Result<Vec<PcapPacket>, PcapReadError> {
+        let mut out = Vec::new();
+        while let Some(p) = self.next_packet()? {
+            out.push(p);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_packets() -> Vec<PcapPacket> {
+        vec![
+            PcapPacket::full(100, 5, vec![0x45, 0, 0, 1]),
+            PcapPacket::full(101, 999_999, vec![1, 2, 3, 4, 5, 6, 7]),
+            PcapPacket::full(102, 0, vec![]),
+        ]
+    }
+
+    fn write_all(pkts: &[PcapPacket]) -> Vec<u8> {
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for p in pkts {
+            w.write_packet(p).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pkts = sample_packets();
+        let bytes = write_all(&pkts);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.linktype, LINKTYPE_RAW);
+        assert_eq!(r.snaplen, SNAPLEN);
+        assert!(!r.nanosecond);
+        let got = r.collect_packets().unwrap();
+        assert_eq!(got, pkts);
+    }
+
+    #[test]
+    fn big_endian_files_read_correctly() {
+        // Hand-build a big-endian file with one 3-byte packet.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        bytes.extend_from_slice(&65535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // ts_sec
+        bytes.extend_from_slice(&8u32.to_be_bytes()); // ts_usec
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // incl
+        bytes.extend_from_slice(&3u32.to_be_bytes()); // orig
+        bytes.extend_from_slice(&[9, 9, 9]);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert_eq!(r.linktype, LINKTYPE_RAW);
+        let p = r.next_packet().unwrap().unwrap();
+        assert_eq!((p.ts_sec, p.ts_frac, p.data.len()), (7, 8, 3));
+        assert!(r.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = vec![0xFFu8; 24];
+        assert!(matches!(
+            PcapReader::new(Cursor::new(bytes)),
+            Err(PcapReadError::Format(PacketError::BadMagic(_)))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let bytes = write_all(&sample_packets());
+        assert!(PcapReader::new(Cursor::new(&bytes[..10])).is_err());
+    }
+
+    #[test]
+    fn truncated_record_body_is_an_error() {
+        let bytes = write_all(&sample_packets());
+        // Cut inside the second record's body.
+        let cut = 24 + 16 + 4 + 16 + 3;
+        let mut r = PcapReader::new(Cursor::new(&bytes[..cut])).unwrap();
+        assert!(r.next_packet().unwrap().is_some());
+        assert!(r.next_packet().is_err());
+    }
+
+    #[test]
+    fn oversized_incl_len_rejected() {
+        let mut bytes = write_all(&sample_packets()[..1]);
+        // Patch incl_len beyond snaplen.
+        let incl = (SNAPLEN + 1).to_le_bytes();
+        bytes[24 + 8..24 + 12].copy_from_slice(&incl);
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert!(matches!(
+            r.next_packet(),
+            Err(PcapReadError::Format(PacketError::BadRecord))
+        ));
+    }
+
+    #[test]
+    fn nanosecond_magic_detected() {
+        let mut bytes = write_all(&[]);
+        bytes[0..4].copy_from_slice(&MAGIC_NSEC.to_le_bytes());
+        let r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        assert!(r.nanosecond);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: codec round-trips and total robustness to garbage.
+
+use proptest::prelude::*;
+use spoofwatch_packet::flow::extract_flow;
+use spoofwatch_packet::{craft, PcapPacket, PcapReader, PcapWriter};
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Crafted packets always parse back to their own flow fields.
+    #[test]
+    fn craft_extract_roundtrip(
+        src in any::<u32>(), dst in any::<u32>(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        kind in 0usize..4,
+    ) {
+        let pkt = match kind {
+            0 => craft::tcp_syn(src, dst, sport, dport, 7),
+            1 => craft::udp(src, dst, sport, dport, &payload),
+            2 => craft::tcp_data(src, dst, sport, dport, 9, &payload),
+            _ => craft::icmp_echo(src, dst, sport, 1, &payload),
+        };
+        let f = extract_flow(&pkt).unwrap();
+        prop_assert_eq!(f.src, src);
+        prop_assert_eq!(f.dst, dst);
+        prop_assert_eq!(f.size as usize, pkt.len());
+        if kind < 3 {
+            prop_assert_eq!((f.sport, f.dport), (sport, dport));
+        }
+    }
+
+    /// Arbitrary byte soup must never panic the parser — only return
+    /// errors or, rarely, a structurally valid packet.
+    #[test]
+    fn extract_flow_never_panics(data in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = extract_flow(&data);
+    }
+
+    /// Arbitrary byte soup must never panic the pcap reader.
+    #[test]
+    fn pcap_reader_never_panics(data in prop::collection::vec(any::<u8>(), 0..400)) {
+        if let Ok(mut r) = PcapReader::new(Cursor::new(data)) {
+            // Bounded: each iteration consumes ≥16 bytes or errors.
+            for _ in 0..64 {
+                match r.next_packet() {
+                    Ok(Some(_)) => continue,
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Pcap write→read round-trips arbitrary packet sets byte-exactly.
+    #[test]
+    fn pcap_roundtrip(
+        pkts in prop::collection::vec(
+            (any::<u32>(), 0u32..1_000_000, prop::collection::vec(any::<u8>(), 0..100)),
+            0..20,
+        )
+    ) {
+        let pkts: Vec<PcapPacket> = pkts
+            .into_iter()
+            .map(|(s, us, d)| PcapPacket::full(s, us, d))
+            .collect();
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for p in &pkts {
+            w.write_packet(p).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let mut r = PcapReader::new(Cursor::new(bytes)).unwrap();
+        let got = r.collect_packets().unwrap();
+        prop_assert_eq!(got, pkts);
+    }
+
+    /// Truncating a valid capture anywhere must yield an error or a clean
+    /// shorter read — never a panic, never phantom packets.
+    #[test]
+    fn pcap_truncation_safe(cut_frac in 0.0f64..1.0) {
+        let pkts = vec![
+            PcapPacket::full(1, 2, vec![1; 30]),
+            PcapPacket::full(3, 4, vec![2; 50]),
+        ];
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for p in &pkts {
+            w.write_packet(p).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let cut = (bytes.len() as f64 * cut_frac) as usize;
+        match PcapReader::new(Cursor::new(&bytes[..cut])) {
+            Err(_) => {}
+            Ok(mut r) => {
+                let mut n = 0;
+                while let Ok(Some(p)) = r.next_packet() {
+                    prop_assert_eq!(&p, &pkts[n]);
+                    n += 1;
+                }
+                prop_assert!(n <= pkts.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The §4.5 cross-check: passive classification vs. active spoofability.
+
+use crate::SpooferCampaign;
+use serde::Serialize;
+use spoofwatch_net::Asn;
+use std::collections::HashSet;
+
+/// The comparison the paper reports in §4.5.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossCheck {
+    /// ASes probed by the active campaign that are also IXP members with
+    /// observed traffic (the paper's 97 overlapping ASes).
+    pub overlap: usize,
+    /// Of the overlap: fraction where the passive method saw spoofed
+    /// (Invalid or Unrouted) traffic (paper: 74%).
+    pub passive_detected_fraction: f64,
+    /// Of the overlap: fraction the active campaign found spoofable
+    /// (paper: 30%).
+    pub active_spoofable_fraction: f64,
+    /// Of the passively-detected: fraction also active-spoofable
+    /// (paper: ~28%).
+    pub active_confirms_passive: f64,
+    /// Of the active-spoofable: fraction with passive detections
+    /// (paper: 69%).
+    pub passive_confirms_active: f64,
+}
+
+/// Compare an active campaign with the set of members that passively
+/// contributed Invalid or Unrouted traffic.
+pub fn crosscheck(
+    campaign: &SpooferCampaign,
+    members_with_traffic: &HashSet<Asn>,
+    members_with_spoofed: &HashSet<Asn>,
+) -> CrossCheck {
+    // Only direct (non-NAT) probes count, per the paper's footnote 5.
+    let overlap: Vec<Asn> = campaign
+        .direct_results()
+        .map(|r| r.asn)
+        .filter(|a| members_with_traffic.contains(a))
+        .collect();
+    let spoofable: HashSet<Asn> = campaign
+        .direct_results()
+        .filter(|r| r.spoofable())
+        .map(|r| r.asn)
+        .filter(|a| members_with_traffic.contains(a))
+        .collect();
+    let passive: HashSet<Asn> = overlap
+        .iter()
+        .copied()
+        .filter(|a| members_with_spoofed.contains(a))
+        .collect();
+    let n = overlap.len();
+    let frac = |x: usize, of: usize| if of == 0 { 0.0 } else { x as f64 / of as f64 };
+    CrossCheck {
+        overlap: n,
+        passive_detected_fraction: frac(passive.len(), n),
+        active_spoofable_fraction: frac(spoofable.len(), n),
+        active_confirms_passive: frac(passive.intersection(&spoofable).count(), passive.len()),
+        passive_confirms_active: frac(
+            spoofable.intersection(&passive).count(),
+            spoofable.len(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ProbeResult, SpoofKind};
+    use std::collections::HashMap;
+
+    fn result(asn: u32, spoofable: bool) -> ProbeResult {
+        let mut received = HashMap::new();
+        received.insert(SpoofKind::Private, spoofable);
+        received.insert(SpoofKind::Unrouted, false);
+        received.insert(SpoofKind::RoutedForeign, false);
+        ProbeResult {
+            asn: Asn(asn),
+            behind_nat: false,
+            received,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let campaign = SpooferCampaign {
+            results: vec![
+                result(1, true),  // member, passive-detected → both agree
+                result(2, true),  // member, no passive detection
+                result(3, false), // member, passive-detected only
+                result(4, false), // member, neither
+                result(9, true),  // not a member: excluded from overlap
+            ],
+        };
+        let traffic: HashSet<Asn> = [1, 2, 3, 4].into_iter().map(Asn).collect();
+        let spoofed: HashSet<Asn> = [1, 3].into_iter().map(Asn).collect();
+        let cc = crosscheck(&campaign, &traffic, &spoofed);
+        assert_eq!(cc.overlap, 4);
+        assert_eq!(cc.passive_detected_fraction, 0.5);
+        assert_eq!(cc.active_spoofable_fraction, 0.5);
+        assert_eq!(cc.active_confirms_passive, 0.5);
+        assert_eq!(cc.passive_confirms_active, 0.5);
+    }
+
+    #[test]
+    fn empty_overlap() {
+        let campaign = SpooferCampaign {
+            results: vec![result(9, true)],
+        };
+        let cc = crosscheck(&campaign, &HashSet::new(), &HashSet::new());
+        assert_eq!(cc.overlap, 0);
+        assert_eq!(cc.passive_detected_fraction, 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # spoofwatch-spoofer
+//!
+//! An active spoofability measurement platform in the style of the CAIDA
+//! Spoofer project, plus the paper's §4.5 cross-check of active results
+//! against passive classification.
+//!
+//! A crowd-sourced probe inside an AS crafts packets with several kinds
+//! of forged sources (private, unrouted, routed-but-foreign) and sends
+//! them toward a measurement server; the server records which kinds
+//! arrive. A packet must survive the *egress* filtering of the probe's
+//! AS and any *transit policing* on the AS path — which is why active
+//! measurements are "a lower bound on spoofability" (§4.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crosscheck;
+pub mod probe;
+
+pub use crosscheck::{crosscheck, CrossCheck};
+pub use probe::{ProbeResult, SpoofKind, SpooferCampaign};

@@ -1,0 +1,255 @@
+//! The probe campaign.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::Serialize;
+use spoofwatch_internet::{Internet, Tier};
+use spoofwatch_net::Asn;
+use spoofwatch_packet::craft;
+use std::collections::HashMap;
+
+/// The kinds of forged sources a probe crafts (mirroring the Spoofer
+/// client's test set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SpoofKind {
+    /// RFC1918-style private source.
+    Private,
+    /// Routable but unannounced source.
+    Unrouted,
+    /// A routed source belonging to an unrelated AS.
+    RoutedForeign,
+}
+
+impl SpoofKind {
+    /// All kinds probed.
+    pub const ALL: [SpoofKind; 3] = [SpoofKind::Private, SpoofKind::Unrouted, SpoofKind::RoutedForeign];
+}
+
+/// Outcome for one probed AS.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProbeResult {
+    /// The AS hosting the probe.
+    pub asn: Asn,
+    /// Whether the probe host sat behind a NAT. The paper's §4.5
+    /// cross-check "only consider\[s\] ASes in which the Spoofer project
+    /// conducted direct measurements, i.e., the probes were not located
+    /// behind a NAT" — NATed probes rewrite the forged source, making
+    /// the result meaningless.
+    pub behind_nat: bool,
+    /// Which spoof kinds reached the measurement server.
+    pub received: HashMap<SpoofKind, bool>,
+}
+
+impl ProbeResult {
+    /// Whether any spoofed packet got through — the Spoofer project's
+    /// "spoofing is possible in this AS".
+    pub fn spoofable(&self) -> bool {
+        self.received.values().any(|v| *v)
+    }
+}
+
+/// A full campaign: results per probed AS.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpooferCampaign {
+    /// One result per probed AS.
+    pub results: Vec<ProbeResult>,
+}
+
+impl SpooferCampaign {
+    /// Run probes from `num_probes` randomly selected ASes toward a
+    /// measurement server homed in the highest-degree tier-1 AS.
+    ///
+    /// Egress filtering uses the probe AS's ground-truth profile; each
+    /// transit AS on the forward path additionally polices spoofed
+    /// customer traffic (uRPF-style) with probability
+    /// `transit_police_prob`.
+    pub fn run(net: &Internet, seed: u64, num_probes: usize, transit_police_prob: f64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5b00f);
+        let ases: Vec<Asn> = net.topology.ases().map(|a| a.asn).collect();
+        // Server inside the first tier-1 AS.
+        let server_as = net
+            .topology
+            .ases()
+            .find(|a| a.tier == Tier::Tier1)
+            .map(|a| a.asn)
+            .expect("topology has a tier-1");
+        let server_addr = {
+            let mut r = StdRng::seed_from_u64(seed);
+            net.random_addr_of(&mut r, server_as)
+                .expect("tier-1 has prefixes")
+        };
+        let router = net.router();
+        let routes = router.routes_from(server_as); // paths toward the server
+
+        let mut results = Vec::with_capacity(num_probes);
+        let mut probed = std::collections::HashSet::new();
+        let mut guard = 0;
+        while results.len() < num_probes && guard < num_probes * 20 {
+            guard += 1;
+            let asn = ases[rng.random_range(0..ases.len())];
+            if asn == server_as || !probed.insert(asn) {
+                continue;
+            }
+            let info = net.topology.info(asn).expect("known");
+            if info.prefixes.is_empty() {
+                continue;
+            }
+            // The forward traffic path probe → server is the reverse of
+            // the server's route toward the probe's AS.
+            let Some(path) = routes.traffic_path_to(asn).map(|mut p| {
+                p.reverse(); // probe … server
+                p
+            }) else {
+                continue;
+            };
+            // Transit policing is a static configuration of the on-path
+            // networks (uRPF / customer ingress ACLs, which any provider
+            // may deploy regardless of its own egress hygiene): decide
+            // once per probe which hop (if any) drops spoofed traffic,
+            // identically for every spoof kind.
+            let path_policed = path[1..path.len().saturating_sub(1)].iter().any(|hop| {
+                let hop_info = net.topology.info(*hop).expect("on-path AS");
+                hop_info.tier != Tier::Stub && rng.random_bool(transit_police_prob)
+            });
+            // Crowd-sourced probes often run on home machines behind CPE
+            // NAT; the NAT rewrites the forged source, so such runs are
+            // recorded but excluded from cross-checks.
+            let behind_nat = rng.random_bool(0.3);
+            let mut received = HashMap::new();
+            for kind in SpoofKind::ALL {
+                let src = match kind {
+                    SpoofKind::Private => 0x0A00_0000 | (rng.random::<u32>() & 0x00FF_FFFF),
+                    SpoofKind::Unrouted => loop {
+                        let a: u32 = rng.random();
+                        let routed = net
+                            .topology
+                            .ases()
+                            .any(|i| i.prefixes.iter().any(|p| p.contains(a)));
+                        if !routed
+                            && !spoofwatch_internet::bogon::bogon_set().contains_addr(a)
+                        {
+                            break a;
+                        }
+                    },
+                    SpoofKind::RoutedForeign => loop {
+                        let other = ases[rng.random_range(0..ases.len())];
+                        if other != asn && !net.legitimately_carries(asn, other) {
+                            if let Some(a) = net.random_addr_of(&mut rng, other) {
+                                break a;
+                            }
+                        }
+                    },
+                };
+                // The probe literally crafts the packet (exercising the
+                // wire-format path end to end).
+                let pkt = craft::udp(src, server_addr, 53_000, 53_000, b"spoofer-probe");
+                debug_assert!(spoofwatch_packet::flow::extract_flow(&pkt).is_ok());
+
+                // Egress filtering at the probe's own AS.
+                let prof = info.filtering;
+                let escapes = match kind {
+                    SpoofKind::Private => !prof.filters_bogon,
+                    SpoofKind::Unrouted => !prof.filters_unrouted,
+                    SpoofKind::RoutedForeign => !prof.filters_invalid,
+                };
+                if !escapes {
+                    received.insert(kind, false);
+                    continue;
+                }
+                received.insert(kind, !path_policed && !behind_nat);
+            }
+            results.push(ProbeResult {
+                asn,
+                behind_nat,
+                received,
+            });
+        }
+        SpooferCampaign { results }
+    }
+
+    /// ASes where spoofing (any kind) succeeded.
+    pub fn spoofable_ases(&self) -> Vec<Asn> {
+        self.results
+            .iter()
+            .filter(|r| r.spoofable())
+            .map(|r| r.asn)
+            .collect()
+    }
+
+    /// Results from direct (non-NAT) probes only — the subset §4.5
+    /// cross-checks against.
+    pub fn direct_results(&self) -> impl Iterator<Item = &ProbeResult> {
+        self.results.iter().filter(|r| !r.behind_nat)
+    }
+
+    /// Fraction of probed ASes found spoofable.
+    pub fn spoofable_fraction(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.spoofable_ases().len() as f64 / self.results.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_internet::InternetConfig;
+
+    fn net() -> Internet {
+        Internet::generate(InternetConfig::tiny(33))
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let n = net();
+        let a = SpooferCampaign::run(&n, 5, 40, 0.25);
+        let b = SpooferCampaign::run(&n, 5, 40, 0.25);
+        assert_eq!(a.spoofable_ases(), b.spoofable_ases());
+        assert_eq!(a.results.len(), 40);
+    }
+
+    #[test]
+    fn clean_ases_never_spoof() {
+        let n = net();
+        let campaign = SpooferCampaign::run(&n, 7, 60, 0.25);
+        for r in &campaign.results {
+            let prof = n.topology.info(r.asn).expect("probed AS").filtering;
+            if prof.is_clean() {
+                assert!(!r.spoofable(), "{} is clean yet spoofable", r.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn policing_lowers_success() {
+        let n = net();
+        let lax = SpooferCampaign::run(&n, 9, 80, 0.0);
+        let strict = SpooferCampaign::run(&n, 9, 80, 0.95);
+        assert!(
+            strict.spoofable_fraction() <= lax.spoofable_fraction(),
+            "policing must not increase spoofability"
+        );
+        // Some leaky networks exist, so with no policing the fraction is
+        // meaningfully positive (the paper finds ~30%+).
+        assert!(lax.spoofable_fraction() > 0.2, "{}", lax.spoofable_fraction());
+    }
+
+    #[test]
+    fn per_kind_outcomes_follow_policy() {
+        let n = net();
+        let campaign = SpooferCampaign::run(&n, 11, 60, 0.0);
+        for r in &campaign.results {
+            let prof = n.topology.info(r.asn).expect("probed AS").filtering;
+            if prof.filters_bogon {
+                assert!(!r.received[&SpoofKind::Private]);
+            }
+            if prof.filters_unrouted {
+                assert!(!r.received[&SpoofKind::Unrouted]);
+            }
+            if prof.filters_invalid {
+                assert!(!r.received[&SpoofKind::RoutedForeign]);
+            }
+        }
+    }
+}

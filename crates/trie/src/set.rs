@@ -1,0 +1,412 @@
+//! Prefix sets with union algebra and `/24`-equivalent accounting.
+
+use crate::PrefixTrie;
+use spoofwatch_net::{Ipv4Prefix, UNITS_PER_SLASH24};
+
+/// A set of IPv4 prefixes backed by a [`PrefixTrie`].
+///
+/// Beyond membership and longest-prefix containment tests, the set knows
+/// how to reason about the *union* of its prefixes: exact size accounting
+/// (never double counting nested or overlapping prefixes) and minimal-cover
+/// aggregation, both of which the valid-address-space machinery relies on.
+///
+/// ```
+/// use spoofwatch_trie::PrefixSet;
+///
+/// let mut bogons = PrefixSet::new();
+/// bogons.insert("10.0.0.0/8".parse().unwrap());
+/// bogons.insert("192.168.0.0/16".parse().unwrap());
+///
+/// assert!(bogons.contains_addr(spoofwatch_net::parse_addr("10.1.2.3").unwrap()));
+/// assert!(!bogons.contains_addr(spoofwatch_net::parse_addr("8.8.8.8").unwrap()));
+/// assert_eq!(bogons.slash24_equivalents(), 65536.0 + 256.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSet {
+    trie: PrefixTrie<()>,
+}
+
+impl PrefixSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PrefixSet {
+            trie: PrefixTrie::new(),
+        }
+    }
+
+    /// Insert a prefix; returns `true` if it was not already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix) -> bool {
+        self.trie.insert(prefix, ()).is_none()
+    }
+
+    /// Remove an exact prefix; returns `true` if it was present.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> bool {
+        self.trie.remove(prefix).is_some()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    /// Whether the exact prefix is a member.
+    pub fn contains(&self, prefix: &Ipv4Prefix) -> bool {
+        self.trie.contains(prefix)
+    }
+
+    /// Whether some member prefix contains `addr` (longest-prefix match
+    /// semantics — this is the check the classification pipeline runs).
+    pub fn contains_addr(&self, addr: u32) -> bool {
+        self.trie.lookup(addr).is_some()
+    }
+
+    /// The most specific member prefix containing `addr`.
+    pub fn lookup(&self, addr: u32) -> Option<Ipv4Prefix> {
+        self.trie.lookup(addr).map(|(p, _)| p)
+    }
+
+    /// Whether some single member prefix covers all of `prefix`.
+    pub fn covers(&self, prefix: &Ipv4Prefix) -> bool {
+        self.trie
+            .matches(prefix.bits())
+            .iter()
+            .any(|(p, _)| p.covers(prefix))
+    }
+
+    /// Insert every member of `other`.
+    pub fn union_with(&mut self, other: &PrefixSet) {
+        for (p, _) in other.trie.iter() {
+            self.insert(p);
+        }
+    }
+
+    /// Iterate member prefixes in ascending `(bits, len)` order.
+    pub fn iter(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.trie.iter().map(|(p, _)| p)
+    }
+
+    /// Size of the union of member prefixes in addresses (1/256-/24 units).
+    pub fn covered_units(&self) -> u64 {
+        self.trie.covered_units()
+    }
+
+    /// Size of the union of member prefixes in /24 equivalents — the unit
+    /// the paper reports address space in.
+    pub fn slash24_equivalents(&self) -> f64 {
+        self.covered_units() as f64 / UNITS_PER_SLASH24 as f64
+    }
+
+    /// The union of member prefixes as sorted, disjoint, merged
+    /// half-open address intervals `[start, end)`.
+    pub fn intervals(&self) -> Vec<(u64, u64)> {
+        let mut raw: Vec<(u64, u64)> = Vec::new();
+        let mut skip_until: Option<u64> = None;
+        // Trie iteration yields supernets before subnets and ascending
+        // addresses, so covered subnets can be skipped with a watermark.
+        for p in self.iter() {
+            let start = p.first() as u64;
+            let end = p.last() as u64 + 1;
+            if let Some(limit) = skip_until {
+                if end <= limit {
+                    continue; // nested inside the previous prefix
+                }
+            }
+            raw.push((start, end));
+            skip_until = Some(end);
+        }
+        // Merge adjacent/overlapping intervals.
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(raw.len());
+        for (s, e) in raw {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        merged
+    }
+
+    /// The minimal set of CIDR prefixes covering exactly the same address
+    /// space (siblings merged, nested prefixes removed).
+    pub fn aggregate(&self) -> PrefixSet {
+        let mut out = PrefixSet::new();
+        for (start, end) in self.intervals() {
+            for p in cidrs_for_interval(start, end) {
+                out.insert(p);
+            }
+        }
+        out
+    }
+
+    /// Address space covered by `self` but not by `other`, as a minimal
+    /// CIDR set. Works on the union semantics (nested/overlapping member
+    /// prefixes are fine on both sides).
+    pub fn difference(&self, other: &PrefixSet) -> PrefixSet {
+        let mut out = PrefixSet::new();
+        let mut b = other.intervals().into_iter().peekable();
+        for (mut s, e) in self.intervals() {
+            // Walk the other side's intervals overlapping [s, e).
+            while s < e {
+                // Skip b-intervals entirely before s.
+                while b.peek().is_some_and(|&(_, be)| be <= s) {
+                    b.next();
+                }
+                match b.peek().copied() {
+                    Some((bs, be)) if bs < e => {
+                        if bs > s {
+                            for p in cidrs_for_interval(s, bs) {
+                                out.insert(p);
+                            }
+                        }
+                        s = be.min(e).max(s);
+                        if be >= e {
+                            break;
+                        }
+                        // This b-interval is exhausted within [s, e).
+                        b.next();
+                    }
+                    _ => {
+                        for p in cidrs_for_interval(s, e) {
+                            out.insert(p);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Address space covered by both sets, as a minimal CIDR set.
+    pub fn intersection(&self, other: &PrefixSet) -> PrefixSet {
+        let mut out = PrefixSet::new();
+        let a = self.intervals();
+        let mut b = other.intervals().into_iter().peekable();
+        for (s, e) in a {
+            while b.peek().is_some_and(|&(_, be)| be <= s) {
+                b.next();
+            }
+            // Several b-intervals may overlap [s, e); peek without
+            // consuming ones that extend past e.
+            let mut cursor = s;
+            loop {
+                match b.peek().copied() {
+                    Some((bs, be)) if bs < e => {
+                        let lo = bs.max(cursor);
+                        let hi = be.min(e);
+                        if lo < hi {
+                            for p in cidrs_for_interval(lo, hi) {
+                                out.insert(p);
+                            }
+                        }
+                        cursor = hi;
+                        if be <= e {
+                            b.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Ipv4Prefix> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = Ipv4Prefix>>(iter: I) -> Self {
+        let mut s = PrefixSet::new();
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+impl<'a> FromIterator<&'a Ipv4Prefix> for PrefixSet {
+    fn from_iter<I: IntoIterator<Item = &'a Ipv4Prefix>>(iter: I) -> Self {
+        iter.into_iter().copied().collect()
+    }
+}
+
+/// Decompose a half-open address interval into the minimal list of CIDR
+/// blocks, greedily emitting the largest aligned block that fits.
+fn cidrs_for_interval(mut start: u64, end: u64) -> Vec<Ipv4Prefix> {
+    let mut out = Vec::new();
+    while start < end {
+        // Largest block size allowed by alignment of `start`…
+        let align = if start == 0 { 1u64 << 32 } else { start & start.wrapping_neg() };
+        // …and by the remaining length.
+        let remaining = end - start;
+        let mut size = align.min(1u64 << 32);
+        while size > remaining {
+            size >>= 1;
+        }
+        debug_assert!(size.is_power_of_two());
+        let len = 32 - size.trailing_zeros() as u8;
+        out.push(Ipv4Prefix::new_truncating(start as u32, len));
+        start += size;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn set(prefixes: &[&str]) -> PrefixSet {
+        prefixes.iter().map(|s| p(s)).collect()
+    }
+
+    #[test]
+    fn membership_and_lpm() {
+        let s = set(&["10.0.0.0/8", "192.168.0.0/16"]);
+        assert!(s.contains(&p("10.0.0.0/8")));
+        assert!(!s.contains(&p("10.0.0.0/16")));
+        assert!(s.contains_addr(0x0A01_0101));
+        assert!(s.contains_addr(0xC0A8_0001));
+        assert!(!s.contains_addr(0x0808_0808));
+        assert_eq!(s.lookup(0x0A01_0101), Some(p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn covers_requires_single_covering_member() {
+        let s = set(&["10.0.0.0/9", "10.128.0.0/9"]);
+        assert!(s.covers(&p("10.0.0.0/9")));
+        assert!(s.covers(&p("10.1.0.0/16")));
+        // The union covers 10/8 but no single member does.
+        assert!(!s.covers(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn units_dedup_overlaps() {
+        let s = set(&["10.0.0.0/8", "10.1.0.0/16", "11.0.0.0/16"]);
+        assert_eq!(s.covered_units(), (1u64 << 24) + (1u64 << 16));
+        assert_eq!(s.slash24_equivalents(), 65536.0 + 256.0);
+    }
+
+    #[test]
+    fn intervals_merge_adjacent_siblings() {
+        let s = set(&["10.0.0.0/9", "10.128.0.0/9", "12.0.0.0/8"]);
+        assert_eq!(
+            s.intervals(),
+            vec![
+                (0x0A00_0000, 0x0B00_0000),
+                (0x0C00_0000, 0x0D00_0000)
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_minimizes() {
+        let s = set(&["10.0.0.0/9", "10.128.0.0/9", "10.1.0.0/16"]);
+        let agg = s.aggregate();
+        let got: Vec<_> = agg.iter().collect();
+        assert_eq!(got, vec![p("10.0.0.0/8")]);
+    }
+
+    #[test]
+    fn aggregate_handles_unaligned_runs() {
+        // 10.1.0.0/16 + 10.2.0.0/16 are adjacent but cannot merge into one
+        // CIDR (10.1.0.0 is not /15-aligned).
+        let s = set(&["10.1.0.0/16", "10.2.0.0/16"]);
+        let got: Vec<_> = s.aggregate().iter().collect();
+        assert_eq!(got, vec![p("10.1.0.0/16"), p("10.2.0.0/16")]);
+    }
+
+    #[test]
+    fn aggregate_preserves_space() {
+        let s = set(&["10.0.0.0/8", "10.1.0.0/16", "192.0.2.0/24", "192.0.3.0/24"]);
+        let agg = s.aggregate();
+        assert_eq!(agg.covered_units(), s.covered_units());
+        assert_eq!(s.covered_units(), (1u64 << 24) + 512);
+        // Adjacent /24s merge into one /23.
+        assert!(agg.contains(&p("192.0.2.0/23")));
+    }
+
+    #[test]
+    fn whole_space_interval() {
+        let mut s = PrefixSet::new();
+        s.insert(Ipv4Prefix::DEFAULT);
+        assert_eq!(s.intervals(), vec![(0, 1u64 << 32)]);
+        assert_eq!(s.covered_units(), 1u64 << 32);
+        let got: Vec<_> = s.aggregate().iter().collect();
+        assert_eq!(got, vec![Ipv4Prefix::DEFAULT]);
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut a = set(&["10.0.0.0/8"]);
+        let b = set(&["11.0.0.0/8", "10.0.0.0/8"]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn difference_carves_holes() {
+        let a = set(&["10.0.0.0/8"]);
+        let b = set(&["10.64.0.0/16", "10.0.0.0/16"]);
+        let d = a.difference(&b);
+        assert_eq!(
+            d.covered_units(),
+            (1u64 << 24) - 2 * (1u64 << 16)
+        );
+        assert!(!d.contains_addr(0x0A00_0001));
+        assert!(!d.contains_addr(0x0A40_0001));
+        assert!(d.contains_addr(0x0A01_0001));
+        assert!(d.contains_addr(0x0AFF_0001));
+        // Disjoint sets: difference is identity (modulo aggregation).
+        let c = set(&["11.0.0.0/8"]);
+        assert_eq!(a.difference(&c).covered_units(), a.covered_units());
+        // Self-difference is empty.
+        assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn difference_with_straddling_interval() {
+        // b covers across the end of an a-interval.
+        let a = set(&["10.0.0.0/16", "10.2.0.0/16"]);
+        let b = set(&["10.0.128.0/17", "10.1.0.0/16"]);
+        let d = a.difference(&b);
+        assert!(d.contains_addr(0x0A00_0001));
+        assert!(!d.contains_addr(0x0A00_8001));
+        assert!(d.contains_addr(0x0A02_0001));
+        assert_eq!(d.covered_units(), (1 << 15) + (1 << 16));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = set(&["10.0.0.0/8", "12.0.0.0/8"]);
+        let b = set(&["10.5.0.0/16", "11.0.0.0/8", "12.0.0.0/9"]);
+        let i = a.intersection(&b);
+        assert!(i.contains_addr(0x0A05_0001));
+        assert!(!i.contains_addr(0x0A06_0001));
+        assert!(i.contains_addr(0x0C00_0001));
+        assert!(!i.contains_addr(0x0C80_0001));
+        assert!(!i.contains_addr(0x0B00_0001));
+        assert_eq!(i.covered_units(), (1u64 << 16) + (1u64 << 23));
+        // Intersection with self is identity space.
+        assert_eq!(a.intersection(&a).covered_units(), a.covered_units());
+        // With disjoint: empty.
+        assert!(a.intersection(&set(&["99.0.0.0/8"])).is_empty());
+    }
+
+    #[test]
+    fn cidr_decomposition() {
+        // [10.0.0.1, 10.0.0.4) = 10.0.0.1/32 + 10.0.0.2/31
+        let got = cidrs_for_interval(0x0A00_0001, 0x0A00_0004);
+        assert_eq!(got, vec![p("10.0.0.1/32"), p("10.0.0.2/31")]);
+        // Aligned power of two: single block.
+        let got = cidrs_for_interval(0x0A00_0000, 0x0B00_0000);
+        assert_eq!(got, vec![p("10.0.0.0/8")]);
+    }
+}

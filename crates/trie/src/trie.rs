@@ -1,0 +1,629 @@
+//! The arena-backed Patricia trie map.
+
+use spoofwatch_net::Ipv4Prefix;
+
+/// Sentinel child index meaning "no child".
+const NONE: u32 = u32::MAX;
+/// Index of the root node (key `0.0.0.0/0`), never freed.
+const ROOT: u32 = 0;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    /// The bitstring this node represents. Children are strictly covered
+    /// by their parent's key and branch on bit `key.len()`.
+    key: Ipv4Prefix,
+    /// `Some` iff this prefix is a member of the map. Internal nodes
+    /// created by path splits carry `None`.
+    value: Option<T>,
+    /// `children[0]` continues with a 0 bit, `children[1]` with a 1 bit.
+    children: [u32; 2],
+}
+
+impl<T> Node<T> {
+    fn new(key: Ipv4Prefix, value: Option<T>) -> Self {
+        Node {
+            key,
+            value,
+            children: [NONE, NONE],
+        }
+    }
+
+    fn child_count(&self) -> usize {
+        self.children.iter().filter(|&&c| c != NONE).count()
+    }
+}
+
+/// A map from canonical IPv4 prefixes to values, supporting O(W)
+/// longest-prefix match (W ≤ 32), exact lookups, insertion, and removal.
+///
+/// ```
+/// use spoofwatch_trie::PrefixTrie;
+/// use spoofwatch_net::{parse_addr, Ipv4Prefix};
+///
+/// let mut t = PrefixTrie::new();
+/// t.insert("10.0.0.0/8".parse().unwrap(), "big");
+/// t.insert("10.1.0.0/16".parse().unwrap(), "small");
+///
+/// let (p, v) = t.lookup(parse_addr("10.1.2.3").unwrap()).unwrap();
+/// assert_eq!((p.to_string().as_str(), *v), ("10.1.0.0/16", "small"));
+///
+/// let (p, v) = t.lookup(parse_addr("10.200.0.1").unwrap()).unwrap();
+/// assert_eq!((p.to_string().as_str(), *v), ("10.0.0.0/8", "big"));
+///
+/// assert!(t.lookup(parse_addr("11.0.0.1").unwrap()).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::new(Ipv4Prefix::DEFAULT, None)],
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored (not internal nodes).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no prefixes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, node: Node<T>) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(node);
+            idx
+        }
+    }
+
+    fn dealloc(&mut self, idx: u32) {
+        debug_assert_ne!(idx, ROOT);
+        // Leave a tombstone; the slot is recycled via the free list.
+        self.nodes[idx as usize] = Node::new(Ipv4Prefix::DEFAULT, None);
+        self.free.push(idx);
+    }
+
+    /// Insert `prefix` → `value`, returning the previous value if the
+    /// prefix was already present.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut cur = ROOT;
+        loop {
+            let key = self.nodes[cur as usize].key;
+            debug_assert!(key.covers(&prefix));
+            if key == prefix {
+                let old = self.nodes[cur as usize].value.replace(value);
+                if old.is_none() {
+                    self.len += 1;
+                }
+                return old;
+            }
+            let dir = prefix.bit(key.len()) as usize;
+            let child = self.nodes[cur as usize].children[dir];
+            if child == NONE {
+                let leaf = self.alloc(Node::new(prefix, Some(value)));
+                self.nodes[cur as usize].children[dir] = leaf;
+                self.len += 1;
+                return None;
+            }
+            let ckey = self.nodes[child as usize].key;
+            if ckey.covers(&prefix) {
+                cur = child;
+                continue;
+            }
+            if prefix.covers(&ckey) {
+                // Splice the new node between `cur` and `child`.
+                let mid = self.alloc(Node::new(prefix, Some(value)));
+                self.nodes[mid as usize].children[ckey.bit(prefix.len()) as usize] = child;
+                self.nodes[cur as usize].children[dir] = mid;
+                self.len += 1;
+                return None;
+            }
+            // Diverging paths: split at the longest common prefix.
+            let common = common_prefix(prefix, ckey);
+            debug_assert!(common.len() > key.len());
+            debug_assert!(common.len() < prefix.len() && common.len() < ckey.len());
+            let leaf = self.alloc(Node::new(prefix, Some(value)));
+            let mid = self.alloc(Node::new(common, None));
+            self.nodes[mid as usize].children[ckey.bit(common.len()) as usize] = child;
+            self.nodes[mid as usize].children[prefix.bit(common.len()) as usize] = leaf;
+            self.nodes[cur as usize].children[dir] = mid;
+            self.len += 1;
+            return None;
+        }
+    }
+
+    /// Longest-prefix match: the most specific stored prefix containing
+    /// `addr`, with its value.
+    pub fn lookup(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        let mut cur = ROOT;
+        let mut best: Option<u32> = None;
+        loop {
+            let node = &self.nodes[cur as usize];
+            if node.value.is_some() {
+                best = Some(cur);
+            }
+            if node.key.len() == 32 {
+                break;
+            }
+            let dir = addr_bit(addr, node.key.len()) as usize;
+            let child = node.children[dir];
+            if child == NONE || !self.nodes[child as usize].key.contains(addr) {
+                break;
+            }
+            cur = child;
+        }
+        best.map(|idx| {
+            let n = &self.nodes[idx as usize];
+            (n.key, n.value.as_ref().expect("best node has value"))
+        })
+    }
+
+    /// All stored prefixes containing `addr`, least specific first.
+    pub fn matches(&self, addr: u32) -> Vec<(Ipv4Prefix, &T)> {
+        let mut out = Vec::new();
+        let mut cur = ROOT;
+        loop {
+            let node = &self.nodes[cur as usize];
+            if let Some(v) = &node.value {
+                out.push((node.key, v));
+            }
+            if node.key.len() == 32 {
+                break;
+            }
+            let dir = addr_bit(addr, node.key.len()) as usize;
+            let child = node.children[dir];
+            if child == NONE || !self.nodes[child as usize].key.contains(addr) {
+                break;
+            }
+            cur = child;
+        }
+        out
+    }
+
+    fn find(&self, prefix: &Ipv4Prefix) -> Option<u32> {
+        let mut cur = ROOT;
+        loop {
+            let node = &self.nodes[cur as usize];
+            if node.key == *prefix {
+                return node.value.is_some().then_some(cur);
+            }
+            if node.key.len() >= prefix.len() || !node.key.covers(prefix) {
+                return None;
+            }
+            let dir = prefix.bit(node.key.len()) as usize;
+            let child = node.children[dir];
+            if child == NONE || !self.nodes[child as usize].key.covers(prefix) {
+                return None;
+            }
+            cur = child;
+        }
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: &Ipv4Prefix) -> Option<&T> {
+        self.find(prefix)
+            .map(|idx| self.nodes[idx as usize].value.as_ref().expect("found"))
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: &Ipv4Prefix) -> Option<&mut T> {
+        self.find(prefix)
+            .map(|idx| self.nodes[idx as usize].value.as_mut().expect("found"))
+    }
+
+    /// Whether the exact prefix is stored.
+    pub fn contains(&self, prefix: &Ipv4Prefix) -> bool {
+        self.find(prefix).is_some()
+    }
+
+    /// Remove a prefix, returning its value. Internal nodes left with a
+    /// single child are spliced out so the structure stays compressed.
+    pub fn remove(&mut self, prefix: &Ipv4Prefix) -> Option<T> {
+        // Walk down recording the path (parent chain with directions).
+        let mut path: Vec<(u32, usize)> = Vec::new(); // (parent, dir into child)
+        let mut cur = ROOT;
+        loop {
+            let key = self.nodes[cur as usize].key;
+            if key == *prefix {
+                break;
+            }
+            if key.len() >= prefix.len() || !key.covers(prefix) {
+                return None;
+            }
+            let dir = prefix.bit(key.len()) as usize;
+            let child = self.nodes[cur as usize].children[dir];
+            if child == NONE || !self.nodes[child as usize].key.covers(prefix) {
+                return None;
+            }
+            path.push((cur, dir));
+            cur = child;
+        }
+        let value = self.nodes[cur as usize].value.take()?;
+        self.len -= 1;
+        self.prune(cur, &path);
+        Some(value)
+    }
+
+    /// Restore compression invariants after `node` lost its value.
+    fn prune(&mut self, node: u32, path: &[(u32, usize)]) {
+        if node == ROOT {
+            return;
+        }
+        let (parent, dir) = *path.last().expect("non-root has a parent");
+        match self.nodes[node as usize].child_count() {
+            0 => {
+                self.nodes[parent as usize].children[dir] = NONE;
+                self.dealloc(node);
+                // The parent may now be a valueless internal node with one
+                // child; splice it too (at most one level, see invariant:
+                // valueless internals always have two children).
+                if parent != ROOT && self.nodes[parent as usize].value.is_none() {
+                    if let Some(only) = self.only_child(parent) {
+                        let (gp, gdir) = path[path.len() - 2];
+                        self.nodes[gp as usize].children[gdir] = only;
+                        self.dealloc(parent);
+                    }
+                }
+            }
+            1 => {
+                let only = self.only_child(node).expect("child_count == 1");
+                self.nodes[parent as usize].children[dir] = only;
+                self.dealloc(node);
+            }
+            _ => {
+                // Two children: node stays as a split point.
+            }
+        }
+    }
+
+    fn only_child(&self, node: u32) -> Option<u32> {
+        let c = self.nodes[node as usize].children;
+        match (c[0] != NONE, c[1] != NONE) {
+            (true, false) => Some(c[0]),
+            (false, true) => Some(c[1]),
+            _ => None,
+        }
+    }
+
+    /// Iterate stored `(prefix, &value)` pairs in ascending `(bits, len)`
+    /// order (supernets before their subnets).
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            trie: self,
+            stack: vec![ROOT],
+        }
+    }
+
+    /// Sum of addresses covered by the *union* of stored prefixes, in
+    /// 1/256-of-a-/24 units (i.e. plain addresses). Nested prefixes are
+    /// not double counted.
+    pub fn covered_units(&self) -> u64 {
+        let mut total = 0u64;
+        let mut stack = vec![ROOT];
+        while let Some(idx) = stack.pop() {
+            let node = &self.nodes[idx as usize];
+            if node.value.is_some() {
+                total += node.key.num_addresses();
+                continue; // descendants are covered already
+            }
+            for &c in &node.children {
+                if c != NONE {
+                    stack.push(c);
+                }
+            }
+        }
+        total
+    }
+
+    /// Check the structural invariants; used by tests and debug builds.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut count = 0usize;
+        let mut stack = vec![ROOT];
+        let mut visited = 0usize;
+        while let Some(idx) = stack.pop() {
+            visited += 1;
+            let node = &self.nodes[idx as usize];
+            if node.value.is_some() {
+                count += 1;
+            }
+            if idx != ROOT && node.value.is_none() && node.child_count() != 2 {
+                return Err(format!(
+                    "internal node {} ({}) has {} children",
+                    idx,
+                    node.key,
+                    node.child_count()
+                ));
+            }
+            for (dir, &c) in node.children.iter().enumerate() {
+                if c == NONE {
+                    continue;
+                }
+                let ckey = self.nodes[c as usize].key;
+                if !node.key.covers(&ckey) || ckey == node.key {
+                    return Err(format!("child {ckey} not strictly under {}", node.key));
+                }
+                if ckey.bit(node.key.len()) as usize != dir {
+                    return Err(format!("child {ckey} in wrong slot of {}", node.key));
+                }
+                stack.push(c);
+            }
+        }
+        if count != self.len {
+            return Err(format!("len {} but counted {count}", self.len));
+        }
+        if visited + self.free.len() != self.nodes.len() {
+            return Err(format!(
+                "arena leak: visited {visited} + free {} != {}",
+                self.free.len(),
+                self.nodes.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+/// In-order iterator over `(prefix, &value)` pairs.
+pub struct Iter<'a, T> {
+    trie: &'a PrefixTrie<T>,
+    stack: Vec<u32>,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = (Ipv4Prefix, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(idx) = self.stack.pop() {
+            let node = &self.trie.nodes[idx as usize];
+            // Right pushed first so left (numerically smaller) pops first.
+            if node.children[1] != NONE {
+                self.stack.push(node.children[1]);
+            }
+            if node.children[0] != NONE {
+                self.stack.push(node.children[0]);
+            }
+            if let Some(v) = &node.value {
+                return Some((node.key, v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PrefixTrie<T> {
+    type Item = (Ipv4Prefix, &'a T);
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Bit `index` (0 = most significant) of an address.
+#[inline]
+fn addr_bit(addr: u32, index: u8) -> bool {
+    debug_assert!(index < 32);
+    addr & (1u32 << (31 - index)) != 0
+}
+
+/// The longest prefix common to both arguments.
+fn common_prefix(a: Ipv4Prefix, b: Ipv4Prefix) -> Ipv4Prefix {
+    let diff = a.bits() ^ b.bits();
+    let len = (diff.leading_zeros() as u8)
+        .min(a.len())
+        .min(b.len());
+    Ipv4Prefix::new_truncating(a.bits(), len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_lookup() {
+        let t: PrefixTrie<u32> = PrefixTrie::new();
+        assert!(t.lookup(0x0A00_0001).is_none());
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn default_route_is_storable() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, 99);
+        assert_eq!(t.lookup(123).unwrap().1, &99);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(&Ipv4Prefix::DEFAULT), Some(99));
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        assert_eq!(t.lookup(0x0A01_0203).unwrap(), (p("10.1.2.0/24"), &24));
+        assert_eq!(t.lookup(0x0A01_0503).unwrap(), (p("10.1.0.0/16"), &16));
+        assert_eq!(t.lookup(0x0A05_0503).unwrap(), (p("10.0.0.0/8"), &8));
+        assert!(t.lookup(0x0B00_0000).is_none());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn matches_collects_chain() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.1.0.0/16"), 16);
+        t.insert(p("10.1.2.0/24"), 24);
+        let m: Vec<_> = t.matches(0x0A01_0203).into_iter().map(|(q, v)| (q, *v)).collect();
+        assert_eq!(
+            m,
+            vec![
+                (p("10.0.0.0/8"), 8),
+                (p("10.1.0.0/16"), 16),
+                (p("10.1.2.0/24"), 24)
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("192.0.2.0/24"), 1), None);
+        assert_eq!(t.insert(p("192.0.2.0/24"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("192.0.2.0/24")), Some(&2));
+    }
+
+    #[test]
+    fn split_siblings() {
+        let mut t = PrefixTrie::new();
+        // Diverge inside 10.0.0.0/8: forces a valueless split node.
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.128.0.0/16"), 2);
+        assert_eq!(t.lookup(0x0A00_1234).unwrap().1, &1);
+        assert_eq!(t.lookup(0x0A80_1234).unwrap().1, &2);
+        assert!(t.lookup(0x0A40_0000).is_none(), "gap between siblings");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_between() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.1.2.0/24"), 24);
+        t.insert(p("10.0.0.0/8"), 8); // inserted above existing leaf
+        assert_eq!(t.lookup(0x0A01_0201).unwrap().1, &24);
+        assert_eq!(t.lookup(0x0AFF_0000).unwrap().1, &8);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_leaf_and_splice() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.128.0.0/16"), 2);
+        assert_eq!(t.remove(&p("10.0.0.0/16")), Some(1));
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0x0A80_0001).unwrap().1, &2);
+        assert!(t.lookup(0x0A00_0001).is_none());
+        assert_eq!(t.remove(&p("10.128.0.0/16")), Some(2));
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_internal_value_keeps_children() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        t.insert(p("10.0.0.0/16"), 1);
+        t.insert(p("10.128.0.0/16"), 2);
+        assert_eq!(t.remove(&p("10.0.0.0/8")), Some(8));
+        t.check_invariants().unwrap();
+        assert_eq!(t.lookup(0x0A00_0001).unwrap().1, &1);
+        assert_eq!(t.lookup(0x0A80_0001).unwrap().1, &2);
+        assert!(t.lookup(0x0A40_0000).is_none(), "/8 no longer matches");
+    }
+
+    #[test]
+    fn remove_missing_is_none() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 8);
+        assert_eq!(t.remove(&p("10.0.0.0/16")), None);
+        assert_eq!(t.remove(&p("11.0.0.0/8")), None);
+        assert_eq!(t.remove(&p("10.0.0.0/7")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iteration_sorted() {
+        let mut t = PrefixTrie::new();
+        let prefixes = ["192.0.2.0/24", "10.0.0.0/8", "10.1.0.0/16", "172.16.0.0/12"];
+        for (i, s) in prefixes.iter().enumerate() {
+            t.insert(p(s), i);
+        }
+        let got: Vec<_> = t.iter().map(|(q, _)| q).collect();
+        let mut want: Vec<_> = prefixes.iter().map(|s| p(s)).collect();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn covered_units_dedupes_nesting() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), ());
+        t.insert(p("10.1.0.0/16"), ()); // nested: no extra space
+        t.insert(p("192.0.2.0/24"), ());
+        assert_eq!(t.covered_units(), (1u64 << 24) + 256);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::host(0x0A00_0001), "a");
+        t.insert(Ipv4Prefix::host(0x0A00_0002), "b");
+        assert_eq!(t.lookup(0x0A00_0001).unwrap().1, &"a");
+        assert_eq!(t.lookup(0x0A00_0002).unwrap().1, &"b");
+        assert!(t.lookup(0x0A00_0003).is_none());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn arena_reuse_after_removal() {
+        let mut t = PrefixTrie::new();
+        for i in 0..100u32 {
+            t.insert(Ipv4Prefix::new_truncating(i << 16, 16), i);
+        }
+        let before = t.nodes.len();
+        for i in 0..100u32 {
+            t.remove(&Ipv4Prefix::new_truncating(i << 16, 16));
+        }
+        for i in 0..100u32 {
+            t.insert(Ipv4Prefix::new_truncating(i << 16, 16), i);
+        }
+        assert!(t.nodes.len() <= before + 1, "free list must be reused");
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn common_prefix_cases() {
+        assert_eq!(common_prefix(p("10.0.0.0/16"), p("10.128.0.0/16")), p("10.0.0.0/8"));
+        assert_eq!(common_prefix(p("0.0.0.0/8"), p("128.0.0.0/8")), Ipv4Prefix::DEFAULT);
+        assert_eq!(common_prefix(p("10.0.0.0/8"), p("10.0.0.0/16")), p("10.0.0.0/8"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests checking the Patricia trie against a brute-force model.
+
+use proptest::prelude::*;
+use spoofwatch_net::Ipv4Prefix;
+use spoofwatch_trie::{PrefixSet, PrefixTrie};
+use std::collections::HashMap;
+
+/// Arbitrary canonical prefix, biased toward a small universe so nesting
+/// and sibling collisions actually happen.
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (0u32..=0xFFFF_FFFF, 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::new_truncating(bits, len))
+}
+
+/// Prefixes confined to 10.0.0.0/8 with lengths 8..=28 — a dense universe.
+fn arb_dense_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (0u32..=0x00FF_FFFF, 8u8..=28).prop_map(|(low, len)| {
+        Ipv4Prefix::new_truncating(0x0A00_0000 | low, len)
+    })
+}
+
+/// Brute-force longest-prefix match over a model map.
+fn model_lpm(model: &HashMap<Ipv4Prefix, u32>, addr: u32) -> Option<(Ipv4Prefix, u32)> {
+    model
+        .iter()
+        .filter(|(p, _)| p.contains(addr))
+        .max_by_key(|(p, _)| p.len())
+        .map(|(p, v)| (*p, *v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LPM over the trie must agree with a linear scan, for arbitrary
+    /// insert sequences.
+    #[test]
+    fn lpm_matches_linear_scan(
+        prefixes in prop::collection::vec((arb_dense_prefix(), 0u32..1000), 1..60),
+        probes in prop::collection::vec(0x0A00_0000u32..=0x0AFF_FFFF, 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut model = HashMap::new();
+        for (p, v) in &prefixes {
+            trie.insert(*p, *v);
+            model.insert(*p, *v);
+        }
+        trie.check_invariants().unwrap();
+        prop_assert_eq!(trie.len(), model.len());
+        for addr in probes {
+            let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+            let want = model_lpm(&model, addr);
+            prop_assert_eq!(got, want, "addr {:#x}", addr);
+        }
+    }
+
+    /// Interleaved inserts and removes must track the model exactly and
+    /// never violate structural invariants.
+    #[test]
+    fn insert_remove_tracks_model(
+        ops in prop::collection::vec((arb_dense_prefix(), 0u32..100, prop::bool::ANY), 1..120),
+        probes in prop::collection::vec(0x0A00_0000u32..=0x0AFF_FFFF, 1..20),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut model = HashMap::new();
+        for (p, v, is_insert) in &ops {
+            if *is_insert {
+                prop_assert_eq!(trie.insert(*p, *v), model.insert(*p, *v));
+            } else {
+                prop_assert_eq!(trie.remove(p), model.remove(p));
+            }
+        }
+        trie.check_invariants().unwrap();
+        prop_assert_eq!(trie.len(), model.len());
+        for (p, v) in &model {
+            prop_assert_eq!(trie.get(p), Some(v));
+        }
+        for addr in probes {
+            prop_assert_eq!(trie.lookup(addr).map(|(p, v)| (p, *v)), model_lpm(&model, addr));
+        }
+    }
+
+    /// `matches` must return exactly the covering chain, least specific
+    /// first.
+    #[test]
+    fn matches_is_the_covering_chain(
+        prefixes in prop::collection::vec(arb_dense_prefix(), 1..40),
+        addr in 0x0A00_0000u32..=0x0AFF_FFFF,
+    ) {
+        let trie: PrefixTrie<u32> = prefixes.iter().map(|p| (*p, 0u32)).collect();
+        let got: Vec<_> = trie.matches(addr).into_iter().map(|(p, _)| p).collect();
+        let mut want: Vec<_> = prefixes
+            .iter()
+            .copied()
+            .filter(|p| p.contains(addr))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        want.sort_by_key(|p| p.len());
+        prop_assert_eq!(got, want);
+    }
+
+    /// The union size must equal the count of distinct /28 blocks covered
+    /// (lengths are capped at /28, so /28 granularity is exact).
+    #[test]
+    fn covered_units_counts_distinct_space(
+        prefixes in prop::collection::vec(
+            // Lengths ≥16 keep the /28-block model small enough to be fast.
+            (0u32..=0x00FF_FFFF, 16u8..=28).prop_map(|(low, len)| {
+                Ipv4Prefix::new_truncating(0x0A00_0000 | low, len)
+            }),
+            1..30,
+        ),
+    ) {
+        let set: PrefixSet = prefixes.iter().collect();
+        let mut blocks = std::collections::HashSet::new();
+        for p in &prefixes {
+            let start = p.first() >> 4; // /28 blocks
+            let end = p.last() >> 4;
+            for b in start..=end {
+                blocks.insert(b);
+            }
+        }
+        prop_assert_eq!(set.covered_units(), blocks.len() as u64 * 16);
+    }
+
+    /// Aggregation must preserve covered space exactly while never growing
+    /// the prefix count, and must be idempotent.
+    #[test]
+    fn aggregate_preserves_space_and_shrinks(
+        prefixes in prop::collection::vec(arb_dense_prefix(), 1..40),
+    ) {
+        let set: PrefixSet = prefixes.iter().collect();
+        let agg = set.aggregate();
+        prop_assert_eq!(agg.covered_units(), set.covered_units());
+        prop_assert!(agg.len() <= set.len());
+        let again = agg.aggregate();
+        prop_assert_eq!(again.len(), agg.len());
+        prop_assert_eq!(again.covered_units(), agg.covered_units());
+        // Every original address is still covered: probe boundaries.
+        for p in &prefixes {
+            prop_assert!(agg.contains_addr(p.first()));
+            prop_assert!(agg.contains_addr(p.last()));
+        }
+    }
+
+    /// Set algebra must match per-address semantics: probe membership of
+    /// difference and intersection against the two inputs.
+    #[test]
+    fn difference_intersection_match_membership(
+        a in prop::collection::vec(arb_dense_prefix(), 1..25),
+        b in prop::collection::vec(arb_dense_prefix(), 1..25),
+        probes in prop::collection::vec(0x0A00_0000u32..=0x0AFF_FFFF, 1..60),
+    ) {
+        let sa: PrefixSet = a.iter().collect();
+        let sb: PrefixSet = b.iter().collect();
+        let diff = sa.difference(&sb);
+        let inter = sa.intersection(&sb);
+        for addr in probes {
+            let ina = sa.contains_addr(addr);
+            let inb = sb.contains_addr(addr);
+            prop_assert_eq!(diff.contains_addr(addr), ina && !inb, "diff at {:#x}", addr);
+            prop_assert_eq!(inter.contains_addr(addr), ina && inb, "inter at {:#x}", addr);
+        }
+        // Sizes partition: |A| = |A∖B| + |A∩B|.
+        prop_assert_eq!(
+            sa.covered_units(),
+            diff.covered_units() + inter.covered_units()
+        );
+    }
+
+    /// Intervals are sorted, disjoint, non-adjacent, and sum to the
+    /// covered units.
+    #[test]
+    fn intervals_are_canonical(
+        prefixes in prop::collection::vec(arb_prefix(), 1..40),
+    ) {
+        let set: PrefixSet = prefixes.iter().collect();
+        let iv = set.intervals();
+        let mut sum = 0u64;
+        for w in iv.windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "sorted, disjoint, merged: {:?}", iv);
+        }
+        for (s, e) in &iv {
+            prop_assert!(s < e);
+            sum += e - s;
+        }
+        prop_assert_eq!(sum, set.covered_units());
+    }
+
+    /// Iteration yields prefixes in strictly ascending (bits, len) order
+    /// with no duplicates.
+    #[test]
+    fn iteration_sorted_unique(
+        prefixes in prop::collection::vec(arb_prefix(), 1..60),
+    ) {
+        let trie: PrefixTrie<()> = prefixes.iter().map(|p| (*p, ())).collect();
+        let got: Vec<_> = trie.iter().map(|(p, _)| p).collect();
+        for w in got.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly ascending: {} vs {}", w[0], w[1]);
+        }
+        prop_assert_eq!(got.len(), trie.len());
+    }
+}

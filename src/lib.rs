@@ -1,0 +1,21 @@
+//! # spoofwatch
+//!
+//! Facade crate re-exporting the full `spoofwatch` system: a reproduction
+//! of *"Detection, Classification, and Analysis of Inter-Domain Traffic
+//! with Spoofed Source IP Addresses"* (Lichtblau et al., ACM IMC 2017).
+//!
+//! Start with [`core`]'s classification pipeline, generate inputs with
+//! [`internet`] and [`ixp`], and analyse results with [`analysis`].
+
+#![forbid(unsafe_code)]
+
+pub use spoofwatch_analysis as analysis;
+pub use spoofwatch_asgraph as asgraph;
+pub use spoofwatch_bgp as bgp;
+pub use spoofwatch_core as core;
+pub use spoofwatch_internet as internet;
+pub use spoofwatch_ixp as ixp;
+pub use spoofwatch_net as net;
+pub use spoofwatch_packet as packet;
+pub use spoofwatch_spoofer as spoofer;
+pub use spoofwatch_trie as trie;
