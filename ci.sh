@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, lint policy for decode hot paths,
+# and a fault-injection smoke test.
+#
+# Note: the root manifest is both the workspace and a package, so a bare
+# `cargo test` only runs the root package's tests — always pass
+# --workspace here.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tests (workspace)"
+cargo test -q --workspace
+
+echo "==> clippy: no unwrap in decode hot paths (lib targets only)"
+cargo clippy -q -p spoofwatch-net -p spoofwatch-bgp -p spoofwatch-ixp \
+    -p spoofwatch-packet -- -D clippy::unwrap_used
+
+echo "==> fault-injection smoke test (1% corruption acceptance)"
+cargo test -q -p spoofwatch-ixp    ipfix_one_percent_corruption_recovers_unaffected_records
+cargo test -q -p spoofwatch-bgp    mrt_one_percent_corruption_recovers_unaffected_records
+cargo test -q -p spoofwatch-packet pcap_one_percent_corruption_recovers_unaffected_records
+cargo run -q --release --example dirty_ingest > /dev/null
+
+echo "==> CI green"

@@ -3,11 +3,42 @@
 //! operator (or a reviewer) reads end to end.
 
 use crate::{addrstruct, attack, ccdf, evaluate, portmix, scatter, sizes, timeseries, venn};
-use spoofwatch_core::{Classifier, MemberBreakdown, Table1};
+use spoofwatch_core::{Classifier, Confidence, DegradedStats, MemberBreakdown, Table1};
 use spoofwatch_internet::Internet;
 use spoofwatch_ixp::{Trace, TrafficLabel};
-use spoofwatch_net::TrafficClass;
+use spoofwatch_net::{IngestHealth, TrafficClass};
 use std::collections::HashSet;
+
+/// Health of the ingest pipeline that produced the classified trace: one
+/// [`IngestHealth`] per upstream source (pcap capture, IPFIX feed, MRT
+/// dump, …) plus the routing-table freshness the classifier ran under.
+/// Attached to a [`StudyReport`] so a reader can judge how much of the
+/// input survived decoding before trusting the numbers downstream.
+pub struct IngestSummary {
+    /// Per-source decode health, in the order the sources were ingested.
+    pub sources: Vec<(String, IngestHealth)>,
+    /// Freshness of the routing table at classification time.
+    pub table_confidence: Confidence,
+    /// Confidence counters from degraded-mode classification, when the
+    /// degraded path was used.
+    pub degraded: Option<DegradedStats>,
+}
+
+impl IngestSummary {
+    /// Total bytes quarantined across all sources.
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.sources.iter().map(|(_, h)| h.quarantined_bytes).sum()
+    }
+
+    /// True when every source decoded fully and the table is fresh.
+    pub fn is_clean(&self) -> bool {
+        self.table_confidence == Confidence::Fresh
+            && self
+                .sources
+                .iter()
+                .all(|(_, h)| h.resyncs == 0 && h.quarantined_bytes == 0 && !h.unrecoverable)
+    }
+}
 
 /// Everything the study produces, computed in one pass.
 pub struct StudyReport {
@@ -35,6 +66,8 @@ pub struct StudyReport {
     pub fig11c: attack::Fig11c,
     /// Ground-truth scoring (synthetic traces only).
     pub evaluation: Option<evaluate::Evaluation>,
+    /// Ingest-pipeline health, when the caller attached it.
+    pub ingest: Option<IngestSummary>,
 }
 
 impl StudyReport {
@@ -62,7 +95,15 @@ impl StudyReport {
             fig11c: attack::Fig11c::compute(&trace.flows, classes, trace.duration),
             evaluation: labels
                 .map(|l| evaluate::Evaluation::compute(&trace.flows, l, classes)),
+            ingest: None,
         }
+    }
+
+    /// Attach ingest-pipeline health so [`render`](Self::render) includes
+    /// a data-quality section.
+    pub fn with_ingest(mut self, summary: IngestSummary) -> Self {
+        self.ingest = Some(summary);
+        self
     }
 
     /// Render the headline findings as one document.
@@ -123,6 +164,30 @@ impl StudyReport {
             out.push_str("\n## Ground-truth scoring (synthetic trace)\n\n");
             out.push_str(&eval.render());
         }
+
+        if let Some(ingest) = &self.ingest {
+            out.push_str("\n## Ingest health\n\n");
+            for (name, health) in &ingest.sources {
+                out.push_str(&format!("- `{name}`: {health}\n"));
+            }
+            out.push_str(&format!(
+                "- routing table: {} at classification time\n",
+                ingest.table_confidence,
+            ));
+            if let Some(d) = &ingest.degraded {
+                out.push_str(&format!(
+                    "- degraded-mode classification: {} flows ({} fresh, {} degraded, \
+                     {} stale; {} tentative Unrouted verdicts)\n",
+                    d.flows, d.fresh, d.degraded, d.stale, d.unrouted_tentative,
+                ));
+            }
+            if !ingest.is_clean() {
+                out.push_str(
+                    "\n*Caveat: part of the input was quarantined or classified against \
+                     a stale routing table; treat small classes with care.*\n",
+                );
+            }
+        }
         out
     }
 }
@@ -154,5 +219,50 @@ mod tests {
         // Without labels, the scoring section is absent.
         let anon = StudyReport::compute(&net, &trace, &classifier, &classes, None);
         assert!(!anon.render().contains("Ground-truth scoring"));
+    }
+
+    #[test]
+    fn ingest_section_renders_when_attached() {
+        let net = Internet::generate(InternetConfig::tiny(88));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(8));
+        let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+        let classes = classifier.classify_trace(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+        );
+        let report = StudyReport::compute(&net, &trace, &classifier, &classes, None);
+        assert!(!report.render().contains("Ingest health"));
+
+        let mut dirty = IngestHealth::new(1000);
+        dirty.credit_ok(6);
+        dirty.credit_record(959);
+        dirty.quarantine(700, 35, spoofwatch_net::FaultKind::BadRecord);
+        dirty.note_resync();
+        assert!(dirty.reconciles());
+        let summary = IngestSummary {
+            sources: vec![
+                ("flows.ipfix".to_string(), dirty),
+                ("rib.mrt".to_string(), IngestHealth::new(0)),
+            ],
+            table_confidence: Confidence::Degraded,
+            degraded: Some(DegradedStats {
+                flows: trace.flows.len() as u64,
+                fresh: 0,
+                degraded: trace.flows.len() as u64,
+                stale: 0,
+                unrouted_tentative: 3,
+            }),
+        };
+        assert_eq!(summary.quarantined_bytes(), 35);
+        assert!(!summary.is_clean());
+        let text = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+            .with_ingest(summary)
+            .render();
+        assert!(text.contains("Ingest health"));
+        assert!(text.contains("flows.ipfix"));
+        assert!(text.contains("degraded at classification time"));
+        assert!(text.contains("tentative Unrouted"));
+        assert!(text.contains("Caveat"));
     }
 }

@@ -1,0 +1,113 @@
+//! Resilient-decoder throughput under injected corruption: how much does
+//! resynchronization cost when 0% / 1% / 5% of input bytes carry bit
+//! flips? Complements `codecs.rs`, which measures the clean fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spoofwatch_bgp::{mrt, Announcement, AsPath, Update};
+use spoofwatch_ixp::ipfix;
+use spoofwatch_net::{Asn, FaultInjector, FlowRecord, Ipv4Prefix, Proto};
+use spoofwatch_packet::{pcap, PcapPacket, PcapWriter};
+use std::hint::black_box;
+
+/// Flows that satisfy the IPFIX-lite plausibility invariant
+/// (`bytes == packets * pkt_size`), so resync can realign on them.
+fn plausible_flows(n: usize) -> Vec<FlowRecord> {
+    let mut rng = StdRng::seed_from_u64(9);
+    (0..n)
+        .map(|_| {
+            let packets: u32 = rng.random_range(1..100);
+            let pkt_size: u16 = rng.random_range(40..1500);
+            FlowRecord {
+                ts: rng.random(),
+                src: rng.random(),
+                dst: rng.random(),
+                proto: Proto::from_number(rng.random_range(0..20)),
+                sport: rng.random(),
+                dport: rng.random(),
+                packets,
+                bytes: packets as u64 * pkt_size as u64,
+                pkt_size,
+                member: Asn(rng.random_range(1..60_000)),
+            }
+        })
+        .collect()
+}
+
+fn sample_updates(n: usize) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| {
+            let prefix = Ipv4Prefix::new_truncating(rng.random(), rng.random_range(8..=24));
+            if rng.random_bool(0.8) {
+                let hops: Vec<u32> = (0..rng.random_range(1..6))
+                    .map(|_| rng.random_range(1..60_000))
+                    .collect();
+                Update::Announce {
+                    ts: rng.random(),
+                    peer: Asn(rng.random_range(1..1000)),
+                    announcement: Announcement::new(prefix, AsPath::from(hops)),
+                }
+            } else {
+                Update::Withdraw {
+                    ts: rng.random(),
+                    peer: Asn(rng.random_range(1..1000)),
+                    prefix,
+                }
+            }
+        })
+        .collect()
+}
+
+fn sample_capture(n: usize) -> Vec<u8> {
+    let mut w = PcapWriter::new(Vec::new()).expect("vec write");
+    for i in 0..n as u32 {
+        let body: Vec<u8> = (0..60 + (i % 600) as usize)
+            .map(|j| (0x20 + ((i as usize + j) % 90)) as u8)
+            .collect();
+        w.write_packet(&PcapPacket::full(i, 0, body)).expect("vec write");
+    }
+    w.finish().expect("vec write")
+}
+
+/// Corrupt `percent`% of bytes (one flipped bit each) past the header.
+fn corrupted(clean: &[u8], percent: f64, protect: usize, seed: u64) -> Vec<u8> {
+    let mut dirty = clean.to_vec();
+    let mut inj = FaultInjector::new(seed).protect_prefix(protect);
+    inj.corrupt_percent(&mut dirty, percent);
+    dirty
+}
+
+fn bench_faults(c: &mut Criterion) {
+    let encoded_flows = ipfix::encode(&plausible_flows(50_000));
+    let encoded_updates = mrt::encode(&sample_updates(20_000));
+    let capture = sample_capture(5_000);
+
+    let mut group = c.benchmark_group("faults");
+    for percent in [0.0, 1.0, 5.0] {
+        let tag = percent as u32;
+
+        let dirty = corrupted(&encoded_flows, percent, 6, 21);
+        group.throughput(Throughput::Bytes(dirty.len() as u64));
+        group.bench_function(format!("ipfix_resilient_50k_{tag}pct"), |b| {
+            b.iter(|| black_box(ipfix::decode_resilient(black_box(&dirty))))
+        });
+
+        let dirty = corrupted(&encoded_updates, percent, 6, 22);
+        group.throughput(Throughput::Bytes(dirty.len() as u64));
+        group.bench_function(format!("mrt_resilient_20k_{tag}pct"), |b| {
+            b.iter(|| black_box(mrt::decode_resilient(black_box(&dirty))))
+        });
+
+        let dirty = corrupted(&capture, percent, 24, 23);
+        group.throughput(Throughput::Bytes(dirty.len() as u64));
+        group.bench_function(format!("pcap_resilient_5k_{tag}pct"), |b| {
+            b.iter(|| black_box(pcap::decode_resilient(black_box(&dirty))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

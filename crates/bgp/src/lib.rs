@@ -25,6 +25,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Decode hot paths must surface faults through the ingest taxonomy, not
+// panic; tests are exempt via cfg.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 mod announce;
 mod collector;

@@ -17,7 +17,7 @@
 
 use crate::{Announcement, AsPath, Update};
 use bytes::{Buf, BufMut};
-use spoofwatch_net::{Asn, Ipv4Prefix};
+use spoofwatch_net::{Asn, FaultKind, IngestHealth, Ipv4Prefix};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -88,33 +88,7 @@ impl<W: Write> MrtWriter<W> {
 
     /// Append one update record.
     pub fn write_update(&mut self, update: &Update) -> io::Result<()> {
-        let mut body = Vec::with_capacity(64);
-        match update {
-            Update::Announce {
-                ts,
-                peer,
-                announcement,
-            } => {
-                body.put_u8(TYPE_ANNOUNCE);
-                body.put_u64(*ts);
-                body.put_u32(peer.0);
-                body.put_u32(announcement.prefix.bits());
-                body.put_u8(announcement.prefix.len());
-                let hops = announcement.path.hops();
-                debug_assert!(hops.len() <= MAX_HOPS);
-                body.put_u16(hops.len() as u16);
-                for h in hops {
-                    body.put_u32(h.0);
-                }
-            }
-            Update::Withdraw { ts, peer, prefix } => {
-                body.put_u8(TYPE_WITHDRAW);
-                body.put_u64(*ts);
-                body.put_u32(peer.0);
-                body.put_u32(prefix.bits());
-                body.put_u8(prefix.len());
-            }
-        }
+        let body = encode_body(update);
         self.inner.write_all(&(body.len() as u32).to_be_bytes())?;
         self.inner.write_all(&body)
     }
@@ -222,18 +196,137 @@ fn decode_body(mut body: &[u8]) -> Result<Option<Update>, MrtError> {
     }
 }
 
+/// Encode one record body (everything after the length prefix).
+fn encode_body(update: &Update) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    match update {
+        Update::Announce {
+            ts,
+            peer,
+            announcement,
+        } => {
+            body.put_u8(TYPE_ANNOUNCE);
+            body.put_u64(*ts);
+            body.put_u32(peer.0);
+            body.put_u32(announcement.prefix.bits());
+            body.put_u8(announcement.prefix.len());
+            let hops = announcement.path.hops();
+            debug_assert!(hops.len() <= MAX_HOPS);
+            body.put_u16(hops.len() as u16);
+            for h in hops {
+                body.put_u32(h.0);
+            }
+        }
+        Update::Withdraw { ts, peer, prefix } => {
+            body.put_u8(TYPE_WITHDRAW);
+            body.put_u64(*ts);
+            body.put_u32(peer.0);
+            body.put_u32(prefix.bits());
+            body.put_u8(prefix.len());
+        }
+    }
+    body
+}
+
 /// Encode a batch of updates to an in-memory buffer.
 pub fn encode(updates: &[Update]) -> Vec<u8> {
-    let mut w = MrtWriter::new(Vec::new()).expect("Vec writes cannot fail");
+    let mut out = Vec::with_capacity(6 + updates.len() * 32);
+    out.put_slice(MAGIC);
+    out.put_u16(VERSION);
     for u in updates {
-        w.write_update(u).expect("Vec writes cannot fail");
+        let body = encode_body(u);
+        out.put_u32(body.len() as u32);
+        out.put_slice(&body);
     }
-    w.finish().expect("Vec writes cannot fail")
+    out
 }
 
 /// Decode a complete in-memory buffer.
 pub fn decode(data: &[u8]) -> Result<Vec<Update>, MrtError> {
     MrtReader::new(data)?.collect_updates()
+}
+
+/// Try to decode a full, well-framed record starting at `pos`; returns
+/// the update and its total encoded length (length prefix included).
+fn try_record_at(data: &[u8], pos: usize) -> Option<(Update, usize)> {
+    let rest = &data[pos..];
+    if rest.len() < 4 {
+        return None;
+    }
+    let blen = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if blen == 0 || blen > MAX_BODY || rest.len() < 4 + blen {
+        return None;
+    }
+    match decode_body(&rest[4..4 + blen]) {
+        Ok(Some(u)) => Some((u, 4 + blen)),
+        _ => None,
+    }
+}
+
+/// Why decoding could not proceed at `pos` (for quarantine labeling).
+fn classify_fault_at(data: &[u8], pos: usize) -> FaultKind {
+    let rest = &data[pos..];
+    if rest.len() < 4 {
+        return FaultKind::Truncated;
+    }
+    let blen = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+    if blen == 0 || blen > MAX_BODY {
+        return FaultKind::BadRecord;
+    }
+    if rest.len() < 4 + blen {
+        return FaultKind::Truncated;
+    }
+    FaultKind::BadRecord
+}
+
+/// Decode an in-memory buffer, recovering from corruption.
+///
+/// Unlike [`decode`], which fail-stops on the first malformed byte, this
+/// quarantines bad spans and resynchronizes on the next offset where a
+/// complete record decodes (length-framed resync: a candidate boundary
+/// must carry a plausible `body_len` *and* a body that fully validates —
+/// stray magic bytes or look-alike lengths inside a corrupt span do not
+/// fool it). The returned [`IngestHealth`] accounts for every input
+/// byte: `ok_bytes + quarantined_bytes == data.len()`.
+///
+/// A bad file header is unrecoverable — record framing cannot be
+/// trusted without it — and quarantines the whole input.
+pub fn decode_resilient(data: &[u8]) -> (Vec<Update>, IngestHealth) {
+    let mut health = IngestHealth::new(data.len() as u64);
+    let mut out = Vec::new();
+    if data.len() < 4 || &data[..4] != MAGIC {
+        health.abandon(FaultKind::BadMagic);
+        return (out, health);
+    }
+    if data.len() < 6 {
+        health.abandon(FaultKind::Truncated);
+        return (out, health);
+    }
+    if u16::from_be_bytes([data[4], data[5]]) != VERSION {
+        health.abandon(FaultKind::BadVersion);
+        return (out, health);
+    }
+    health.credit_ok(6);
+    let mut pos = 6usize;
+    while pos < data.len() {
+        if let Some((u, n)) = try_record_at(data, pos) {
+            out.push(u);
+            health.credit_record(n as u64);
+            pos += n;
+            continue;
+        }
+        let kind = classify_fault_at(data, pos);
+        let mut next = pos + 1;
+        while next < data.len() && try_record_at(data, next).is_none() {
+            next += 1;
+        }
+        health.quarantine(pos as u64, (next - pos) as u64, kind);
+        if next < data.len() {
+            health.note_resync();
+        }
+        pos = next;
+    }
+    (out, health)
 }
 
 #[cfg(test)]
@@ -340,6 +433,108 @@ mod tests {
         bytes[off] = 0xFF;
         bytes[off + 1] = 0xFF;
         assert!(matches!(decode(&bytes), Err(MrtError::BadPath)));
+    }
+
+    #[test]
+    fn resilient_matches_strict_on_clean_input() {
+        let updates = sample();
+        let bytes = encode(&updates);
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got, updates);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+        assert!(health.reconciles());
+        assert_eq!(health.ok_records, 3);
+        assert_eq!(health.ok_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn resilient_recovers_after_truncated_tail() {
+        let updates = sample();
+        let bytes = encode(&updates);
+        // Cut mid-way through the last record.
+        let cut = bytes.len() - 3;
+        let (got, health) = decode_resilient(&bytes[..cut]);
+        assert_eq!(got, updates[..2]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.events.len(), 1);
+        assert_eq!(health.events[0].kind, FaultKind::Truncated);
+        assert_eq!(health.resyncs, 0, "nothing decodable after a torn tail");
+    }
+
+    #[test]
+    fn resilient_ignores_magic_inside_record() {
+        // An announce whose hop values spell out the file magic; the
+        // resync heuristic must not treat it as a record boundary.
+        let magic_as_u32 = u32::from_be_bytes(*MAGIC);
+        let updates = vec![
+            Update::Announce {
+                ts: 5,
+                peer: Asn(1),
+                announcement: Announcement::new(
+                    "10.0.0.0/8".parse().unwrap(),
+                    AsPath::from(vec![magic_as_u32, magic_as_u32]),
+                ),
+            },
+            sample().remove(1),
+        ];
+        let bytes = encode(&updates);
+        assert!(
+            bytes.windows(4).filter(|w| w == MAGIC).count() >= 3,
+            "magic bytes really do appear mid-record"
+        );
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got, updates);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+    }
+
+    #[test]
+    fn resilient_decodes_duplicated_record() {
+        let updates = sample();
+        let bytes = encode(&updates);
+        // Duplicate the middle (withdraw) record byte-for-byte.
+        let start = 6 + (4 + 36); // header + first announce (body 20 + 4 hops)
+        let wlen = 4 + 18; // withdraw: len prefix + body
+        let mut dirty = bytes.clone();
+        let dup: Vec<u8> = dirty[start..start + wlen].to_vec();
+        dirty.splice(start..start, dup);
+        let (got, health) = decode_resilient(&dirty);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[1], got[2], "both copies of the duplicate decode");
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+        assert!(health.reconciles());
+    }
+
+    #[test]
+    fn resilient_resyncs_past_flipped_length() {
+        let updates = sample();
+        let bytes = encode(&updates);
+        let mut dirty = bytes.clone();
+        // Smash the first record's length prefix so its framing lies.
+        dirty[6] = 0xFF;
+        dirty[7] = 0xFF;
+        let (got, health) = decode_resilient(&dirty);
+        assert_eq!(got, updates[1..]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.resyncs, 1);
+        assert_eq!(health.events[0].offset, 6);
+    }
+
+    #[test]
+    fn resilient_abandons_bad_header() {
+        let (got, health) = decode_resilient(b"NOPE\x00\x01rest of the file");
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert!(health.reconciles());
+
+        let mut bytes = encode(&sample());
+        bytes[5] = 99;
+        let (got, health) = decode_resilient(&bytes);
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert!(health.reconciles());
+        assert_eq!(health.events[0].kind, FaultKind::BadVersion);
     }
 
     #[test]

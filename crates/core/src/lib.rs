@@ -28,10 +28,12 @@
 
 pub mod acl;
 pub mod fphunt;
+pub mod freshness;
 mod pipeline;
 pub mod relinfer;
 pub mod stats;
 pub mod stray;
 
+pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, RibFreshness};
 pub use pipeline::Classifier;
 pub use stats::{ClassCounters, MemberBreakdown, Table1, Table1Row};

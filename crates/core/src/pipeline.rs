@@ -126,16 +126,15 @@ impl Classifier {
             .min(flows.len().max(1));
         let chunk = flows.len().div_ceil(threads).max(1);
         let mut out = vec![TrafficClass::Valid; flows.len()];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (in_chunk, out_chunk) in flows.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (f, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
                         *o = self.classify_with(f, method, org);
                     }
                 });
             }
-        })
-        .expect("classification threads do not panic");
+        });
         out
     }
 }
@@ -301,6 +300,51 @@ mod tests {
             c.classify_with(&flow("20.0.0.1", 8), InferenceMethod::FullCone, OrgMode::Plain),
             TrafficClass::Valid
         );
+    }
+
+    #[test]
+    fn degraded_classification_annotates_confidence() {
+        use crate::freshness::Confidence;
+        let c = classifier();
+        let flows = vec![
+            flow("10.1.2.3", 1),  // bogon
+            flow("99.0.0.1", 1),  // unrouted
+            flow("40.0.0.1", 1),  // valid
+        ];
+        let (tagged, stats) = c.classify_trace_degraded(
+            &flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+            Confidence::Stale,
+        );
+        assert_eq!(tagged.len(), 3);
+        assert_eq!(tagged[0].class, TrafficClass::Bogon);
+        assert_eq!(
+            tagged[0].confidence,
+            Confidence::Fresh,
+            "bogon list is static, unaffected by feed health"
+        );
+        assert_eq!(tagged[1].class, TrafficClass::Unrouted);
+        assert_eq!(tagged[1].confidence, Confidence::Stale);
+        assert_eq!(tagged[2].confidence, Confidence::Stale);
+        assert_eq!(stats.flows, 3);
+        assert_eq!(stats.fresh, 1);
+        assert_eq!(stats.stale, 2);
+        assert_eq!(stats.unrouted_tentative, 1);
+
+        // Against a fresh table the annotations are all full-confidence.
+        let (tagged, stats) = c.classify_trace_degraded(
+            &flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+            Confidence::Fresh,
+        );
+        assert!(tagged.iter().all(|t| t.confidence == Confidence::Fresh));
+        assert_eq!(stats.unrouted_tentative, 0);
+        // The underlying verdicts match the plain path exactly.
+        let plain = c.classify_trace(&flows, InferenceMethod::FullCone, OrgMode::OrgAdjusted);
+        let classes: Vec<_> = tagged.iter().map(|t| t.class).collect();
+        assert_eq!(classes, plain);
     }
 
     #[test]

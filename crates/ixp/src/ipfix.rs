@@ -12,7 +12,7 @@
 //! exactly and random access is trivial.
 
 use bytes::{Buf, BufMut};
-use spoofwatch_net::{Asn, FlowRecord, Proto};
+use spoofwatch_net::{Asn, FaultKind, FlowRecord, IngestHealth, Proto};
 use std::fmt;
 use std::io::{self, Read, Write};
 
@@ -172,17 +172,101 @@ impl<R: Read> IpfixReader<R> {
 
 /// Encode a batch to memory.
 pub fn encode(flows: &[FlowRecord]) -> Vec<u8> {
-    let mut w = IpfixWriter::new(Vec::with_capacity(6 + flows.len() * RECORD_LEN))
-        .expect("Vec writes cannot fail");
+    let mut out = Vec::with_capacity(6 + flows.len() * RECORD_LEN);
+    out.put_slice(MAGIC);
+    out.put_u16(VERSION);
     for f in flows {
-        w.write_record(f).expect("Vec writes cannot fail");
+        out.put_slice(&encode_record(f));
     }
-    w.finish().expect("Vec writes cannot fail")
+    out
 }
 
 /// Decode a complete buffer.
 pub fn decode(data: &[u8]) -> Result<Vec<FlowRecord>, IpfixError> {
     IpfixReader::new(data)?.collect_records()
+}
+
+/// Smallest credible IP packet size (a bare IPv4 header).
+const MIN_PKT_SIZE: u16 = 20;
+/// Largest credible IP packet size (jumbo frame).
+const MAX_PKT_SIZE: u16 = 9216;
+
+/// Whether a decoded record looks like real sampled flow data.
+///
+/// IPFIX-lite records carry no per-record framing or checksum, so this
+/// internal-consistency test is the codec's only corruption signal: the
+/// exporter always writes `bytes == packets * pkt_size` (the explicit
+/// mean size is derived from the same sampled counters), `packets >= 1`,
+/// and a packet size inside physical IP bounds. A random 35-byte window
+/// passes the product identity with probability ~2^-64, which is what
+/// makes byte-wise resynchronization after a misalignment safe.
+pub fn plausible_record(f: &FlowRecord) -> bool {
+    f.packets >= 1
+        && (MIN_PKT_SIZE..=MAX_PKT_SIZE).contains(&f.pkt_size)
+        && f.bytes == f.packets as u64 * f.pkt_size as u64
+}
+
+/// Whether a plausible record decodes at byte `pos`.
+fn plausible_at(data: &[u8], pos: usize) -> Option<FlowRecord> {
+    let rest = data.get(pos..pos + RECORD_LEN)?;
+    let f = decode_record(rest).ok()?;
+    plausible_record(&f).then_some(f)
+}
+
+/// Decode a complete buffer, recovering from corruption.
+///
+/// Unlike [`decode`], which fail-stops, this walks the fixed 35-byte
+/// stride and checks every record against [`plausible_record`]. On a
+/// failure it quarantines bytes and resynchronizes byte-wise to the next
+/// offset where a plausible record decodes — recovering alignment after
+/// inserted or deleted bytes, not just in-place corruption. The returned
+/// [`IngestHealth`] accounts for every input byte:
+/// `ok_bytes + quarantined_bytes == data.len()`.
+///
+/// A bad file header is unrecoverable and quarantines the whole input.
+pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
+    let mut health = IngestHealth::new(data.len() as u64);
+    let mut out = Vec::new();
+    if data.len() < 4 || &data[..4] != MAGIC {
+        health.abandon(FaultKind::BadMagic);
+        return (out, health);
+    }
+    if data.len() < 6 {
+        health.abandon(FaultKind::Truncated);
+        return (out, health);
+    }
+    if u16::from_be_bytes([data[4], data[5]]) != VERSION {
+        health.abandon(FaultKind::BadVersion);
+        return (out, health);
+    }
+    health.credit_ok(6);
+    let mut pos = 6usize;
+    while pos < data.len() {
+        if let Some(f) = plausible_at(data, pos) {
+            out.push(f);
+            health.credit_record(RECORD_LEN as u64);
+            pos += RECORD_LEN;
+            continue;
+        }
+        let kind = if data.len() - pos < RECORD_LEN {
+            FaultKind::Truncated
+        } else {
+            FaultKind::Implausible
+        };
+        let mut next = pos + 1;
+        while next + RECORD_LEN <= data.len() && plausible_at(data, next).is_none() {
+            next += 1;
+        }
+        if next + RECORD_LEN > data.len() {
+            next = data.len(); // nothing plausible left: quarantine the tail
+        }
+        health.quarantine(pos as u64, (next - pos) as u64, kind);
+        if next < data.len() {
+            health.note_resync();
+        }
+        pos = next;
+    }
+    (out, health)
 }
 
 #[cfg(test)]
@@ -253,6 +337,125 @@ mod tests {
                 Err(IpfixError::Truncated) => {}
                 Err(e) => panic!("unexpected error at cut {cut}: {e}"),
             }
+        }
+    }
+
+    /// A corpus of records that satisfy [`plausible_record`] (as every
+    /// exporter-produced record does).
+    fn plausible_sample(n: u32) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                let packets = 1 + i % 40;
+                let pkt_size = 40 + (i % 1400) as u16;
+                FlowRecord {
+                    ts: 100 + i,
+                    src: 0x0A00_0000 + i,
+                    dst: 0xC000_0200 + i,
+                    proto: if i % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                    sport: 1025 + (i % 60000) as u16,
+                    dport: 80,
+                    packets,
+                    bytes: packets as u64 * pkt_size as u64,
+                    pkt_size,
+                    member: Asn(64496 + i % 7),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resilient_matches_strict_on_clean_input() {
+        let flows = plausible_sample(20);
+        let bytes = encode(&flows);
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got, flows);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+        assert!(health.reconciles());
+        assert_eq!(health.ok_records, 20);
+    }
+
+    #[test]
+    fn resilient_quarantines_truncated_tail() {
+        let flows = plausible_sample(5);
+        let bytes = encode(&flows);
+        let cut = bytes.len() - 10; // mid-way through the last record
+        let (got, health) = decode_resilient(&bytes[..cut]);
+        assert_eq!(got, flows[..4]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.events[0].kind, FaultKind::Truncated);
+    }
+
+    #[test]
+    fn resilient_skips_corrupted_counter() {
+        let flows = plausible_sample(10);
+        let mut bytes = encode(&flows);
+        // Flip a bit in record 3's byte counter: the product identity
+        // breaks, so only that record is lost.
+        let off = 6 + 3 * RECORD_LEN + 21; // bytes field starts at +21
+        bytes[off] ^= 0x10;
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got.len(), 9);
+        assert_eq!(got[..3], flows[..3]);
+        assert_eq!(got[3..], flows[4..]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.quarantined_bytes, RECORD_LEN as u64);
+        assert_eq!(health.resyncs, 1);
+    }
+
+    #[test]
+    fn resilient_regains_alignment_after_inserted_garbage() {
+        let flows = plausible_sample(10);
+        let mut bytes = encode(&flows);
+        // Insert 7 garbage bytes between records 4 and 5, breaking the
+        // 35-byte stride for everything after.
+        let at = 6 + 5 * RECORD_LEN;
+        bytes.splice(at..at, [0xDEu8, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02]);
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got, flows, "all ten records recovered around the insertion");
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.quarantined_bytes, 7);
+        assert_eq!(health.resyncs, 1);
+    }
+
+    #[test]
+    fn resilient_decodes_duplicated_record() {
+        let flows = plausible_sample(4);
+        let mut bytes = encode(&flows);
+        let start = 6 + RECORD_LEN;
+        let dup: Vec<u8> = bytes[start..start + RECORD_LEN].to_vec();
+        bytes.splice(start..start, dup);
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[1], got[2]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+        assert!(health.reconciles());
+    }
+
+    #[test]
+    fn resilient_abandons_bad_header() {
+        let (got, health) = decode_resilient(b"XXXX\x00\x01whatever");
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert!(health.reconciles());
+
+        let mut bytes = encode(&plausible_sample(2));
+        bytes[5] = 9;
+        let (got, health) = decode_resilient(&bytes);
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert_eq!(health.events[0].kind, FaultKind::BadVersion);
+    }
+
+    #[test]
+    fn implausible_records_are_not_real_flows() {
+        // The all-max stress record used above fails the product
+        // identity, as random garbage almost surely does.
+        assert!(!plausible_record(&sample()[1]));
+        for f in plausible_sample(50) {
+            assert!(plausible_record(&f));
         }
     }
 

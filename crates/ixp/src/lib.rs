@@ -18,6 +18,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Decode hot paths must surface faults through the ingest taxonomy, not
+// panic; tests are exempt via cfg.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod ipfix;
 pub mod sampler;

@@ -1,9 +1,10 @@
-//! Property tests: IPFIX-lite codec round-trips and sampler statistics.
+//! Property tests: IPFIX-lite codec round-trips, sampler statistics, and
+//! fault-injection recovery for the resilient decoder.
 
 use proptest::prelude::*;
 use spoofwatch_ixp::ipfix;
 use spoofwatch_ixp::PacketSampler;
-use spoofwatch_net::{Asn, FlowRecord, Proto};
+use spoofwatch_net::{AppliedFault, Asn, FaultInjector, FlowRecord, Proto};
 
 fn arb_flow() -> impl Strategy<Value = FlowRecord> {
     (
@@ -34,8 +35,101 @@ fn arb_flow() -> impl Strategy<Value = FlowRecord> {
         )
 }
 
+/// Flows that satisfy the traffic generator's invariant
+/// (`bytes == packets * pkt_size`), which is what the resilient decoder
+/// keys its record-plausibility check on.
+fn arb_plausible_flow() -> impl Strategy<Value = FlowRecord> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+        1u32..10_000,
+        40u16..1500,
+        any::<u32>(),
+    )
+        .prop_map(
+            |(ts, src, dst, proto, sport, dport, packets, pkt_size, member)| FlowRecord {
+                ts,
+                src,
+                dst,
+                proto: Proto::from_number(proto),
+                sport,
+                dport,
+                packets,
+                bytes: packets as u64 * pkt_size as u64,
+                pkt_size,
+                member: Asn(member),
+            },
+        )
+}
+
+/// Clean-stream byte ranges a fault can have damaged. Insertions shift
+/// everything after the insertion point, but only the record straddling
+/// that point can actually be lost.
+fn damaged_ranges(fault: &AppliedFault, clean_len: usize) -> Vec<(usize, usize)> {
+    match *fault {
+        AppliedFault::BitFlip { offset, .. } => vec![(offset, offset + 1)],
+        AppliedFault::Truncate { new_len } => vec![(new_len, clean_len)],
+        AppliedFault::TornTail { torn } => vec![(clean_len - torn, clean_len)],
+        AppliedFault::Duplicate { start, .. } => vec![(start.saturating_sub(1), start + 1)],
+        AppliedFault::Garbage { offset, .. } => vec![(offset.saturating_sub(1), offset + 1)],
+        AppliedFault::Reorder { a, b, len } => vec![(a, a + len), (b, b + len)],
+    }
+}
+
+/// How many of `spans` intersect none of `damaged`.
+fn count_undamaged(spans: &[(usize, usize)], damaged: &[(usize, usize)]) -> usize {
+    spans
+        .iter()
+        .filter(|&&(s, e)| damaged.iter().all(|&(ds, de)| e <= ds || de <= s))
+        .count()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// One injected fault of any kind loses at most the records in the
+    /// faulted byte neighborhood, and the health accounting reconciles
+    /// exactly.
+    #[test]
+    fn ipfix_single_fault_loses_only_neighborhood(
+        flows in prop::collection::vec(arb_plausible_flow(), 3..40),
+        seed in any::<u64>(),
+    ) {
+        let clean = ipfix::encode(&flows);
+        let mut dirty = clean.clone();
+        let mut inj = FaultInjector::new(seed).protect_prefix(6);
+        let fault = match inj.any_single(&mut dirty, 35) {
+            Some(f) => f,
+            None => return Ok(()),
+        };
+        let (recovered, health) = ipfix::decode_resilient(&dirty);
+        prop_assert!(
+            health.reconciles(),
+            "accounting broken under {fault:?}: {health}"
+        );
+        let spans: Vec<(usize, usize)> =
+            (0..flows.len()).map(|i| (6 + 35 * i, 6 + 35 * (i + 1))).collect();
+        let undamaged = count_undamaged(&spans, &damaged_ranges(&fault, clean.len()));
+        prop_assert!(
+            recovered.len() >= undamaged,
+            "fault {:?}: recovered {} of {} undamaged records ({} total)",
+            fault, recovered.len(), undamaged, flows.len()
+        );
+    }
+
+    /// The resilient decoder never panics and always reconciles its byte
+    /// accounting, whatever the input.
+    #[test]
+    fn ipfix_resilient_reconciles_on_arbitrary_bytes(
+        data in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let (_, health) = ipfix::decode_resilient(&data);
+        prop_assert!(health.reconciles(), "{health}");
+    }
 
     /// IPFIX-lite encode→decode is the identity for arbitrary records.
     #[test]
@@ -82,4 +176,47 @@ proptest! {
         let sd = (true_packets as f64 * p * (1.0 - p)).sqrt();
         prop_assert!((k as f64) <= mean + 8.0 * sd + 1.0, "k={k} mean={mean} sd={sd}");
     }
+}
+
+/// Acceptance: with 1% of bytes corrupted, the decoder recovers at least
+/// 99% of the unaffected records (each flipped byte can affect at most
+/// one record, so `n - hits` is a floor on the unaffected count) and the
+/// byte accounting stays exact.
+#[test]
+fn ipfix_one_percent_corruption_recovers_unaffected_records() {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(77);
+    let n = 2_000usize;
+    let flows: Vec<FlowRecord> = (0..n)
+        .map(|_| {
+            let packets: u32 = rng.random_range(1..500);
+            let pkt_size: u16 = rng.random_range(40..1500);
+            FlowRecord {
+                ts: rng.random(),
+                src: rng.random(),
+                dst: rng.random(),
+                proto: Proto::from_number(rng.random_range(0..20)),
+                sport: rng.random(),
+                dport: rng.random(),
+                packets,
+                bytes: packets as u64 * pkt_size as u64,
+                pkt_size,
+                member: Asn(rng.random_range(1..60_000)),
+            }
+        })
+        .collect();
+    let mut dirty = ipfix::encode(&flows);
+    let hits = FaultInjector::new(78)
+        .protect_prefix(6)
+        .corrupt_percent(&mut dirty, 1.0);
+    assert!(hits > 0, "corruption must actually land");
+    let (recovered, health) = ipfix::decode_resilient(&dirty);
+    assert!(health.reconciles(), "{health}");
+    let unaffected = n - hits.min(n);
+    assert!(
+        recovered.len() as f64 >= 0.99 * unaffected as f64,
+        "recovered {} of >= {} unaffected records ({hits} corrupted bytes): {health}",
+        recovered.len(),
+        unaffected,
+    );
 }

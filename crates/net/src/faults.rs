@@ -1,0 +1,318 @@
+//! Seeded fault injection for ingest robustness testing.
+//!
+//! [`FaultInjector`] applies the corruption modes we see in real
+//! collector archives — flipped bits, torn tail writes, truncation,
+//! duplicated and reordered records, inserted garbage — to an encoded
+//! byte stream, deterministically for a given seed. Tests and benches
+//! use it to measure how much of a corpus the resilient decoders
+//! recover; the injector itself knows nothing about any codec beyond an
+//! optional protected prefix (the file header) and an optional record
+//! stride.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One concrete corruption applied to a byte stream, for test
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppliedFault {
+    /// Bit `bit` of byte `offset` was flipped.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        offset: usize,
+        /// Bit index (0–7) within the byte.
+        bit: u8,
+    },
+    /// The stream was cut to `new_len` bytes.
+    Truncate {
+        /// Length of the stream after the cut.
+        new_len: usize,
+    },
+    /// The last `torn` bytes were overwritten with garbage, as if a
+    /// write was interrupted mid-record.
+    TornTail {
+        /// Number of trailing bytes overwritten.
+        torn: usize,
+    },
+    /// Bytes `[start, start + len)` were duplicated in place.
+    Duplicate {
+        /// Start of the duplicated span.
+        start: usize,
+        /// Length of the duplicated span.
+        len: usize,
+    },
+    /// Spans `[a, a + len)` and `[b, b + len)` were swapped.
+    Reorder {
+        /// Start of the first span.
+        a: usize,
+        /// Start of the second span.
+        b: usize,
+        /// Length of each span.
+        len: usize,
+    },
+    /// `len` random bytes were inserted at `offset`.
+    Garbage {
+        /// Insertion point.
+        offset: usize,
+        /// Number of inserted bytes.
+        len: usize,
+    },
+}
+
+/// Deterministic, seedable byte-stream corruptor.
+///
+/// All offsets are constrained to land at or after `protect_prefix`, so
+/// a codec's file header can be kept intact when the test targets
+/// record-level recovery rather than header handling.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rng: StdRng,
+    protect_prefix: usize,
+}
+
+impl FaultInjector {
+    /// A new injector with a deterministic stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+            protect_prefix: 0,
+        }
+    }
+
+    /// Keep the first `n` bytes (the file header) untouched by every
+    /// operator.
+    pub fn protect_prefix(mut self, n: usize) -> Self {
+        self.protect_prefix = n;
+        self
+    }
+
+    /// Number of corruptible bytes in `data` (length past the protected
+    /// prefix).
+    fn span(&self, data: &[u8]) -> usize {
+        data.len().saturating_sub(self.protect_prefix)
+    }
+
+    /// A random offset into the corruptible region, or `None` if there
+    /// is none.
+    fn pick_offset(&mut self, data: &[u8]) -> Option<usize> {
+        let span = self.span(data);
+        if span == 0 {
+            return None;
+        }
+        Some(self.protect_prefix + self.rng.random_range(0..span))
+    }
+
+    /// Flip one random bit.
+    pub fn bit_flip(&mut self, data: &mut [u8]) -> Option<AppliedFault> {
+        let offset = self.pick_offset(data)?;
+        let bit = self.rng.random_range(0u8..8);
+        data[offset] ^= 1 << bit;
+        Some(AppliedFault::BitFlip { offset, bit })
+    }
+
+    /// Cut the stream at a random point past the protected prefix.
+    pub fn truncate(&mut self, data: &mut Vec<u8>) -> Option<AppliedFault> {
+        let new_len = self.pick_offset(data)?;
+        data.truncate(new_len);
+        Some(AppliedFault::Truncate { new_len })
+    }
+
+    /// Overwrite a random-length tail (up to `max_torn` bytes) with
+    /// garbage, simulating an interrupted append.
+    pub fn torn_tail(&mut self, data: &mut [u8], max_torn: usize) -> Option<AppliedFault> {
+        let span = self.span(data).min(max_torn);
+        if span == 0 {
+            return None;
+        }
+        let torn = self.rng.random_range(1..=span);
+        let start = data.len() - torn;
+        for b in &mut data[start..] {
+            *b = self.rng.random::<u8>();
+        }
+        Some(AppliedFault::TornTail { torn })
+    }
+
+    /// Duplicate a span of `len` bytes in place (record duplication when
+    /// `len` is the record stride and offsets are stride-aligned).
+    pub fn duplicate(&mut self, data: &mut Vec<u8>, len: usize) -> Option<AppliedFault> {
+        let span = self.span(data);
+        if len == 0 || span < len {
+            return None;
+        }
+        let start = self.protect_prefix + self.rng.random_range(0..=span - len);
+        let dup: Vec<u8> = data[start..start + len].to_vec();
+        data.splice(start..start, dup);
+        Some(AppliedFault::Duplicate { start, len })
+    }
+
+    /// Swap two non-overlapping spans of `len` bytes.
+    pub fn reorder(&mut self, data: &mut [u8], len: usize) -> Option<AppliedFault> {
+        let span = self.span(data);
+        if len == 0 || span < 2 * len {
+            return None;
+        }
+        // Pick the first span from the front half of the corruptible
+        // region and the second strictly after it.
+        let a = self.protect_prefix + self.rng.random_range(0..=span - 2 * len);
+        let b_lo = a + len;
+        let b_hi = self.protect_prefix + self.span(data) - len;
+        let b = self.rng.random_range(b_lo..=b_hi);
+        let (first, second) = data.split_at_mut(b);
+        first[a..a + len].swap_with_slice(&mut second[..len]);
+        Some(AppliedFault::Reorder { a, b, len })
+    }
+
+    /// Insert `len` random bytes at a random position.
+    pub fn insert_garbage(&mut self, data: &mut Vec<u8>, len: usize) -> Option<AppliedFault> {
+        if len == 0 || data.len() < self.protect_prefix {
+            return None;
+        }
+        let span = self.span(data);
+        let offset = self.protect_prefix + self.rng.random_range(0..=span);
+        let garbage: Vec<u8> = (0..len).map(|_| self.rng.random::<u8>()).collect();
+        data.splice(offset..offset, garbage);
+        Some(AppliedFault::Garbage { offset, len })
+    }
+
+    /// Flip bits in roughly `percent`% of the corruptible bytes
+    /// (each byte corrupted independently). The workhorse for the
+    /// "decode throughput under X% corruption" benches.
+    pub fn corrupt_percent(&mut self, data: &mut [u8], percent: f64) -> usize {
+        let p = (percent / 100.0).clamp(0.0, 1.0);
+        let mut hit = 0;
+        for b in data.iter_mut().skip(self.protect_prefix) {
+            if self.rng.random_bool(p) {
+                *b ^= 1 << self.rng.random_range(0u8..8);
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Apply one uniformly chosen fault out of the six operators, with
+    /// sensible span sizes derived from `stride` (a codec's record size
+    /// hint; pass e.g. the median record length).
+    pub fn any_single(&mut self, data: &mut Vec<u8>, stride: usize) -> Option<AppliedFault> {
+        let stride = stride.max(1);
+        match self.rng.random_range(0..6u32) {
+            0 => self.bit_flip(data),
+            1 => self.truncate(data),
+            2 => self.torn_tail(data, stride),
+            3 => self.duplicate(data, stride),
+            4 => self.reorder(data, stride),
+            _ => {
+                let len = self.rng.random_range(1..=stride);
+                self.insert_garbage(data, len)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<u8> {
+        (0u16..400).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = corpus();
+        let mut b = corpus();
+        let fa = FaultInjector::new(9).bit_flip(&mut a);
+        let fb = FaultInjector::new(9).bit_flip(&mut b);
+        assert_eq!(fa, fb);
+        assert_eq!(a, b);
+        assert_ne!(a, corpus());
+    }
+
+    #[test]
+    fn protected_prefix_is_never_touched() {
+        let clean = corpus();
+        for seed in 0..50 {
+            let mut data = clean.clone();
+            let mut inj = FaultInjector::new(seed).protect_prefix(16);
+            inj.any_single(&mut data, 35);
+            let kept = data.len().min(16);
+            assert_eq!(&data[..kept], &clean[..kept], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let clean = corpus();
+        let mut data = clean.clone();
+        let fault = FaultInjector::new(1).bit_flip(&mut data).unwrap();
+        let AppliedFault::BitFlip { offset, bit } = fault else {
+            panic!("wrong fault kind");
+        };
+        let diff: Vec<usize> = (0..clean.len()).filter(|&i| clean[i] != data[i]).collect();
+        assert_eq!(diff, vec![offset]);
+        assert_eq!(clean[offset] ^ data[offset], 1 << bit);
+    }
+
+    #[test]
+    fn truncate_shortens() {
+        let mut data = corpus();
+        let before = data.len();
+        FaultInjector::new(2).truncate(&mut data).unwrap();
+        assert!(data.len() < before);
+    }
+
+    #[test]
+    fn duplicate_grows_by_len() {
+        let mut data = corpus();
+        let before = data.len();
+        let fault = FaultInjector::new(3).duplicate(&mut data, 35).unwrap();
+        assert_eq!(data.len(), before + 35);
+        let AppliedFault::Duplicate { start, len } = fault else {
+            panic!("wrong fault kind");
+        };
+        assert_eq!(data[start..start + len], data[start + len..start + 2 * len]);
+    }
+
+    #[test]
+    fn reorder_preserves_multiset() {
+        let clean = corpus();
+        let mut data = clean.clone();
+        FaultInjector::new(4).reorder(&mut data, 10).unwrap();
+        assert_eq!(data.len(), clean.len());
+        let mut a = clean.clone();
+        let mut b = data.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert_ne!(data, clean);
+    }
+
+    #[test]
+    fn insert_garbage_grows() {
+        let mut data = corpus();
+        let before = data.len();
+        FaultInjector::new(5).insert_garbage(&mut data, 7).unwrap();
+        assert_eq!(data.len(), before + 7);
+    }
+
+    #[test]
+    fn corrupt_percent_hits_roughly_right_count() {
+        let mut data = vec![0u8; 100_000];
+        let hits = FaultInjector::new(6).corrupt_percent(&mut data, 1.0);
+        assert!((500..1_500).contains(&hits), "hits = {hits}");
+        assert_eq!(data.iter().filter(|&&b| b != 0).count(), hits);
+    }
+
+    #[test]
+    fn operators_degrade_gracefully_on_tiny_input() {
+        let mut inj = FaultInjector::new(7).protect_prefix(8);
+        let mut tiny = vec![1u8; 8]; // nothing past the protected prefix
+        assert_eq!(inj.bit_flip(&mut tiny), None);
+        assert_eq!(inj.truncate(&mut tiny), None);
+        assert_eq!(inj.torn_tail(&mut tiny, 16), None);
+        assert_eq!(inj.duplicate(&mut tiny, 16), None);
+        assert_eq!(inj.reorder(&mut tiny, 16), None);
+        // insert_garbage still works: it appends after the prefix.
+        assert!(inj.insert_garbage(&mut tiny, 3).is_some());
+        assert_eq!(tiny.len(), 11);
+    }
+}

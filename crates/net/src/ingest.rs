@@ -1,0 +1,301 @@
+//! Ingest health: the shared error taxonomy for resilient stream
+//! decoders.
+//!
+//! Real collector dumps and IPFIX exports arrive with flipped bits,
+//! torn tails, and gaps. Instead of failing the whole file on the first
+//! malformed record (fail-stop), the recovering decoders in
+//! `spoofwatch-bgp`, `spoofwatch-ixp`, and `spoofwatch-packet`
+//! quarantine the bad bytes, resynchronize on the next plausible record
+//! boundary, and keep going — returning the decoded records *plus* an
+//! [`IngestHealth`] that accounts for every input byte.
+//!
+//! The accounting invariant every resilient decoder upholds:
+//!
+//! ```text
+//! ok_bytes + quarantined_bytes == input_len
+//! ```
+//!
+//! where `ok_bytes` covers the valid file header and every cleanly
+//! decoded record (framing included), and `quarantined_bytes` covers
+//! everything skipped during resynchronization, the torn tail, or — when
+//! the header itself is unusable — the whole input.
+
+use std::fmt;
+
+/// Why a span of input bytes was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The file magic was missing or wrong; the input is not (or no
+    /// longer recognizably) this format.
+    BadMagic,
+    /// The header declared an unsupported version.
+    BadVersion,
+    /// The input ended inside a record (torn tail).
+    Truncated,
+    /// A record's framing or fields were malformed (impossible length,
+    /// unknown type, non-canonical prefix, bad path, …).
+    BadRecord,
+    /// A structurally well-formed record failed the plausibility check
+    /// (fields outside any realistic range — the fixed-stride codec's
+    /// only corruption signal).
+    Implausible,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::BadMagic => "bad magic",
+            FaultKind::BadVersion => "bad version",
+            FaultKind::Truncated => "truncated",
+            FaultKind::BadRecord => "malformed record",
+            FaultKind::Implausible => "implausible record",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One quarantined span, with its byte extent in the original input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestEvent {
+    /// Byte offset where the quarantined span starts.
+    pub offset: u64,
+    /// Length of the quarantined span in bytes.
+    pub len: u64,
+    /// Why the span was quarantined.
+    pub kind: FaultKind,
+}
+
+/// Overall verdict on one ingested source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IngestStatus {
+    /// Every byte decoded cleanly.
+    Ok,
+    /// Some bytes were quarantined, but records were recovered around
+    /// them.
+    Recovered,
+    /// Nothing usable was decoded (e.g. the header itself was bad).
+    Unrecoverable,
+}
+
+impl fmt::Display for IngestStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IngestStatus::Ok => "ok",
+            IngestStatus::Recovered => "recovered",
+            IngestStatus::Unrecoverable => "unrecoverable",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Cap on retained [`IngestEvent`]s; further quarantines are counted but
+/// not itemized, bounding memory on pathological inputs.
+pub const MAX_EVENTS: usize = 64;
+
+/// Byte-exact health accounting for one decoded source.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IngestHealth {
+    /// Total input bytes presented to the decoder.
+    pub input_len: u64,
+    /// Records decoded cleanly.
+    pub ok_records: u64,
+    /// Bytes decoded cleanly (valid header + every clean record's
+    /// framing and body).
+    pub ok_bytes: u64,
+    /// Resynchronization events: times the decoder skipped forward to a
+    /// new plausible record boundary after a fault.
+    pub resyncs: u64,
+    /// Bytes quarantined across all events.
+    pub quarantined_bytes: u64,
+    /// Itemized quarantined spans (first [`MAX_EVENTS`]).
+    pub events: Vec<IngestEvent>,
+    /// Quarantine events beyond the [`MAX_EVENTS`] cap.
+    pub events_dropped: u64,
+    /// Set when the decoder could not establish the format at all.
+    pub unrecoverable: bool,
+}
+
+impl IngestHealth {
+    /// Fresh accounting for an input of `input_len` bytes.
+    pub fn new(input_len: u64) -> Self {
+        IngestHealth {
+            input_len,
+            ..Default::default()
+        }
+    }
+
+    /// Credit a cleanly decoded span (header or record).
+    pub fn credit_ok(&mut self, nbytes: u64) {
+        self.ok_bytes += nbytes;
+    }
+
+    /// Credit one cleanly decoded record of `nbytes`.
+    pub fn credit_record(&mut self, nbytes: u64) {
+        self.ok_records += 1;
+        self.ok_bytes += nbytes;
+    }
+
+    /// Quarantine `len` bytes at `offset`. Zero-length quarantines are
+    /// ignored.
+    pub fn quarantine(&mut self, offset: u64, len: u64, kind: FaultKind) {
+        if len == 0 {
+            return;
+        }
+        self.quarantined_bytes += len;
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(IngestEvent { offset, len, kind });
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Note a successful resynchronization (the decoder found a new
+    /// plausible record boundary after a fault).
+    pub fn note_resync(&mut self) {
+        self.resyncs += 1;
+    }
+
+    /// Mark the whole input unusable (bad header): quarantines any
+    /// still-unaccounted bytes and sets the unrecoverable flag.
+    pub fn abandon(&mut self, kind: FaultKind) {
+        let accounted = self.ok_bytes + self.quarantined_bytes;
+        self.quarantine(accounted, self.input_len - accounted, kind);
+        self.unrecoverable = true;
+    }
+
+    /// The per-source verdict.
+    pub fn status(&self) -> IngestStatus {
+        if self.unrecoverable {
+            IngestStatus::Unrecoverable
+        } else if self.quarantined_bytes == 0 {
+            IngestStatus::Ok
+        } else {
+            IngestStatus::Recovered
+        }
+    }
+
+    /// Whether the byte accounting is exact:
+    /// `ok_bytes + quarantined_bytes == input_len`.
+    pub fn reconciles(&self) -> bool {
+        self.ok_bytes + self.quarantined_bytes == self.input_len
+    }
+
+    /// Fraction of input bytes that decoded cleanly (1.0 for empty
+    /// input).
+    pub fn ok_fraction(&self) -> f64 {
+        if self.input_len == 0 {
+            1.0
+        } else {
+            self.ok_bytes as f64 / self.input_len as f64
+        }
+    }
+
+    /// Merge another source's accounting into this one (for
+    /// whole-vantage summaries). Event offsets keep their per-source
+    /// meaning.
+    pub fn absorb(&mut self, other: &IngestHealth) {
+        self.input_len += other.input_len;
+        self.ok_records += other.ok_records;
+        self.ok_bytes += other.ok_bytes;
+        self.resyncs += other.resyncs;
+        self.quarantined_bytes += other.quarantined_bytes;
+        for e in &other.events {
+            if self.events.len() < MAX_EVENTS {
+                self.events.push(*e);
+            } else {
+                self.events_dropped += 1;
+            }
+        }
+        self.events_dropped += other.events_dropped;
+        self.unrecoverable |= other.unrecoverable;
+    }
+}
+
+impl fmt::Display for IngestHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} records ok ({} B), {} resyncs, {} B quarantined in {} spans",
+            self.status(),
+            self.ok_records,
+            self.ok_bytes,
+            self.resyncs,
+            self.quarantined_bytes,
+            self.events.len() as u64 + self.events_dropped,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_input_is_ok() {
+        let mut h = IngestHealth::new(100);
+        h.credit_ok(6);
+        h.credit_record(94);
+        assert_eq!(h.status(), IngestStatus::Ok);
+        assert!(h.reconciles());
+        assert_eq!(h.ok_records, 1);
+        assert!((h.ok_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_accounting() {
+        let mut h = IngestHealth::new(100);
+        h.credit_ok(6);
+        h.credit_record(50);
+        h.quarantine(56, 44, FaultKind::BadRecord);
+        h.note_resync();
+        assert_eq!(h.status(), IngestStatus::Recovered);
+        assert!(h.reconciles());
+        assert_eq!(h.events.len(), 1);
+        assert_eq!(h.events[0].offset, 56);
+        assert_eq!(h.resyncs, 1);
+    }
+
+    #[test]
+    fn abandon_quarantines_remainder() {
+        let mut h = IngestHealth::new(40);
+        h.abandon(FaultKind::BadMagic);
+        assert_eq!(h.status(), IngestStatus::Unrecoverable);
+        assert!(h.reconciles());
+        assert_eq!(h.quarantined_bytes, 40);
+    }
+
+    #[test]
+    fn event_cap_counts_overflow() {
+        let mut h = IngestHealth::new(10_000);
+        for i in 0..(MAX_EVENTS as u64 + 10) {
+            h.quarantine(i, 1, FaultKind::BadRecord);
+        }
+        assert_eq!(h.events.len(), MAX_EVENTS);
+        assert_eq!(h.events_dropped, 10);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = IngestHealth::new(10);
+        a.credit_ok(10);
+        let mut b = IngestHealth::new(20);
+        b.credit_ok(5);
+        b.quarantine(5, 15, FaultKind::Truncated);
+        a.absorb(&b);
+        assert_eq!(a.input_len, 30);
+        assert_eq!(a.ok_bytes, 15);
+        assert_eq!(a.quarantined_bytes, 15);
+        assert!(a.reconciles());
+        assert_eq!(a.status(), IngestStatus::Recovered);
+    }
+
+    #[test]
+    fn zero_len_quarantine_ignored() {
+        let mut h = IngestHealth::new(5);
+        h.quarantine(0, 0, FaultKind::BadRecord);
+        assert_eq!(h.quarantined_bytes, 0);
+        assert!(h.events.is_empty());
+        h.credit_ok(5);
+        assert_eq!(h.status(), IngestStatus::Ok);
+    }
+}

@@ -21,19 +21,26 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Decode hot paths must surface faults through the ingest taxonomy, not
+// panic; tests are exempt via cfg.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod addr;
 pub mod asn;
 pub mod class;
 pub mod error;
+pub mod faults;
 pub mod flow;
+pub mod ingest;
 pub mod prefix;
 
 pub use addr::{fmt_addr, parse_addr};
 pub use asn::Asn;
 pub use class::{InferenceMethod, OrgMode, TrafficClass};
 pub use error::NetError;
+pub use faults::{AppliedFault, FaultInjector};
 pub use flow::{FlowRecord, Proto};
+pub use ingest::{FaultKind, IngestEvent, IngestHealth, IngestStatus};
 pub use prefix::Ipv4Prefix;
 
 /// Number of 1/256-of-a-/24 units in one /24 (i.e. one unit per address

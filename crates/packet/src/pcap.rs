@@ -7,6 +7,7 @@
 //! and fails gracefully on truncated files.
 
 use crate::PacketError;
+use spoofwatch_net::{FaultKind, IngestHealth};
 use std::io::{self, Read, Write};
 
 /// Microsecond-resolution magic number.
@@ -208,6 +209,155 @@ impl<R: Read> PcapReader<R> {
     }
 }
 
+/// A record header's fields, decoded with the file's byte order.
+struct RecHeader {
+    ts_sec: u32,
+    ts_frac: u32,
+    incl_len: u32,
+    orig_len: u32,
+}
+
+fn rec_header_at(data: &[u8], pos: usize, swapped: bool) -> Option<RecHeader> {
+    let b = data.get(pos..pos + 16)?;
+    let u32_at = |i: usize| {
+        let v = u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        if swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+    Some(RecHeader {
+        ts_sec: u32_at(0),
+        ts_frac: u32_at(4),
+        incl_len: u32_at(8),
+        orig_len: u32_at(12),
+    })
+}
+
+/// Whether the 16 bytes at `pos` look like a record header: a sane
+/// `incl_len` under the snap length, and internally consistent lengths —
+/// an unsnapped packet has `incl_len == orig_len`, a snapped one has
+/// `incl_len == snaplen < orig_len`. The equality requirement matters:
+/// `incl <= orig` alone admits a shifted parse where a real record's
+/// `orig_len` lands in the `incl_len` slot and chains indefinitely.
+fn header_plausible(data: &[u8], pos: usize, swapped: bool, snaplen: u32) -> Option<RecHeader> {
+    let h = rec_header_at(data, pos, swapped)?;
+    let sane = (h.incl_len == h.orig_len && h.incl_len <= snaplen)
+        || (h.incl_len == snaplen && h.orig_len > snaplen);
+    sane.then_some(h)
+}
+
+/// Whether the stream starting at `pos` looks like a valid continuation,
+/// examining up to `depth` further record headers. End-of-input is a
+/// valid continuation, and so is a final record whose header is sane but
+/// whose body runs past the end (a torn tail).
+fn chain_plausible(data: &[u8], pos: usize, swapped: bool, snaplen: u32, depth: u32) -> bool {
+    if pos >= data.len() {
+        return pos == data.len();
+    }
+    if depth == 0 {
+        return true;
+    }
+    let Some(h) = header_plausible(data, pos, swapped, snaplen) else {
+        return false;
+    };
+    match (pos + 16).checked_add(h.incl_len as usize) {
+        Some(end) if end <= data.len() => chain_plausible(data, end, swapped, snaplen, depth - 1),
+        _ => true, // torn tail: acceptable as a continuation
+    }
+}
+
+/// The next-packet-header heuristic used for resynchronization: a
+/// candidate boundary must carry a plausible header, a body that fully
+/// fits, *and* chain into two further plausible records (or the end of
+/// the input). pcap record headers alone are weak evidence — length
+/// fields of one record overlapping the body of another can look sane —
+/// so the two-deep chain is what keeps garbage from faking a boundary.
+fn record_plausible_at(data: &[u8], pos: usize, swapped: bool, snaplen: u32) -> bool {
+    let Some(h) = header_plausible(data, pos, swapped, snaplen) else {
+        return false;
+    };
+    match (pos + 16).checked_add(h.incl_len as usize) {
+        Some(end) if end <= data.len() => chain_plausible(data, end, swapped, snaplen, 2),
+        _ => false,
+    }
+}
+
+/// Decode an in-memory pcap capture, recovering from corruption.
+///
+/// Streaming [`PcapReader`] fail-stops on the first malformed record;
+/// this variant quarantines bad spans and resynchronizes by scanning for
+/// the next offset that satisfies the chained next-packet-header
+/// heuristic (see [`record_plausible_at`]). The returned
+/// [`IngestHealth`] accounts for every input byte:
+/// `ok_bytes + quarantined_bytes == data.len()`.
+///
+/// A bad global header is unrecoverable — without it neither byte order
+/// nor snap length is known — and quarantines the whole input.
+pub fn decode_resilient(data: &[u8]) -> (Vec<PcapPacket>, IngestHealth) {
+    let mut health = IngestHealth::new(data.len() as u64);
+    let mut out = Vec::new();
+    if data.len() < 24 {
+        health.abandon(FaultKind::Truncated);
+        return (out, health);
+    }
+    let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    let swapped = match magic {
+        MAGIC_USEC | MAGIC_NSEC => false,
+        m if m.swap_bytes() == MAGIC_USEC || m.swap_bytes() == MAGIC_NSEC => true,
+        _ => {
+            health.abandon(FaultKind::BadMagic);
+            return (out, health);
+        }
+    };
+    let u32_at = |i: usize| {
+        let v = u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]);
+        if swapped {
+            v.swap_bytes()
+        } else {
+            v
+        }
+    };
+    let snaplen = u32_at(16);
+    health.credit_ok(24);
+    let mut pos = 24usize;
+    while pos < data.len() {
+        if let Some(h) = header_plausible(data, pos, swapped, snaplen) {
+            let body = pos + 16;
+            let end = body + h.incl_len as usize;
+            if end <= data.len() {
+                out.push(PcapPacket {
+                    ts_sec: h.ts_sec,
+                    ts_frac: h.ts_frac,
+                    orig_len: h.orig_len,
+                    data: data[body..end].to_vec(),
+                });
+                health.credit_record((16 + h.incl_len) as u64);
+                pos = end;
+                continue;
+            }
+        }
+        let kind = if data.len() - pos < 16
+            || header_plausible(data, pos, swapped, snaplen).is_some()
+        {
+            FaultKind::Truncated // header short or body runs past the end
+        } else {
+            FaultKind::BadRecord
+        };
+        let mut next = pos + 1;
+        while next < data.len() && !record_plausible_at(data, next, swapped, snaplen) {
+            next += 1;
+        }
+        health.quarantine(pos as u64, (next - pos) as u64, kind);
+        if next < data.len() {
+            health.note_resync();
+        }
+        pos = next;
+    }
+    (out, health)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,6 +449,127 @@ mod tests {
             r.next_packet(),
             Err(PcapReadError::Format(PacketError::BadRecord))
         ));
+    }
+
+    /// A run of packets with nonzero patterned bodies, like real IP
+    /// traffic (all-zero bodies are themselves valid empty-record
+    /// headers, which no recovery heuristic can tell from padding).
+    fn patterned_packets(n: u32) -> Vec<PcapPacket> {
+        (0..n)
+            .map(|i| {
+                let len = 20 + (i as usize * 13) % 60;
+                PcapPacket::full(
+                    1000 + i,
+                    i * 7,
+                    (0..len).map(|j| 0x40u8 | ((i as usize + j) % 64) as u8).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn resilient_matches_strict_on_clean_input() {
+        let pkts = patterned_packets(12);
+        let bytes = write_all(&pkts);
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got, pkts);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+        assert!(health.reconciles());
+        assert_eq!(health.ok_records, 12);
+        assert_eq!(health.ok_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn resilient_quarantines_truncated_tail() {
+        let pkts = patterned_packets(6);
+        let bytes = write_all(&pkts);
+        let cut = bytes.len() - 5; // inside the last record's body
+        let (got, health) = decode_resilient(&bytes[..cut]);
+        assert_eq!(got, pkts[..5]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.events[0].kind, FaultKind::Truncated);
+    }
+
+    #[test]
+    fn resilient_resyncs_past_smashed_length() {
+        let pkts = patterned_packets(8);
+        let bytes = write_all(&pkts);
+        let mut dirty = bytes.clone();
+        // Make the first record's incl_len absurd (> snaplen).
+        dirty[24 + 8..24 + 12].copy_from_slice(&0xFFFF_FFFFu32.to_le_bytes());
+        let (got, health) = decode_resilient(&dirty);
+        assert_eq!(got, pkts[1..], "exactly the smashed record is lost");
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.resyncs, 1);
+        assert_eq!(health.events[0].offset, 24);
+        assert_eq!(health.events[0].len, 16 + pkts[0].data.len() as u64);
+    }
+
+    #[test]
+    fn resilient_recovers_after_inserted_garbage() {
+        let pkts = patterned_packets(8);
+        let bytes = write_all(&pkts);
+        let mut dirty = bytes.clone();
+        // 11 nonzero garbage bytes between records 3 and 4.
+        let at = 24 + (0..4).map(|i| 16 + pkts[i].data.len()).sum::<usize>();
+        dirty.splice(at..at, std::iter::repeat(0xEEu8).take(11));
+        let (got, health) = decode_resilient(&dirty);
+        assert_eq!(got, pkts, "all packets recovered around the insertion");
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+        assert!(health.reconciles());
+        assert_eq!(health.quarantined_bytes, 11);
+    }
+
+    #[test]
+    fn resilient_decodes_duplicated_record() {
+        let pkts = patterned_packets(5);
+        let bytes = write_all(&pkts);
+        let start = 24 + 16 + pkts[0].data.len();
+        let rec_len = 16 + pkts[1].data.len();
+        let mut dirty = bytes.clone();
+        let dup: Vec<u8> = dirty[start..start + rec_len].to_vec();
+        dirty.splice(start..start, dup);
+        let (got, health) = decode_resilient(&dirty);
+        assert_eq!(got.len(), 6);
+        assert_eq!(got[1], got[2]);
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+        assert!(health.reconciles());
+    }
+
+    #[test]
+    fn resilient_abandons_bad_global_header() {
+        let (got, health) = decode_resilient(&[0xFFu8; 100]);
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert!(health.reconciles());
+        assert_eq!(health.events[0].kind, FaultKind::BadMagic);
+
+        let (got, health) = decode_resilient(&[0u8; 10]); // shorter than a header
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert!(health.reconciles());
+    }
+
+    #[test]
+    fn resilient_handles_big_endian_files() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_USEC.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        bytes.extend_from_slice(&4u16.to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        bytes.extend_from_slice(&65535u32.to_be_bytes());
+        bytes.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        bytes.extend_from_slice(&7u32.to_be_bytes());
+        bytes.extend_from_slice(&8u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&3u32.to_be_bytes());
+        bytes.extend_from_slice(&[9, 9, 9]);
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].ts_sec, got[0].ts_frac, got[0].data.len()), (7, 8, 3));
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements only the [`Buf`] / [`BufMut`] subset the spoofwatch codecs
+//! use: big-endian integer accessors over `&[u8]`, and append/advance
+//! writers over `Vec<u8>` and `&mut [u8]`. Semantics match the real crate
+//! for that subset (including panics on under/overflow, which callers are
+//! expected to guard with `remaining()`).
+
+#![forbid(unsafe_code)]
+
+/// Read-side cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Advance the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Copy `dst.len()` bytes out and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consume a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Consume a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "copy_to_slice past end of buffer");
+        dst.copy_from_slice(&self[..dst.len()]);
+        *self = &self[dst.len()..];
+    }
+}
+
+/// Write-side cursor over a byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for &mut [u8] {
+    fn put_slice(&mut self, src: &[u8]) {
+        assert!(src.len() <= self.len(), "put_slice past end of buffer");
+        let this = std::mem::take(self);
+        let (head, tail) = this.split_at_mut(src.len());
+        head.copy_from_slice(src);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_roundtrip() {
+        let mut v = Vec::new();
+        v.put_u8(7);
+        v.put_u16(0x0102);
+        v.put_u32(0x03040506);
+        v.put_u64(0x0708090a0b0c0d0e);
+        v.put_slice(&[1, 2]);
+        let mut r: &[u8] = &v;
+        assert_eq!(r.remaining(), 17);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0x03040506);
+        assert_eq!(r.get_u64(), 0x0708090a0b0c0d0e);
+        assert!(r.has_remaining());
+        r.advance(2);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn slice_writer_advances() {
+        let mut out = [0u8; 4];
+        let mut w = &mut out[..];
+        w.put_u16(0xBEEF);
+        w.put_u16(0xCAFE);
+        assert_eq!(out, [0xBE, 0xEF, 0xCA, 0xFE]);
+    }
+}

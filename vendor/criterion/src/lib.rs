@@ -1,0 +1,232 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Same API shape as the real crate for the subset the workspace's
+//! benches use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `iter`, `iter_batched`, throughput annotation), but the measurement
+//! loop is a simple bounded wall-clock sampler: warm up briefly, then
+//! run until a time budget (`CRITERION_STUB_BUDGET_MS`, default 300 ms
+//! per benchmark) or an iteration cap is hit, and print mean ns/iter
+//! plus derived throughput. No statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement entry point, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        println!("group {}", name.into());
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Parameterised benchmark identifier.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like real criterion.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Batch sizing hint for `iter_batched` (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// One setup per sample.
+    PerIteration,
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's sampling is
+    /// time-budgeted rather than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&id.to_string(), self.throughput);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&id.name, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        let budget = budget();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget && iters < 1_000_000 {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = start.elapsed();
+    }
+
+    /// Measure `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let budget = budget();
+        let mut measured = Duration::ZERO;
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < budget && iters < 1_000_000 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.elapsed = measured;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("  {name}: no measurement (bencher closure never called iter)");
+            return;
+        }
+        let ns_per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                let gib = b as f64 / ns_per_iter; // bytes/ns == GB/s
+                format!("  ({gib:.3} GB/s)")
+            }
+            Some(Throughput::Elements(e)) => {
+                let meps = e as f64 * 1e3 / ns_per_iter;
+                format!("  ({meps:.2} Melem/s)")
+            }
+            None => String::new(),
+        };
+        println!("  {name}: {ns_per_iter:.0} ns/iter over {} iters{rate}", self.iters);
+    }
+}
+
+/// Declare a group function running each benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..4u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_STUB_BUDGET_MS", "5");
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

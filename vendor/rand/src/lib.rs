@@ -1,0 +1,285 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides a deterministic, seedable [`rngs::StdRng`] (SplitMix64 core)
+//! and the trait surface this workspace uses: [`Rng`] / [`RngExt`]
+//! (`random`, `random_range`, `random_bool`, `random_ratio`),
+//! [`SeedableRng::seed_from_u64`], and [`seq::IndexedRandom::choose`].
+//! Streams are stable across runs for a given seed, which is all the
+//! generators and tests in this repository rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entropy source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Uniform sampling of a full-domain value (the `StandardUniform`
+/// distribution of real rand).
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64()) as f32
+    }
+}
+
+/// Map 64 random bits to a float in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with uniform sampling between two bounds. Mirrors real rand's
+/// `SampleUniform` so that integer-literal ranges unify with the calling
+/// context (e.g. `rng.random_range(0..1000) + some_u16`).
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). Panics on an empty range, matching real rand.
+    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let span = (hi - lo) as u128 + inclusive as u128;
+                assert!(span > 0, "cannot sample empty range");
+                (lo + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                lo + (unit_f64(rng.next_u64()) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Marker bound for generators, used in generic signatures
+/// (`fn f<R: Rng + ?Sized>`). Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`]. Kept separate from [`Rng`] so call sites importing both
+/// names use both imports (mirroring newer rand's split).
+pub trait RngExt: RngCore {
+    /// Sample a full-domain value.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Bernoulli trial with probability `numerator / denominator`.
+    fn random_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(denominator > 0, "random_ratio denominator must be nonzero");
+        (self.next_u64() % denominator as u64) < numerator as u64
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                // Pre-mix so nearby seeds do not yield nearby streams.
+                state: seed ^ 0xD6E8_FEB8_6659_FD93,
+            }
+        }
+    }
+
+    /// Alias: the small generator is the same core here.
+    pub type SmallRng = StdRng;
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Uniform choice from an indexable collection.
+    pub trait IndexedRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> IndexedRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::IndexedRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(8u8..=24);
+            assert!((8..=24).contains(&w));
+            let f = r.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_holds() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((25_000..35_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = StdRng::seed_from_u64(5);
+        let xs = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*xs.as_slice().choose(&mut r).unwrap() - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [u8; 0] = [];
+        assert!(empty.as_slice().choose(&mut r).is_none());
+    }
+}

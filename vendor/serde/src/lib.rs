@@ -1,0 +1,246 @@
+//! Offline stand-in for `serde`.
+//!
+//! [`Serialize`] is a single-method direct-to-JSON writer (the only
+//! serialization this workspace performs is `serde_json::to_string` on
+//! plain data-carrying structs). The derive macros come from the sibling
+//! `serde_derive` stub. `Deserialize` exists for source compatibility
+//! only — nothing in the workspace deserializes.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as a JSON value.
+pub trait Serialize {
+    /// Append this value's JSON rendering to `out`.
+    fn json(&self, out: &mut String);
+}
+
+/// Marker for source compatibility with real serde bounds.
+pub trait Deserialize<'de>: Sized {}
+
+/// Append `s` as a JSON string literal (with escaping).
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_display {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_serialize_display!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json(&self, out: &mut String) {
+                if self.is_finite() {
+                    out.push_str(&self.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for str {
+    fn json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for char {
+    fn json(&self, out: &mut String) {
+        write_json_string(out, &self.to_string());
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn json(&self, out: &mut String) {
+        (**self).json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a>(out: &mut String, items: impl Iterator<Item = &'a T>) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn json(&self, out: &mut String) {
+        write_seq(out, self.iter());
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Serialize a map key: JSON requires string keys, so non-string keys
+/// are rendered and wrapped in quotes.
+fn write_map_key<K: Serialize>(out: &mut String, key: &K) {
+    let mut raw = String::new();
+    key.json(&mut raw);
+    if raw.starts_with('"') {
+        out.push_str(&raw);
+    } else {
+        write_json_string(out, &raw);
+    }
+}
+
+fn write_map<'a, K: Serialize + 'a, V: Serialize + 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a K, &'a V)>,
+) {
+    out.push('{');
+    for (i, (k, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_map_key(out, k);
+        out.push(':');
+        v.json(out);
+    }
+    out.push('}');
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn json(&self, out: &mut String) {
+        write_map(out, self.iter());
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn json(&self, out: &mut String) {
+        write_map(out, self.iter());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_and_strings() {
+        let mut s = String::new();
+        42u32.json(&mut s);
+        s.push(' ');
+        true.json(&mut s);
+        s.push(' ');
+        "a\"b".json(&mut s);
+        assert_eq!(s, "42 true \"a\\\"b\"");
+    }
+
+    #[test]
+    fn collections() {
+        let mut s = String::new();
+        vec![1u8, 2, 3].json(&mut s);
+        assert_eq!(s, "[1,2,3]");
+        let mut s = String::new();
+        let mut m = BTreeMap::new();
+        m.insert(7u32, "x".to_owned());
+        m.json(&mut s);
+        assert_eq!(s, "{\"7\":\"x\"}");
+        let mut s = String::new();
+        (1u8, "y", 2.5f64).json(&mut s);
+        assert_eq!(s, "[1,\"y\",2.5]");
+        let mut s = String::new();
+        Option::<u8>::None.json(&mut s);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` generates an implementation of the vendored
+//! `serde::Serialize` trait (a direct-to-JSON writer). Supported shapes:
+//!
+//! * structs with named fields → JSON objects, field by field;
+//! * tuple structs → the inner value (single field or
+//!   `#[serde(transparent)]`) or a JSON array;
+//! * enums → their `Debug` rendering as a JSON string (every derived enum
+//!   in this workspace also derives `Debug`).
+//!
+//! `#[derive(Deserialize)]` is accepted for source compatibility and
+//! expands to nothing — no code path in this workspace deserializes.
+//!
+//! The input is parsed directly from the token stream (no `syn`/`quote`
+//! in the offline environment), which is sufficient for the
+//! non-generic type definitions this workspace derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(def) => generate(&def).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error tokens parse"),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Enum,
+}
+
+struct Def {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+fn parse(input: TokenStream) -> Result<Def, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut transparent = false;
+
+    // Outer attributes (doc comments, #[serde(...)], …) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.to_string().replace(' ', "").contains("serde(transparent)") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected type name".into()),
+    };
+    i += 1;
+
+    // Skip generic parameters if present (none of the workspace's derived
+    // types are generic; bail out loudly rather than mis-generate).
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!("serde_derive stub: generic type `{name}` unsupported"));
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "enum" => Shape::Enum,
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            // Unit struct.
+            _ => Shape::Tuple(0),
+        },
+        other => return Err(format!("serde_derive stub: unsupported item kind `{other}`")),
+    };
+
+    Ok(Def {
+        name,
+        transparent,
+        shape,
+    })
+}
+
+/// Collect field names from the token stream inside a brace-delimited
+/// struct body.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip per-field attributes and visibility.
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // Field name followed by ':'.
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => break,
+        }
+        fields.push(name);
+        // Skip the type: consume until a ',' at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the comma-separated fields of a tuple struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn generate(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::Named(fields) => {
+            if def.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::json(&self.{}, out);", fields[0])
+            } else {
+                let mut b = String::from("out.push('{');");
+                for (idx, f) in fields.iter().enumerate() {
+                    if idx > 0 {
+                        b.push_str("out.push(',');");
+                    }
+                    b.push_str(&format!(
+                        "::serde::write_json_string(out, {f:?});out.push(':');\
+                         ::serde::Serialize::json(&self.{f}, out);"
+                    ));
+                }
+                b.push_str("out.push('}');");
+                b
+            }
+        }
+        Shape::Tuple(0) => "out.push_str(\"null\");".to_owned(),
+        Shape::Tuple(1) => "::serde::Serialize::json(&self.0, out);".to_owned(),
+        Shape::Tuple(n) => {
+            if def.transparent {
+                "::serde::Serialize::json(&self.0, out);".to_owned()
+            } else {
+                let mut b = String::from("out.push('[');");
+                for idx in 0..*n {
+                    if idx > 0 {
+                        b.push_str("out.push(',');");
+                    }
+                    b.push_str(&format!("::serde::Serialize::json(&self.{idx}, out);"));
+                }
+                b.push_str("out.push(']');");
+                b
+            }
+        }
+        Shape::Enum => {
+            "::serde::write_json_string(out, &::std::format!(\"{:?}\", self));".to_owned()
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn json(&self, out: &mut ::std::string::String) {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_json`: serialization entry points over the
+//! vendored `serde::Serialize` direct-to-JSON trait. Output is compact,
+//! valid JSON; `to_string_pretty` currently emits the same compact form
+//! (no caller inspects whitespace).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Serialization error. The vendored serializer is infallible, but the
+/// real crate's signature is preserved.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` to JSON. Pretty-printing is not implemented in the
+/// offline stub; output is the compact form.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn to_string_emits_fields() {
+        let v = vec![("k".to_owned(), 3u32)];
+        assert_eq!(super::to_string(&v).unwrap(), "[[\"k\",3]]");
+    }
+}
