@@ -14,14 +14,21 @@ cargo build --release --workspace
 echo "==> tests (workspace)"
 cargo test -q --workspace
 
-echo "==> clippy: no unwrap in decode hot paths (lib targets only)"
+echo "==> clippy (workspace)"
+cargo clippy -q --workspace
+
+echo "==> clippy: no unwrap in decode + runner hot paths (lib targets only)"
 cargo clippy -q -p spoofwatch-net -p spoofwatch-bgp -p spoofwatch-ixp \
-    -p spoofwatch-packet -- -D clippy::unwrap_used
+    -p spoofwatch-packet -p spoofwatch-core -- -D clippy::unwrap_used
 
 echo "==> fault-injection smoke test (1% corruption acceptance)"
 cargo test -q -p spoofwatch-ixp    ipfix_one_percent_corruption_recovers_unaffected_records
 cargo test -q -p spoofwatch-bgp    mrt_one_percent_corruption_recovers_unaffected_records
 cargo test -q -p spoofwatch-packet pcap_one_percent_corruption_recovers_unaffected_records
 cargo run -q --release --example dirty_ingest > /dev/null
+
+echo "==> crash-recovery smoke test (run, interrupt, tear, resume, compare)"
+cargo test -q -p spoofwatch-core --test crash_recovery torn_checkpoint
+cargo run -q --release --example resumable_study > /dev/null
 
 echo "==> CI green"

@@ -3,7 +3,7 @@
 //! operator (or a reviewer) reads end to end.
 
 use crate::{addrstruct, attack, ccdf, evaluate, portmix, scatter, sizes, timeseries, venn};
-use spoofwatch_core::{Classifier, Confidence, DegradedStats, MemberBreakdown, Table1};
+use spoofwatch_core::{Classifier, Confidence, DegradedStats, MemberBreakdown, RunnerHealth, Table1};
 use spoofwatch_internet::Internet;
 use spoofwatch_ixp::{Trace, TrafficLabel};
 use spoofwatch_net::{IngestHealth, TrafficClass};
@@ -68,6 +68,9 @@ pub struct StudyReport {
     pub evaluation: Option<evaluate::Evaluation>,
     /// Ingest-pipeline health, when the caller attached it.
     pub ingest: Option<IngestSummary>,
+    /// Streaming-runner supervision and backpressure health, when the
+    /// study ran under [`spoofwatch_core::StudyRunner`].
+    pub runner: Option<RunnerHealth>,
 }
 
 impl StudyReport {
@@ -96,6 +99,7 @@ impl StudyReport {
             evaluation: labels
                 .map(|l| evaluate::Evaluation::compute(&trace.flows, l, classes)),
             ingest: None,
+            runner: None,
         }
     }
 
@@ -103,6 +107,13 @@ impl StudyReport {
     /// a data-quality section.
     pub fn with_ingest(mut self, summary: IngestSummary) -> Self {
         self.ingest = Some(summary);
+        self
+    }
+
+    /// Attach streaming-runner health so [`render`](Self::render)
+    /// includes a supervision & backpressure section.
+    pub fn with_runner(mut self, health: RunnerHealth) -> Self {
+        self.runner = Some(health);
         self
     }
 
@@ -188,6 +199,45 @@ impl StudyReport {
                 );
             }
         }
+
+        if let Some(runner) = &self.runner {
+            out.push_str("\n## Supervision & backpressure\n\n");
+            out.push_str(&format!(
+                "- chunks: {} offered, {} processed, {} shed, {} quarantined\n",
+                runner.chunks.offered,
+                runner.chunks.processed,
+                runner.chunks.shed,
+                runner.chunks.quarantined,
+            ));
+            out.push_str(&format!(
+                "- records: {} offered, {} processed, {} shed, {} quarantined\n",
+                runner.records.offered,
+                runner.records.processed,
+                runner.records.shed,
+                runner.records.quarantined,
+            ));
+            out.push_str(&format!(
+                "- accounting reconciles: {}\n",
+                if runner.reconciles() { "yes" } else { "NO" },
+            ));
+            out.push_str(&format!(
+                "- supervision: {} worker restarts, {} watchdog stalls, \
+                 {} checkpoints written, {} rejected as torn\n",
+                runner.worker_restarts,
+                runner.watchdog_stalls,
+                runner.checkpoints_written,
+                runner.checkpoints_rejected,
+            ));
+            if let Some(seq) = runner.resumed_at_chunk {
+                out.push_str(&format!("- resumed from checkpoint at chunk {seq}\n"));
+            }
+            if runner.records.shed > 0 || runner.records.quarantined > 0 {
+                out.push_str(
+                    "\n*Caveat: load shedding or panic quarantine dropped part of the \
+                     trace; class shares reflect the processed subset only.*\n",
+                );
+            }
+        }
         out
     }
 }
@@ -264,5 +314,50 @@ mod tests {
         assert!(text.contains("degraded at classification time"));
         assert!(text.contains("tentative Unrouted"));
         assert!(text.contains("Caveat"));
+    }
+
+    #[test]
+    fn runner_section_renders_when_attached() {
+        use spoofwatch_core::FlowAccounting;
+        let net = Internet::generate(InternetConfig::tiny(88));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(8));
+        let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+        let classes = classifier.classify_trace(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+        );
+        let report = StudyReport::compute(&net, &trace, &classifier, &classes, None);
+        assert!(!report.render().contains("Supervision & backpressure"));
+
+        let health = RunnerHealth {
+            records: FlowAccounting {
+                offered: 1000,
+                processed: 900,
+                shed: 60,
+                quarantined: 40,
+            },
+            chunks: FlowAccounting {
+                offered: 20,
+                processed: 18,
+                shed: 1,
+                quarantined: 1,
+            },
+            worker_restarts: 1,
+            watchdog_stalls: 0,
+            checkpoints_written: 5,
+            checkpoints_rejected: 1,
+            resumed_at_chunk: Some(12),
+        };
+        assert!(health.reconciles());
+        let text = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+            .with_runner(health)
+            .render();
+        assert!(text.contains("Supervision & backpressure"));
+        assert!(text.contains("1000 offered, 900 processed, 60 shed, 40 quarantined"));
+        assert!(text.contains("accounting reconciles: yes"));
+        assert!(text.contains("resumed from checkpoint at chunk 12"));
+        assert!(text.contains("1 rejected as torn"));
+        assert!(text.contains("processed subset only"));
     }
 }

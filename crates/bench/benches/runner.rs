@@ -1,0 +1,78 @@
+//! Streaming-runner overhead: chunked decode + supervised classification
+//! vs. the batch pipeline, plus the cost of checkpointing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spoofwatch_core::{CheckpointStore, Classifier, RunnerConfig, ShedPolicy, StudyRunner};
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_ixp::chunked::ChunkedIpfixReader;
+use spoofwatch_ixp::{ipfix, Trace, TrafficConfig};
+use spoofwatch_net::{InferenceMethod, OrgMode};
+use std::hint::black_box;
+
+fn bench_runner(c: &mut Criterion) {
+    let net = Internet::generate(InternetConfig {
+        seed: 9,
+        num_ases: 700,
+        num_ixp_members: 200,
+        ..InternetConfig::default()
+    });
+    let trace = Trace::generate(
+        &net,
+        &TrafficConfig {
+            seed: 9,
+            regular_flows: 100_000,
+            ..TrafficConfig::default()
+        },
+    );
+    let bytes = ipfix::encode(&trace.flows);
+    let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+    let scratch = std::env::temp_dir().join(format!("spoofwatch-bench-runner-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let mut group = c.benchmark_group("runner");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.flows.len() as u64));
+
+    group.bench_function("batch_classify_trace", |b| {
+        b.iter(|| {
+            black_box(classifier.classify_trace(
+                black_box(&trace.flows),
+                InferenceMethod::FullCone,
+                OrgMode::OrgAdjusted,
+            ))
+        })
+    });
+
+    let mut idx = 0u64;
+    for (label, checkpoint_every, shed) in [
+        ("streaming_checkpointed", 64u64, ShedPolicy::Block),
+        ("streaming_checkpoint_heavy", 4, ShedPolicy::Block),
+        ("streaming_sampling", 64, ShedPolicy::Sample { keep_one_in: 2 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                idx += 1;
+                let dir = scratch.join(format!("{label}-{idx}"));
+                let store = CheckpointStore::open(&dir).expect("open store");
+                let cfg = RunnerConfig {
+                    checkpoint_every,
+                    shed,
+                    stall_timeout_ms: 0,
+                    ..RunnerConfig::default()
+                };
+                let mut source = ChunkedIpfixReader::new(&bytes, 2_000);
+                let report = StudyRunner::new(&classifier, cfg)
+                    .run(&mut source, &store)
+                    .expect("streaming run");
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(report)
+            })
+        });
+    }
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

@@ -72,16 +72,16 @@ pub fn peer_whitelist(
     org: OrgMode,
 ) -> PeerAcl {
     let mut set = PrefixSet::new();
-    match method {
-        InferenceMethod::Naive => {
+    // `cones` is `None` exactly for Naive, which uses the on-path test.
+    match classifier.cones(method, org) {
+        None => {
             for (prefix, info) in classifier.table().iter() {
                 if info.has_on_path(peer) {
                     set.insert(prefix);
                 }
             }
         }
-        _ => {
-            let cones = classifier.cones(method, org).expect("precomputed");
+        Some(cones) => {
             for (prefix, info) in classifier.table().iter() {
                 if cones.is_valid_source_any(peer, &info.origins) {
                     set.insert(prefix);

@@ -353,6 +353,63 @@ mod tests {
     }
 
     #[test]
+    fn default_config_caps_delay_at_one_hour() {
+        // Default ladder: 60, 120, 240, 480, 960, 1920 — the 7th failure
+        // would schedule 3840 s but must clamp to retry_max (3600 s).
+        let mut f = RibFreshness::new(FreshnessConfig::default());
+        f.record_snapshot("rrc00", 0);
+        let mut t = 0u64;
+        for i in 0..6 {
+            f.record_gap("rrc00", t);
+            let delay = (60u64 << i).min(3600);
+            assert!(!f.retry_due("rrc00", t + delay - 1), "failure {}", i + 1);
+            assert!(f.retry_due("rrc00", t + delay), "failure {}", i + 1);
+            t += 10_000; // well past every retry
+        }
+        f.record_gap("rrc00", t);
+        assert!(!f.retry_due("rrc00", t + 3599), "7th delay exceeds the cap?");
+        assert!(f.retry_due("rrc00", t + 3600), "7th delay is exactly the cap");
+    }
+
+    #[test]
+    fn default_config_drops_out_exactly_on_eighth_gap() {
+        let mut f = RibFreshness::new(FreshnessConfig::default());
+        f.record_snapshot("rrc00", 0);
+        let mut t = 0u64;
+        for _ in 0..7 {
+            f.record_gap("rrc00", t);
+            t += 10_000;
+        }
+        // Seven failures: still retrying, not dropped out.
+        assert!(f.dropped_out().is_empty());
+        assert!(f.retry_due("rrc00", u64::MAX));
+        // The eighth is terminal.
+        f.record_gap("rrc00", t);
+        assert_eq!(f.dropped_out(), vec!["rrc00"]);
+        assert!(!f.retry_due("rrc00", u64::MAX));
+    }
+
+    #[test]
+    fn default_config_recovery_restarts_ladder_at_base() {
+        let mut f = RibFreshness::new(FreshnessConfig::default());
+        // A long gap streak, one short of dropout...
+        let mut t = 0u64;
+        for _ in 0..7 {
+            f.record_gap("rrc00", t);
+            t += 10_000;
+        }
+        // ...then a snapshot lands: the failure counter resets, so the
+        // next gap schedules the base delay (60 s), not the 8th rung or
+        // a dropout.
+        f.record_snapshot("rrc00", t);
+        assert!(!f.retry_due("rrc00", u64::MAX), "healthy: no retry pending");
+        f.record_gap("rrc00", t + 100);
+        assert!(f.dropped_out().is_empty(), "counter was reset by success");
+        assert!(!f.retry_due("rrc00", t + 159));
+        assert!(f.retry_due("rrc00", t + 160), "ladder restarted at base 60 s");
+    }
+
+    #[test]
     fn snapshot_time_never_regresses() {
         let mut f = RibFreshness::new(cfg());
         f.record_snapshot("rrc00", 1000);

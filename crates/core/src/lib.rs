@@ -25,15 +25,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod acl;
 pub mod fphunt;
 pub mod freshness;
 mod pipeline;
 pub mod relinfer;
+pub mod runner;
 pub mod stats;
 pub mod stray;
 
 pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, RibFreshness};
 pub use pipeline::Classifier;
+pub use runner::{
+    Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore, ChunkSource, FlowAccounting,
+    IngestTotals, RunReport, RunnerConfig, RunnerError, RunnerHealth, ShedPolicy, StudyRunner,
+};
 pub use stats::{ClassCounters, MemberBreakdown, Table1, Table1Row};

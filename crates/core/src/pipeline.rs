@@ -6,7 +6,32 @@ use spoofwatch_bgp::{Announcement, RoutedTable};
 use spoofwatch_internet::bogon;
 use spoofwatch_net::{FlowRecord, InferenceMethod, OrgMode, TrafficClass};
 use spoofwatch_trie::PrefixSet;
-use std::collections::HashMap;
+
+/// The four precomputed cone variants, held as named fields so the hot
+/// path's lookup is infallible by construction: every (cone method, org
+/// mode) pair maps to exactly one field, and `Naive` — the only method
+/// without a cone — is the only way to get `None`.
+struct ConeSet {
+    full_plain: ReachCones,
+    full_org: ReachCones,
+    cc_plain: ReachCones,
+    cc_org: ReachCones,
+}
+
+impl ConeSet {
+    /// The cone for a method/org pair; `None` exactly for `Naive`.
+    fn get(&self, method: InferenceMethod, org: OrgMode) -> Option<&ReachCones> {
+        let (plain, adjusted) = match method {
+            InferenceMethod::Naive => return None,
+            InferenceMethod::FullCone => (&self.full_plain, &self.full_org),
+            InferenceMethod::CustomerCone => (&self.cc_plain, &self.cc_org),
+        };
+        Some(match org {
+            OrgMode::Plain => plain,
+            OrgMode::OrgAdjusted => adjusted,
+        })
+    }
+}
 
 /// The passive spoofing classifier.
 ///
@@ -21,7 +46,7 @@ use std::collections::HashMap;
 pub struct Classifier {
     bogons: PrefixSet,
     table: RoutedTable,
-    cones: HashMap<(InferenceMethod, OrgMode), ReachCones>,
+    cones: ConeSet,
     relationships: Relationships,
 }
 
@@ -47,16 +72,15 @@ impl Classifier {
         augment_with_orgs(&mut cc_org_edges, orgs);
         let cc_org = ReachCones::compute(&cc_org_edges, &origin_units);
 
-        let mut cones = HashMap::new();
-        cones.insert((InferenceMethod::FullCone, OrgMode::Plain), full_plain);
-        cones.insert((InferenceMethod::FullCone, OrgMode::OrgAdjusted), full_org);
-        cones.insert((InferenceMethod::CustomerCone, OrgMode::Plain), cc_plain);
-        cones.insert((InferenceMethod::CustomerCone, OrgMode::OrgAdjusted), cc_org);
-
         Classifier {
             bogons: bogon::bogon_set(),
             table,
-            cones,
+            cones: ConeSet {
+                full_plain,
+                full_org,
+                cc_plain,
+                cc_org,
+            },
             relationships,
         }
     }
@@ -74,7 +98,7 @@ impl Classifier {
     /// The cone structure for a method/org combination (`None` for
     /// Naive, which is per-prefix rather than per-cone).
     pub fn cones(&self, method: InferenceMethod, org: OrgMode) -> Option<&ReachCones> {
-        self.cones.get(&(method, org))
+        self.cones.get(method, org)
     }
 
     /// Classify one flow with the paper's production settings: Full
@@ -98,13 +122,11 @@ impl Classifier {
         let Some((_prefix, info)) = self.table.lookup(flow.src) else {
             return TrafficClass::Unrouted;
         };
-        let valid = match method {
-            InferenceMethod::Naive => info.has_on_path(flow.member),
-            _ => self
-                .cones
-                .get(&(method, org))
-                .expect("all cone variants precomputed")
-                .is_valid_source_any(flow.member, &info.origins),
+        // `ConeSet::get` is total: `None` means Naive, anything else
+        // resolves to a precomputed cone — no panic path.
+        let valid = match self.cones.get(method, org) {
+            None => info.has_on_path(flow.member),
+            Some(cones) => cones.is_valid_source_any(flow.member, &info.origins),
         };
         if valid {
             TrafficClass::Valid

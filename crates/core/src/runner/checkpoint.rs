@@ -1,0 +1,521 @@
+//! Crash-safe checkpoint persistence for the streaming study runner.
+//!
+//! A checkpoint is the runner's entire deterministic state at a chunk
+//! boundary: per-member/per-class accounting, the trace byte cursor,
+//! shed/quarantine counters, ingest totals, and a hash of the
+//! seed/config/trace identity. The on-disk format is length-framed with
+//! a CRC so torn or corrupted files are *detected*, never trusted:
+//!
+//! ```text
+//! file := magic "SWCP" | version u16 | payload_len u32 | payload | crc32(payload) u32
+//! ```
+//!
+//! Writes are atomic (tmp + fsync + rename) and rotate the previous
+//! checkpoint aside, so at every instant at least one valid checkpoint
+//! exists on disk: a crash mid-write tears only the tmp file, and a
+//! corrupted current file falls back to the previous one.
+
+use super::{FlowAccounting, IngestTotals};
+use crate::stats::ClassCounters;
+use spoofwatch_net::{crc32, Asn, TrafficClass};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"SWCP";
+const VERSION: u16 = 1;
+/// magic + version + payload_len.
+const HEADER_LEN: usize = 10;
+
+/// The runner's deterministic state at a committed chunk boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Hash of seed, method, org mode, and source fingerprint; a resume
+    /// against a different config or trace is refused.
+    pub config_hash: u64,
+    /// Chunks committed so far (also the sequence number of the next
+    /// chunk to process).
+    pub committed_chunks: u64,
+    /// Byte offset in the trace where processing resumes.
+    pub byte_cursor: u64,
+    /// Record-level offered/processed/shed/quarantined accounting.
+    pub records: FlowAccounting,
+    /// Chunk-level offered/processed/shed/quarantined accounting.
+    pub chunks: FlowAccounting,
+    /// Decode-health scalars absorbed from committed chunks.
+    pub ingest: IngestTotals,
+    /// Per-member, per-class counters (indexed by
+    /// [`TrafficClass::index`]) over processed chunks.
+    pub per_member: BTreeMap<Asn, [ClassCounters; 4]>,
+}
+
+/// Why a checkpoint file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// File shorter than the fixed header.
+    TooShort,
+    /// Magic mismatch — not a checkpoint file (or a torn header).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Declared payload length disagrees with the file size (torn tail
+    /// or truncated write).
+    LengthMismatch {
+        /// Payload bytes the header declares.
+        declared: u64,
+        /// Payload bytes actually present.
+        available: u64,
+    },
+    /// CRC over the payload failed — the payload bytes are corrupt.
+    BadCrc,
+    /// Framing was intact but the payload did not parse.
+    Malformed,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::TooShort => f.write_str("checkpoint: file too short"),
+            CheckpointError::BadMagic => f.write_str("checkpoint: bad magic"),
+            CheckpointError::BadVersion(v) => write!(f, "checkpoint: unsupported version {v}"),
+            CheckpointError::LengthMismatch {
+                declared,
+                available,
+            } => write!(
+                f,
+                "checkpoint: torn file ({available} of {declared} payload bytes)"
+            ),
+            CheckpointError::BadCrc => f.write_str("checkpoint: CRC mismatch"),
+            CheckpointError::Malformed => f.write_str("checkpoint: malformed payload"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Malformed)?;
+        let s = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Malformed)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_be_bytes(a))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_be_bytes(a))
+    }
+}
+
+fn put_accounting(out: &mut Vec<u8>, a: &FlowAccounting) {
+    for v in [a.offered, a.processed, a.shed, a.quarantined] {
+        out.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+fn get_accounting(r: &mut Reader<'_>) -> Result<FlowAccounting, CheckpointError> {
+    Ok(FlowAccounting {
+        offered: r.u64()?,
+        processed: r.u64()?,
+        shed: r.u64()?,
+        quarantined: r.u64()?,
+    })
+}
+
+impl Checkpoint {
+    /// Serialize to the length-framed, CRC-protected wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(128 + self.per_member.len() * 100);
+        payload.extend_from_slice(&self.config_hash.to_be_bytes());
+        payload.extend_from_slice(&self.committed_chunks.to_be_bytes());
+        payload.extend_from_slice(&self.byte_cursor.to_be_bytes());
+        put_accounting(&mut payload, &self.records);
+        put_accounting(&mut payload, &self.chunks);
+        for v in [
+            self.ingest.input_bytes,
+            self.ingest.ok_records,
+            self.ingest.ok_bytes,
+            self.ingest.quarantined_bytes,
+            self.ingest.resyncs,
+        ] {
+            payload.extend_from_slice(&v.to_be_bytes());
+        }
+        payload.extend_from_slice(&(self.per_member.len() as u32).to_be_bytes());
+        for (asn, rows) in &self.per_member {
+            payload.extend_from_slice(&asn.0.to_be_bytes());
+            for cc in rows {
+                payload.extend_from_slice(&cc.flows.to_be_bytes());
+                payload.extend_from_slice(&cc.packets.to_be_bytes());
+                payload.extend_from_slice(&cc.bytes.to_be_bytes());
+            }
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_be_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32(&payload).to_be_bytes());
+        out
+    }
+
+    /// Parse and verify a wire-form checkpoint. Every failure mode a
+    /// torn or bit-flipped file can produce maps to a
+    /// [`CheckpointError`]; this function never panics on arbitrary
+    /// bytes.
+    pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        if data.len() < HEADER_LEN + 4 {
+            return Err(CheckpointError::TooShort);
+        }
+        if &data[..4] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = u16::from_be_bytes([data[4], data[5]]);
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        let declared = u32::from_be_bytes([data[6], data[7], data[8], data[9]]) as u64;
+        let available = (data.len() - HEADER_LEN - 4) as u64;
+        if declared != available {
+            return Err(CheckpointError::LengthMismatch {
+                declared,
+                available,
+            });
+        }
+        let payload = &data[HEADER_LEN..HEADER_LEN + declared as usize];
+        let crc_bytes = &data[HEADER_LEN + declared as usize..];
+        let want = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(payload) != want {
+            return Err(CheckpointError::BadCrc);
+        }
+
+        let mut r = Reader {
+            buf: payload,
+            pos: 0,
+        };
+        let config_hash = r.u64()?;
+        let committed_chunks = r.u64()?;
+        let byte_cursor = r.u64()?;
+        let records = get_accounting(&mut r)?;
+        let chunks = get_accounting(&mut r)?;
+        let ingest = IngestTotals {
+            input_bytes: r.u64()?,
+            ok_records: r.u64()?,
+            ok_bytes: r.u64()?,
+            quarantined_bytes: r.u64()?,
+            resyncs: r.u64()?,
+        };
+        let n_members = r.u32()?;
+        let mut per_member = BTreeMap::new();
+        for _ in 0..n_members {
+            let asn = Asn(r.u32()?);
+            let mut rows: [ClassCounters; 4] = Default::default();
+            for class in TrafficClass::ALL {
+                let cc = &mut rows[class.index()];
+                cc.flows = r.u64()?;
+                cc.packets = r.u64()?;
+                cc.bytes = r.u64()?;
+            }
+            per_member.insert(asn, rows);
+        }
+        if r.pos != payload.len() {
+            return Err(CheckpointError::Malformed);
+        }
+        Ok(Checkpoint {
+            config_hash,
+            committed_chunks,
+            byte_cursor,
+            records,
+            chunks,
+            ingest,
+            per_member,
+        })
+    }
+}
+
+/// A loaded checkpoint tagged with the slot it came from, plus one
+/// entry per slot that existed but was rejected as torn or corrupt.
+pub type LoadOutcome = (
+    Option<(Checkpoint, CheckpointSlot)>,
+    Vec<(CheckpointSlot, CheckpointError)>,
+);
+
+/// Which on-disk slot a checkpoint was loaded from (or rejected in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointSlot {
+    /// The most recently written checkpoint.
+    Current,
+    /// The rotated-aside predecessor.
+    Previous,
+}
+
+impl fmt::Display for CheckpointSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointSlot::Current => f.write_str("current"),
+            CheckpointSlot::Previous => f.write_str("previous"),
+        }
+    }
+}
+
+/// Atomic two-slot checkpoint storage in a directory.
+///
+/// `save` writes a tmp file, fsyncs it, rotates the current checkpoint
+/// to the previous slot, and renames the tmp into place — so a crash at
+/// any instruction leaves at least one valid checkpoint behind.
+/// `load_latest` tries current then previous, collecting the faults of
+/// every rejected slot so the runner can surface them.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<CheckpointStore> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(CheckpointStore {
+            dir: dir.as_ref().to_path_buf(),
+        })
+    }
+
+    /// Path of the current-slot file.
+    pub fn current_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.bin")
+    }
+
+    /// Path of the previous-slot file.
+    pub fn previous_path(&self) -> PathBuf {
+        self.dir.join("checkpoint.prev.bin")
+    }
+
+    /// Atomically persist `cp`, rotating the old current slot aside.
+    pub fn save(&self, cp: &Checkpoint) -> io::Result<()> {
+        let tmp = self.dir.join("checkpoint.tmp");
+        let cur = self.current_path();
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&cp.encode())?;
+            f.sync_all()?;
+        }
+        if cur.exists() {
+            fs::rename(&cur, self.previous_path())?;
+        }
+        fs::rename(&tmp, &cur)?;
+        Ok(())
+    }
+
+    /// Load the newest valid checkpoint, falling back from current to
+    /// previous. Returns the checkpoint (with the slot it came from)
+    /// and one entry per slot that existed but was rejected.
+    pub fn load_latest(&self) -> LoadOutcome {
+        let mut faults = Vec::new();
+        for (slot, path) in [
+            (CheckpointSlot::Current, self.current_path()),
+            (CheckpointSlot::Previous, self.previous_path()),
+        ] {
+            let Ok(bytes) = fs::read(&path) else {
+                continue; // missing slot: not a fault
+            };
+            match Checkpoint::decode(&bytes) {
+                Ok(cp) => return (Some((cp, slot)), faults),
+                Err(e) => faults.push((slot, e)),
+            }
+        }
+        (None, faults)
+    }
+
+    /// Remove both slots (start a study from scratch).
+    pub fn clear(&self) -> io::Result<()> {
+        for path in [self.current_path(), self.previous_path()] {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::FaultInjector;
+
+    fn sample() -> Checkpoint {
+        let mut per_member = BTreeMap::new();
+        let mut rows: [ClassCounters; 4] = Default::default();
+        rows[0] = ClassCounters {
+            flows: 3,
+            packets: 30,
+            bytes: 1800,
+            members: 0,
+        };
+        rows[3] = ClassCounters {
+            flows: 97,
+            packets: 970,
+            bytes: 58200,
+            members: 0,
+        };
+        per_member.insert(Asn(64496), rows);
+        per_member.insert(Asn(64500), Default::default());
+        Checkpoint {
+            config_hash: 0xDEAD_BEEF_1234_5678,
+            committed_chunks: 42,
+            byte_cursor: 42 * 35 * 16 + 6,
+            records: FlowAccounting {
+                offered: 672,
+                processed: 600,
+                shed: 40,
+                quarantined: 32,
+            },
+            chunks: FlowAccounting {
+                offered: 42,
+                processed: 38,
+                shed: 2,
+                quarantined: 2,
+            },
+            ingest: IngestTotals {
+                input_bytes: 23526,
+                ok_records: 672,
+                ok_bytes: 23520,
+                quarantined_bytes: 6,
+                resyncs: 1,
+            },
+            per_member,
+        }
+    }
+
+    fn store() -> (CheckpointStore, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "swck-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        (CheckpointStore::open(&dir).unwrap(), dir)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cp = sample();
+        assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                Checkpoint::decode(&bytes[..cut]).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let clean = sample().encode();
+        for i in 0..clean.len() {
+            for bit in 0..8 {
+                let mut torn = clean.clone();
+                torn[i] ^= 1 << bit;
+                assert!(
+                    Checkpoint::decode(&torn).is_err(),
+                    "flip at byte {i} bit {bit} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_faults_never_panic_and_never_validate() {
+        let clean = sample().encode();
+        for seed in 0..200u64 {
+            let mut data = clean.clone();
+            let mut inj = FaultInjector::new(seed);
+            inj.any_single(&mut data, 32);
+            if data == clean {
+                continue; // duplicate of a repeated span can be a no-op
+            }
+            // Length framing + CRC: any actual change must be rejected.
+            assert!(Checkpoint::decode(&data).is_err(), "seed {seed} accepted");
+        }
+    }
+
+    #[test]
+    fn store_rotates_and_falls_back_from_torn_current() {
+        let (store, dir) = store();
+        let mut first = sample();
+        first.committed_chunks = 10;
+        let mut second = sample();
+        second.committed_chunks = 20;
+        store.save(&first).unwrap();
+        store.save(&second).unwrap();
+
+        // Both slots populated; current wins.
+        let (got, faults) = store.load_latest();
+        let (cp, slot) = got.unwrap();
+        assert_eq!(cp.committed_chunks, 20);
+        assert_eq!(slot, CheckpointSlot::Current);
+        assert!(faults.is_empty());
+
+        // Tear the current file (interrupted write): previous slot wins
+        // and the fault is reported.
+        let cur = store.current_path();
+        let bytes = fs::read(&cur).unwrap();
+        let mut torn = bytes.clone();
+        FaultInjector::new(7).truncate(&mut torn).unwrap();
+        fs::write(&cur, &torn).unwrap();
+        let (got, faults) = store.load_latest();
+        let (cp, slot) = got.unwrap();
+        assert_eq!(cp.committed_chunks, 10);
+        assert_eq!(slot, CheckpointSlot::Previous);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].0, CheckpointSlot::Current);
+
+        // Both torn: nothing to resume from, two faults.
+        let prev = store.previous_path();
+        let mut garbage = fs::read(&prev).unwrap();
+        FaultInjector::new(8).corrupt_percent(&mut garbage, 20.0);
+        fs::write(&prev, &garbage).unwrap();
+        let (got, faults) = store.load_latest();
+        assert!(got.is_none());
+        assert_eq!(faults.len(), 2);
+
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn clear_then_empty() {
+        let (store, dir) = store();
+        store.save(&sample()).unwrap();
+        store.save(&sample()).unwrap();
+        store.clear().unwrap();
+        let (got, faults) = store.load_latest();
+        assert!(got.is_none());
+        assert!(faults.is_empty());
+        store.clear().unwrap(); // idempotent
+        let _ = fs::remove_dir_all(dir);
+    }
+}

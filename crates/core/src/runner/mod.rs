@@ -1,0 +1,889 @@
+//! The supervised streaming study runner.
+//!
+//! [`Classifier::classify_trace`] is batch-only and fail-stop: the whole
+//! trace must fit in memory, one panic aborts the run, and a crash loses
+//! everything. At the paper's horizon — four weeks of IPFIX flows from a
+//! ~727-member IXP — the pipeline itself has to survive crashes, stalls,
+//! and overload. [`StudyRunner`] processes the trace as a stream of
+//! [`FlowChunk`]s on a supervised worker pool, resting on three pillars:
+//!
+//! * **Crash safety** — progress is periodically persisted as a
+//!   [`Checkpoint`] (length-framed, CRC-protected, written atomically
+//!   with two-slot rotation). An interrupted run resumes from the last
+//!   valid checkpoint and produces a bit-identical [`RunReport`]; a torn
+//!   checkpoint file is detected and skipped back to its predecessor.
+//! * **Supervision** — each worker wraps chunk classification in
+//!   `catch_unwind`: a poisoned chunk is quarantined into the
+//!   [`RunnerHealth`] taxonomy and the worker restarts with bounded
+//!   exponential backoff (mirroring [`crate::RibFreshness`]'s retry
+//!   ladder). A watchdog thread flags stalled progress.
+//! * **Backpressure** — the chunk queue is bounded. When the source
+//!   outruns the classifiers, [`ShedPolicy::Sample`] applies
+//!   deterministic secondary sampling (seeded by chunk sequence) with
+//!   exact shed accounting; [`ShedPolicy::Block`] is the lossless
+//!   alternative.
+//!
+//! The accounting invariant, chunk- and record-level, mirrors the ingest
+//! layer's byte reconciliation:
+//!
+//! ```text
+//! processed + shed + quarantined == offered
+//! ```
+
+mod checkpoint;
+
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore};
+
+use crate::pipeline::Classifier;
+use crate::stats::{ClassCounters, MemberBreakdown};
+use serde::Serialize;
+use spoofwatch_ixp::chunked::{ChunkedIpfixReader, FlowChunk};
+use spoofwatch_net::{Asn, FlowRecord, InferenceMethod, IngestHealth, OrgMode, TrafficClass};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A resumable source of flow chunks.
+///
+/// Implementations must be deterministic: after `seek(cursor, seq)` to a
+/// previously yielded chunk boundary, the remaining chunk sequence must
+/// be byte-identical to the original one — that is what makes checkpoint
+/// resume exact.
+pub trait ChunkSource {
+    /// Stable identity of the stream and its chunking, mixed into the
+    /// checkpoint config hash.
+    fn fingerprint(&self) -> u64;
+    /// Position the source so the next chunk starts at `byte_cursor`
+    /// with sequence number `seq`.
+    fn seek(&mut self, byte_cursor: u64, seq: u64);
+    /// The next chunk, or `None` at end of stream.
+    fn next_chunk(&mut self) -> Option<FlowChunk>;
+}
+
+impl ChunkSource for ChunkedIpfixReader<'_> {
+    fn fingerprint(&self) -> u64 {
+        ChunkedIpfixReader::fingerprint(self)
+    }
+
+    fn seek(&mut self, byte_cursor: u64, seq: u64) {
+        ChunkedIpfixReader::seek(self, byte_cursor, seq);
+    }
+
+    fn next_chunk(&mut self) -> Option<FlowChunk> {
+        ChunkedIpfixReader::next_chunk(self)
+    }
+}
+
+/// What the source does when the bounded chunk queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ShedPolicy {
+    /// Lossless backpressure: block until a queue slot frees. Throughput
+    /// degrades to the classifiers' rate; nothing is shed.
+    Block,
+    /// Secondary sampling under overload: an overflowing chunk is kept
+    /// (with a blocking send) iff a seeded hash of its sequence number
+    /// selects it — 1 of every `keep_one_in` — and shed otherwise, with
+    /// exact accounting. Which chunks overflow depends on timing, but
+    /// the keep/shed decision for a given chunk is deterministic.
+    Sample {
+        /// Keep 1 of every this many overflowing chunks (minimum 1).
+        keep_one_in: u32,
+    },
+}
+
+/// Tuning and policy for one streaming run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Valid-space inference method.
+    pub method: InferenceMethod,
+    /// Org adjustment mode.
+    pub org: OrgMode,
+    /// Study seed; part of the checkpoint config hash and of the shed
+    /// sampling hash.
+    pub seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Bounded chunk-queue depth (minimum 1).
+    pub queue_depth: usize,
+    /// Chunks between checkpoints (minimum 1).
+    pub checkpoint_every: u64,
+    /// Overload behavior.
+    pub shed: ShedPolicy,
+    /// First restart-backoff delay after a worker panic, milliseconds.
+    pub restart_backoff_base_ms: u64,
+    /// Restart-backoff cap, milliseconds (delays double per consecutive
+    /// panic up to this bound, mirroring [`crate::FreshnessConfig`]).
+    pub restart_backoff_max_ms: u64,
+    /// Watchdog: flag a stall when no chunk commits for this long
+    /// (0 disables the watchdog).
+    pub stall_timeout_ms: u64,
+    /// Crash-simulation knob for tests and the resume walkthrough: stop
+    /// with [`RunnerError::Interrupted`] once this many chunks are
+    /// committed, without writing a final checkpoint.
+    pub interrupt_after_chunks: Option<u64>,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            method: InferenceMethod::FullCone,
+            org: OrgMode::OrgAdjusted,
+            seed: 0,
+            workers: 0,
+            queue_depth: 8,
+            checkpoint_every: 16,
+            shed: ShedPolicy::Block,
+            restart_backoff_base_ms: 5,
+            restart_backoff_max_ms: 200,
+            stall_timeout_ms: 30_000,
+            interrupt_after_chunks: None,
+        }
+    }
+}
+
+/// Offered/processed/shed/quarantined accounting for one unit (records
+/// or chunks), with the reconciliation invariant of the ingest layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct FlowAccounting {
+    /// Units the source offered to the pipeline.
+    pub offered: u64,
+    /// Units classified successfully.
+    pub processed: u64,
+    /// Units dropped by load shedding.
+    pub shed: u64,
+    /// Units quarantined after a worker panic.
+    pub quarantined: u64,
+}
+
+impl FlowAccounting {
+    /// `processed + shed + quarantined == offered`.
+    pub fn reconciles(&self) -> bool {
+        self.processed + self.shed + self.quarantined == self.offered
+    }
+}
+
+/// Scalar decode-health totals absorbed from the committed chunks
+/// (the checkpointable subset of [`IngestHealth`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IngestTotals {
+    /// Input bytes covered by committed chunks.
+    pub input_bytes: u64,
+    /// Records decoded cleanly.
+    pub ok_records: u64,
+    /// Bytes decoded cleanly.
+    pub ok_bytes: u64,
+    /// Bytes quarantined by the decoder.
+    pub quarantined_bytes: u64,
+    /// Decoder resynchronization events.
+    pub resyncs: u64,
+}
+
+impl IngestTotals {
+    /// Fold one chunk's health into the totals.
+    pub fn absorb(&mut self, h: &IngestHealth) {
+        self.input_bytes += h.input_len;
+        self.ok_records += h.ok_records;
+        self.ok_bytes += h.ok_bytes;
+        self.quarantined_bytes += h.quarantined_bytes;
+        self.resyncs += h.resyncs;
+    }
+
+    /// Byte-exact: `ok_bytes + quarantined_bytes == input_bytes`.
+    pub fn reconciles(&self) -> bool {
+        self.ok_bytes + self.quarantined_bytes == self.input_bytes
+    }
+}
+
+/// Supervision and backpressure health of one run: the streaming
+/// counterpart of [`IngestHealth`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct RunnerHealth {
+    /// Record-level accounting.
+    pub records: FlowAccounting,
+    /// Chunk-level accounting.
+    pub chunks: FlowAccounting,
+    /// Worker restarts after caught panics (per-process; not carried
+    /// across resumes).
+    pub worker_restarts: u64,
+    /// Watchdog stall flags (per-process).
+    pub watchdog_stalls: u64,
+    /// Checkpoints written by this process.
+    pub checkpoints_written: u64,
+    /// Checkpoint slots found corrupt/torn at startup and skipped.
+    pub checkpoints_rejected: u64,
+    /// Chunk sequence this run resumed from, if it resumed.
+    pub resumed_at_chunk: Option<u64>,
+}
+
+impl RunnerHealth {
+    /// Whether both accounting levels reconcile exactly.
+    pub fn reconciles(&self) -> bool {
+        self.records.reconciles() && self.chunks.reconciles()
+    }
+}
+
+impl fmt::Display for RunnerHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of {} records processed ({} shed, {} quarantined) in {} chunks; \
+             {} worker restarts, {} stalls",
+            self.records.processed,
+            self.records.offered,
+            self.records.shed,
+            self.records.quarantined,
+            self.chunks.offered,
+            self.worker_restarts,
+            self.watchdog_stalls,
+        )
+    }
+}
+
+/// The streaming study's deliverable: deterministic accounting plus
+/// supervision health.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Per-member, per-class accounting over all processed chunks.
+    pub breakdown: MemberBreakdown,
+    /// Decode-health totals over all committed chunks.
+    pub ingest: IngestTotals,
+    /// Supervision and backpressure counters.
+    pub health: RunnerHealth,
+}
+
+impl RunReport {
+    /// Whether the deterministic portion of two reports matches: the
+    /// breakdown, ingest totals, and both accounting levels. Per-process
+    /// counters (restarts, stalls, checkpoint writes, resume marker) are
+    /// deliberately excluded — they describe *how* a run got here, not
+    /// *what* it computed. This is the crash-recovery equality: an
+    /// interrupted-and-resumed run must match the uninterrupted one.
+    pub fn same_result(&self, other: &RunReport) -> bool {
+        self.breakdown == other.breakdown
+            && self.ingest == other.ingest
+            && self.health.records == other.health.records
+            && self.health.chunks == other.health.chunks
+    }
+}
+
+/// Why a run stopped without a complete report.
+#[derive(Debug)]
+pub enum RunnerError {
+    /// The crash-simulation knob fired after this many committed chunks.
+    Interrupted {
+        /// Chunks committed when the run stopped.
+        committed_chunks: u64,
+    },
+    /// A valid checkpoint exists but was written under a different
+    /// config, seed, or trace; refusing to mix them.
+    ConfigMismatch {
+        /// Hash the current run derives.
+        expected: u64,
+        /// Hash stored in the checkpoint.
+        found: u64,
+    },
+    /// Checkpoint persistence failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunnerError::Interrupted { committed_chunks } => {
+                write!(f, "runner interrupted after {committed_chunks} chunks")
+            }
+            RunnerError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint config hash {found:#x} does not match this run's {expected:#x}"
+            ),
+            RunnerError::Io(e) => write!(f, "runner I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<std::io::Error> for RunnerError {
+    fn from(e: std::io::Error) -> Self {
+        RunnerError::Io(e)
+    }
+}
+
+/// FNV-1a over a sequence of words.
+fn fnv(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_be_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+fn method_tag(m: InferenceMethod) -> u64 {
+    match m {
+        InferenceMethod::Naive => 0,
+        InferenceMethod::CustomerCone => 1,
+        InferenceMethod::FullCone => 2,
+    }
+}
+
+fn org_tag(o: OrgMode) -> u64 {
+    match o {
+        OrgMode::Plain => 0,
+        OrgMode::OrgAdjusted => 1,
+    }
+}
+
+/// Deterministic keep/shed decision for an overflowing chunk.
+fn shed_keeps(seed: u64, seq: u64, keep_one_in: u32) -> bool {
+    fnv(&[seed, seq]).is_multiple_of(keep_one_in.max(1) as u64)
+}
+
+/// What a worker reports back for one chunk.
+enum OutcomeKind {
+    /// Classified; the partial per-member breakdown rides along.
+    Processed(BTreeMap<Asn, [ClassCounters; 4]>),
+    /// The classification panicked; the chunk is poisoned.
+    Quarantined,
+    /// Dropped by the shed policy (emitted by the feeder, not a worker).
+    Shed,
+}
+
+struct Outcome {
+    seq: u64,
+    kind: OutcomeKind,
+}
+
+/// Feeder-side metadata kept per in-flight chunk so commits need nothing
+/// from the worker beyond the outcome.
+struct PendingMeta {
+    records: u64,
+    byte_end: u64,
+    ingest: IngestTotals,
+}
+
+/// The deterministic state the checkpoint persists.
+#[derive(Default)]
+struct RunState {
+    committed_chunks: u64,
+    byte_cursor: u64,
+    records: FlowAccounting,
+    chunks: FlowAccounting,
+    ingest: IngestTotals,
+    per_member: BTreeMap<Asn, [ClassCounters; 4]>,
+}
+
+impl RunState {
+    fn from_checkpoint(cp: Checkpoint) -> RunState {
+        RunState {
+            committed_chunks: cp.committed_chunks,
+            byte_cursor: cp.byte_cursor,
+            records: cp.records,
+            chunks: cp.chunks,
+            ingest: cp.ingest,
+            per_member: cp.per_member,
+        }
+    }
+
+    fn to_checkpoint(&self, config_hash: u64) -> Checkpoint {
+        Checkpoint {
+            config_hash,
+            committed_chunks: self.committed_chunks,
+            byte_cursor: self.byte_cursor,
+            records: self.records,
+            chunks: self.chunks,
+            ingest: self.ingest,
+            per_member: self.per_member.clone(),
+        }
+    }
+
+    fn merge_partial(&mut self, partial: BTreeMap<Asn, [ClassCounters; 4]>) {
+        for (asn, rows) in partial {
+            let into = self.per_member.entry(asn).or_default();
+            for (dst, src) in into.iter_mut().zip(rows.iter()) {
+                dst.flows += src.flows;
+                dst.packets += src.packets;
+                dst.bytes += src.bytes;
+            }
+        }
+    }
+}
+
+/// The supervised streaming runner. Build once per study; `run` both
+/// starts fresh studies and resumes interrupted ones — if the checkpoint
+/// store holds a valid checkpoint for the same config and trace, the
+/// run continues from it.
+pub struct StudyRunner<'a> {
+    classifier: &'a Classifier,
+    cfg: RunnerConfig,
+}
+
+impl<'a> StudyRunner<'a> {
+    /// A runner over `classifier` with the given policy.
+    pub fn new(classifier: &'a Classifier, cfg: RunnerConfig) -> Self {
+        StudyRunner { classifier, cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RunnerConfig {
+        &self.cfg
+    }
+
+    /// Hash binding a checkpoint to (seed, method, org, trace identity).
+    pub fn config_hash(&self, source_fingerprint: u64) -> u64 {
+        fnv(&[
+            self.cfg.seed,
+            method_tag(self.cfg.method),
+            org_tag(self.cfg.org),
+            source_fingerprint,
+        ])
+    }
+
+    /// Run (or resume) the study, classifying with the configured
+    /// method/org pair.
+    pub fn run<S: ChunkSource>(
+        &self,
+        source: &mut S,
+        store: &CheckpointStore,
+    ) -> Result<RunReport, RunnerError> {
+        let classifier = self.classifier;
+        let (method, org) = (self.cfg.method, self.cfg.org);
+        self.run_with(source, store, move |flows: &[FlowRecord]| {
+            flows
+                .iter()
+                .map(|f| classifier.classify_with(f, method, org))
+                .collect()
+        })
+    }
+
+    /// Run (or resume) the study with an explicit per-chunk classify
+    /// function — the supervision seam: tests inject panicking or slow
+    /// classifiers here.
+    pub fn run_with<S, F>(
+        &self,
+        source: &mut S,
+        store: &CheckpointStore,
+        classify: F,
+    ) -> Result<RunReport, RunnerError>
+    where
+        S: ChunkSource,
+        F: Fn(&[FlowRecord]) -> Vec<TrafficClass> + Sync,
+    {
+        let cfg = &self.cfg;
+        let workers = if cfg.workers == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            cfg.workers
+        };
+        let config_hash = self.config_hash(source.fingerprint());
+
+        let mut health = RunnerHealth::default();
+        let (loaded, faults) = store.load_latest();
+        health.checkpoints_rejected = faults.len() as u64;
+        let mut state = match loaded {
+            Some((cp, _slot)) => {
+                if cp.config_hash != config_hash {
+                    return Err(RunnerError::ConfigMismatch {
+                        expected: config_hash,
+                        found: cp.config_hash,
+                    });
+                }
+                health.resumed_at_chunk = Some(cp.committed_chunks);
+                RunState::from_checkpoint(cp)
+            }
+            None => RunState::default(),
+        };
+        source.seek(state.byte_cursor, state.committed_chunks);
+
+        let (chunk_tx, chunk_rx) = mpsc::sync_channel::<FlowChunk>(cfg.queue_depth.max(1));
+        let chunk_rx = Arc::new(Mutex::new(chunk_rx));
+        let (out_tx, out_rx) = mpsc::channel::<Outcome>();
+        let restarts = AtomicU64::new(0);
+        let stalls = AtomicU64::new(0);
+        let committed = AtomicU64::new(state.committed_chunks);
+        let done = AtomicBool::new(false);
+
+        let run_result: Result<bool, RunnerError> = thread::scope(|s| {
+            for _ in 0..workers {
+                let rx = Arc::clone(&chunk_rx);
+                let tx = out_tx.clone();
+                let classify = &classify;
+                let restarts = &restarts;
+                s.spawn(move || worker_loop(rx, tx, classify, cfg, restarts));
+            }
+            if cfg.stall_timeout_ms > 0 {
+                let (committed, done, stalls) = (&committed, &done, &stalls);
+                let timeout = cfg.stall_timeout_ms;
+                s.spawn(move || watchdog_loop(committed, done, stalls, timeout));
+            }
+
+            let mut feed = || -> Result<bool, RunnerError> {
+                let mut pending: BTreeMap<u64, PendingMeta> = BTreeMap::new();
+                let mut arrived: BTreeMap<u64, Outcome> = BTreeMap::new();
+
+                let interrupt_due = |state: &RunState| {
+                    cfg.interrupt_after_chunks
+                        .is_some_and(|n| state.committed_chunks >= n)
+                };
+                if interrupt_due(&state) {
+                    return Ok(true);
+                }
+
+                while let Some(chunk) = source.next_chunk() {
+                    let seq = chunk.seq;
+                    let mut ingest = IngestTotals::default();
+                    ingest.absorb(&chunk.health);
+                    pending.insert(
+                        seq,
+                        PendingMeta {
+                            records: chunk.flows.len() as u64,
+                            byte_end: chunk.byte_end,
+                            ingest,
+                        },
+                    );
+                    dispatch_or_shed(chunk, &chunk_tx, cfg, &mut arrived);
+                    while let Ok(o) = out_rx.try_recv() {
+                        arrived.insert(o.seq, o);
+                    }
+                    commit_ready(
+                        &mut state,
+                        &mut pending,
+                        &mut arrived,
+                        store,
+                        cfg,
+                        config_hash,
+                        &committed,
+                        &mut health,
+                    )?;
+                    if interrupt_due(&state) {
+                        return Ok(true);
+                    }
+                }
+
+                // Source exhausted: wait out the in-flight chunks.
+                while !pending.is_empty() {
+                    if !arrived.contains_key(&state.committed_chunks) {
+                        match out_rx.recv_timeout(Duration::from_millis(50)) {
+                            Ok(o) => {
+                                arrived.insert(o.seq, o);
+                            }
+                            Err(_) => continue, // watchdog tracks real stalls
+                        }
+                    }
+                    commit_ready(
+                        &mut state,
+                        &mut pending,
+                        &mut arrived,
+                        store,
+                        cfg,
+                        config_hash,
+                        &committed,
+                        &mut health,
+                    )?;
+                    if interrupt_due(&state) {
+                        return Ok(true);
+                    }
+                }
+
+                // Completed: persist the terminal checkpoint so a rerun
+                // resumes at end-of-stream instead of recomputing.
+                store.save(&state.to_checkpoint(config_hash))?;
+                health.checkpoints_written += 1;
+                Ok(false)
+            };
+            let result = feed();
+            done.store(true, Ordering::Relaxed);
+            drop(chunk_tx); // close the queue so workers drain and exit
+            result
+        });
+
+        health.records = state.records;
+        health.chunks = state.chunks;
+        health.worker_restarts = restarts.load(Ordering::Relaxed);
+        health.watchdog_stalls = stalls.load(Ordering::Relaxed);
+        let interrupted = run_result?;
+        if interrupted {
+            return Err(RunnerError::Interrupted {
+                committed_chunks: state.committed_chunks,
+            });
+        }
+        Ok(RunReport {
+            breakdown: MemberBreakdown {
+                per_member: state.per_member,
+            },
+            ingest: state.ingest,
+            health,
+        })
+    }
+}
+
+/// Send one chunk to the workers, applying the shed policy when the
+/// bounded queue pushes back.
+fn dispatch_or_shed(
+    chunk: FlowChunk,
+    chunk_tx: &SyncSender<FlowChunk>,
+    cfg: &RunnerConfig,
+    arrived: &mut BTreeMap<u64, Outcome>,
+) {
+    let seq = chunk.seq;
+    match cfg.shed {
+        ShedPolicy::Block => {
+            let _ = chunk_tx.send(chunk);
+        }
+        ShedPolicy::Sample { keep_one_in } => match chunk_tx.try_send(chunk) {
+            Ok(()) => {}
+            Err(TrySendError::Full(chunk)) => {
+                if shed_keeps(cfg.seed, seq, keep_one_in) {
+                    let _ = chunk_tx.send(chunk);
+                } else {
+                    arrived.insert(
+                        seq,
+                        Outcome {
+                            seq,
+                            kind: OutcomeKind::Shed,
+                        },
+                    );
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        },
+    }
+}
+
+/// Commit every outcome that is next in sequence order, writing
+/// checkpoints at the configured cadence. Returns whether anything was
+/// committed.
+#[allow(clippy::too_many_arguments)]
+fn commit_ready(
+    state: &mut RunState,
+    pending: &mut BTreeMap<u64, PendingMeta>,
+    arrived: &mut BTreeMap<u64, Outcome>,
+    store: &CheckpointStore,
+    cfg: &RunnerConfig,
+    config_hash: u64,
+    committed: &AtomicU64,
+    health: &mut RunnerHealth,
+) -> Result<bool, RunnerError> {
+    let mut any = false;
+    loop {
+        // Stop committing exactly at the simulated-crash threshold so
+        // interrupts land on a deterministic boundary.
+        if cfg
+            .interrupt_after_chunks
+            .is_some_and(|n| state.committed_chunks >= n)
+        {
+            break;
+        }
+        let Some(outcome) = arrived.remove(&state.committed_chunks) else {
+            break;
+        };
+        let Some(meta) = pending.remove(&outcome.seq) else {
+            debug_assert!(false, "outcome without pending meta");
+            continue;
+        };
+        state.chunks.offered += 1;
+        state.records.offered += meta.records;
+        state.ingest.input_bytes += meta.ingest.input_bytes;
+        state.ingest.ok_records += meta.ingest.ok_records;
+        state.ingest.ok_bytes += meta.ingest.ok_bytes;
+        state.ingest.quarantined_bytes += meta.ingest.quarantined_bytes;
+        state.ingest.resyncs += meta.ingest.resyncs;
+        match outcome.kind {
+            OutcomeKind::Processed(partial) => {
+                state.chunks.processed += 1;
+                state.records.processed += meta.records;
+                state.merge_partial(partial);
+            }
+            OutcomeKind::Shed => {
+                state.chunks.shed += 1;
+                state.records.shed += meta.records;
+            }
+            OutcomeKind::Quarantined => {
+                state.chunks.quarantined += 1;
+                state.records.quarantined += meta.records;
+            }
+        }
+        state.committed_chunks += 1;
+        state.byte_cursor = meta.byte_end;
+        committed.store(state.committed_chunks, Ordering::Relaxed);
+        any = true;
+        if state.committed_chunks.is_multiple_of(cfg.checkpoint_every.max(1)) {
+            store.save(&state.to_checkpoint(config_hash))?;
+            health.checkpoints_written += 1;
+        }
+    }
+    Ok(any)
+}
+
+/// One supervised worker: classify chunks, quarantine panics, restart
+/// with bounded exponential backoff.
+fn worker_loop<F>(
+    rx: Arc<Mutex<Receiver<FlowChunk>>>,
+    tx: mpsc::Sender<Outcome>,
+    classify: &F,
+    cfg: &RunnerConfig,
+    restarts: &AtomicU64,
+) where
+    F: Fn(&[FlowRecord]) -> Vec<TrafficClass> + Sync,
+{
+    let mut consecutive_panics = 0u32;
+    loop {
+        let chunk = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            match guard.recv() {
+                Ok(c) => c,
+                Err(_) => return, // queue closed: clean shutdown
+            }
+        };
+        let seq = chunk.seq;
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            let classes = classify(&chunk.flows);
+            partial_breakdown(&chunk.flows, &classes)
+        }));
+        let kind = match result {
+            Ok(partial) => {
+                consecutive_panics = 0;
+                OutcomeKind::Processed(partial)
+            }
+            Err(_) => {
+                // The chunk is poisoned: quarantine it and restart the
+                // worker after a bounded-exponential-backoff pause
+                // (base * 2^(panics-1), capped), mirroring RibFreshness.
+                restarts.fetch_add(1, Ordering::Relaxed);
+                consecutive_panics = consecutive_panics.saturating_add(1);
+                let exp = consecutive_panics.saturating_sub(1).min(32);
+                let delay = cfg
+                    .restart_backoff_base_ms
+                    .saturating_mul(1u64 << exp)
+                    .min(cfg.restart_backoff_max_ms);
+                if delay > 0 {
+                    thread::sleep(Duration::from_millis(delay));
+                }
+                OutcomeKind::Quarantined
+            }
+        };
+        if tx.send(Outcome { seq, kind }).is_err() {
+            return; // feeder gone (interrupt path): stop quietly
+        }
+    }
+}
+
+/// Per-chunk per-member accounting, computed worker-side so aggregation
+/// parallelizes with classification. Panics on a classes/flows length
+/// mismatch — intentionally, so a buggy classify hook is quarantined
+/// rather than silently miscounted.
+fn partial_breakdown(
+    flows: &[FlowRecord],
+    classes: &[TrafficClass],
+) -> BTreeMap<Asn, [ClassCounters; 4]> {
+    assert_eq!(flows.len(), classes.len(), "classify returned wrong arity");
+    let mut per_member: BTreeMap<Asn, [ClassCounters; 4]> = BTreeMap::new();
+    for (f, c) in flows.iter().zip(classes) {
+        let cc = &mut per_member.entry(f.member).or_default()[c.index()];
+        cc.flows += 1;
+        cc.packets += f.packets as u64;
+        cc.bytes += f.bytes;
+    }
+    per_member
+}
+
+/// Flag when commit progress freezes for longer than the stall timeout.
+fn watchdog_loop(committed: &AtomicU64, done: &AtomicBool, stalls: &AtomicU64, timeout_ms: u64) {
+    let tick = Duration::from_millis((timeout_ms / 4).max(1));
+    let timeout = Duration::from_millis(timeout_ms);
+    let mut last_seen = committed.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    let mut flagged = false;
+    while !done.load(Ordering::Relaxed) {
+        thread::sleep(tick);
+        let now = committed.load(Ordering::Relaxed);
+        if now != last_seen {
+            last_seen = now;
+            last_change = Instant::now();
+            flagged = false;
+        } else if !flagged && last_change.elapsed() >= timeout {
+            stalls.fetch_add(1, Ordering::Relaxed);
+            flagged = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_reconciles() {
+        let a = FlowAccounting {
+            offered: 10,
+            processed: 7,
+            shed: 2,
+            quarantined: 1,
+        };
+        assert!(a.reconciles());
+        let b = FlowAccounting {
+            offered: 10,
+            processed: 7,
+            shed: 2,
+            quarantined: 2,
+        };
+        assert!(!b.reconciles());
+    }
+
+    #[test]
+    fn shed_sampling_is_deterministic_and_roughly_fair() {
+        let kept: Vec<bool> = (0..1000).map(|seq| shed_keeps(42, seq, 4)).collect();
+        let again: Vec<bool> = (0..1000).map(|seq| shed_keeps(42, seq, 4)).collect();
+        assert_eq!(kept, again);
+        let count = kept.iter().filter(|&&k| k).count();
+        assert!((150..350).contains(&count), "kept {count} of 1000 at 1-in-4");
+        // A different seed selects a different subset.
+        let other: Vec<bool> = (0..1000).map(|seq| shed_keeps(43, seq, 4)).collect();
+        assert_ne!(kept, other);
+        // keep_one_in == 1 keeps everything (degenerates to Block).
+        assert!((0..100).all(|seq| shed_keeps(42, seq, 1)));
+    }
+
+    #[test]
+    fn ingest_totals_absorb_and_reconcile() {
+        let mut h = IngestHealth::new(100);
+        h.credit_ok(6);
+        h.credit_record(59);
+        h.quarantine(65, 35, spoofwatch_net::FaultKind::Implausible);
+        h.note_resync();
+        let mut t = IngestTotals::default();
+        t.absorb(&h);
+        t.absorb(&h);
+        assert_eq!(t.input_bytes, 200);
+        assert_eq!(t.ok_records, 2);
+        assert_eq!(t.resyncs, 2);
+        assert!(t.reconciles());
+    }
+
+    #[test]
+    fn config_hash_separates_runs() {
+        use crate::pipeline::Classifier;
+        use spoofwatch_asgraph::As2Org;
+        use spoofwatch_bgp::{Announcement, AsPath};
+        let ann = Announcement::new("20.0.0.0/8".parse().unwrap(), AsPath::from(vec![3]));
+        let classifier = Classifier::build(&[ann], &As2Org::new());
+        let base = RunnerConfig::default();
+        let r = StudyRunner::new(&classifier, base.clone());
+        let h = r.config_hash(7);
+        assert_eq!(h, StudyRunner::new(&classifier, base.clone()).config_hash(7));
+        assert_ne!(h, r.config_hash(8), "trace identity");
+        let mut seeded = base.clone();
+        seeded.seed = 1;
+        assert_ne!(h, StudyRunner::new(&classifier, seeded).config_hash(7));
+        let mut plain = base;
+        plain.org = OrgMode::Plain;
+        assert_ne!(h, StudyRunner::new(&classifier, plain).config_hash(7));
+    }
+}

@@ -160,7 +160,7 @@ fn pct(part: u64, total: u64) -> f64 {
 
 /// Per-member, per-class counters under one method — the raw material of
 /// Figures 4, 5, 6.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct MemberBreakdown {
     /// Per member: counters indexed by [`TrafficClass::index`].
     pub per_member: BTreeMap<Asn, [ClassCounters; 4]>,

@@ -1,0 +1,363 @@
+//! Chunked, resumable IPFIX-lite ingestion.
+//!
+//! [`decode_resilient`](crate::ipfix::decode_resilient) materializes a
+//! whole feed at once — fine for a day of flows, untenable for the
+//! paper's four-week horizon. [`ChunkedIpfixReader`] walks the same
+//! resilient decode (identical plausibility checks, identical
+//! resynchronization) but yields [`FlowChunk`]s of bounded size, each
+//! carrying its own byte-exact [`IngestHealth`] for the span it covers.
+//!
+//! Two properties make the reader the substrate for a checkpointed
+//! streaming runner:
+//!
+//! * **Concatenation equality** — the concatenated chunk records and the
+//!   absorbed chunk healths equal a one-shot `decode_resilient` of the
+//!   full buffer, byte for byte; chunking never changes what is decoded.
+//! * **Cursor determinism** — every chunk boundary is a byte cursor;
+//!   [`seek`](ChunkedIpfixReader::seek)ing a fresh reader to a boundary
+//!   reproduces the remaining chunk sequence exactly. That is what lets
+//!   an interrupted study resume from a checkpoint bit-identically.
+
+use crate::ipfix::{self, HEADER_LEN, RECORD_LEN};
+use spoofwatch_net::{FaultKind, FlowRecord, IngestHealth};
+
+/// One decoded chunk of the flow stream: the records recovered from the
+/// byte span `[byte_start, byte_end)` plus that span's health.
+#[derive(Debug, Clone)]
+pub struct FlowChunk {
+    /// Position of this chunk in the stream, starting at 0.
+    pub seq: u64,
+    /// First input byte this chunk covers.
+    pub byte_start: u64,
+    /// One past the last input byte this chunk covers; the resume
+    /// cursor for the next chunk.
+    pub byte_end: u64,
+    /// Records recovered from the span, in stream order.
+    pub flows: Vec<FlowRecord>,
+    /// Byte-exact decode health of the span
+    /// (`ok_bytes + quarantined_bytes == byte_end - byte_start`).
+    pub health: IngestHealth,
+}
+
+/// Incremental resilient reader over an in-memory IPFIX-lite buffer.
+///
+/// Yields up to `chunk_records` decoded records per [`FlowChunk`]; a
+/// chunk may fall short only at end of input. Quarantined spans ride
+/// inside whichever chunk the walk was in when they were skipped, so a
+/// chunk can be empty of records and still cover bytes (a pure-garbage
+/// tail).
+#[derive(Debug)]
+pub struct ChunkedIpfixReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    seq: u64,
+    chunk_records: usize,
+    header_checked: bool,
+    done: bool,
+}
+
+impl<'a> ChunkedIpfixReader<'a> {
+    /// A reader positioned at the start of `data`, yielding up to
+    /// `chunk_records` records per chunk (minimum 1).
+    pub fn new(data: &'a [u8], chunk_records: usize) -> Self {
+        ChunkedIpfixReader {
+            data,
+            pos: 0,
+            seq: 0,
+            chunk_records: chunk_records.max(1),
+            header_checked: false,
+            done: false,
+        }
+    }
+
+    /// Records per chunk.
+    pub fn chunk_records(&self) -> usize {
+        self.chunk_records
+    }
+
+    /// Total input length in bytes.
+    pub fn input_len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// A stable fingerprint of the stream identity (length, chunking,
+    /// and content), mixed into checkpoint config hashes so a
+    /// checkpoint is never resumed against a different trace. FNV-1a
+    /// over the full buffer: one linear pass at resume/startup time.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for b in (self.data.len() as u64).to_be_bytes() {
+            mix(b);
+        }
+        for b in (self.chunk_records as u64).to_be_bytes() {
+            mix(b);
+        }
+        for &b in self.data {
+            mix(b);
+        }
+        h
+    }
+
+    /// Reposition the reader: the next chunk starts at `byte_cursor`
+    /// with sequence number `seq`. A cursor of 0 re-checks the header;
+    /// any other cursor must be a `byte_end` previously yielded by this
+    /// reader (or one over an identical buffer) — arbitrary cursors
+    /// decode deterministically but may not reproduce the original
+    /// chunking.
+    pub fn seek(&mut self, byte_cursor: u64, seq: u64) {
+        let pos = (byte_cursor as usize).min(self.data.len());
+        self.pos = pos;
+        self.seq = seq;
+        self.header_checked = pos >= HEADER_LEN;
+        self.done = false;
+    }
+
+    /// The byte cursor the next chunk will start at.
+    pub fn cursor(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// Decode the next chunk; `None` once the input is exhausted (or
+    /// after an unrecoverable header fault has been reported).
+    pub fn next_chunk(&mut self) -> Option<FlowChunk> {
+        if self.done || (self.header_checked && self.pos >= self.data.len()) {
+            self.done = true;
+            return None;
+        }
+        let byte_start = self.pos as u64;
+        let mut flows = Vec::new();
+        // Health is built against the span length, filled in at the end.
+        let mut health = IngestHealth::new(0);
+
+        if !self.header_checked {
+            let data = self.data;
+            let bad = if data.len() < 4 || &data[..4] != ipfix::MAGIC {
+                Some(FaultKind::BadMagic)
+            } else if data.len() < HEADER_LEN {
+                Some(FaultKind::Truncated)
+            } else if u16::from_be_bytes([data[4], data[5]]) != ipfix::VERSION {
+                Some(FaultKind::BadVersion)
+            } else {
+                None
+            };
+            if let Some(kind) = bad {
+                // Unrecoverable: one terminal chunk covering the input.
+                health.input_len = data.len() as u64;
+                health.abandon(kind);
+                self.pos = data.len();
+                self.done = true;
+                let seq = self.seq;
+                self.seq += 1;
+                return Some(FlowChunk {
+                    seq,
+                    byte_start,
+                    byte_end: data.len() as u64,
+                    flows,
+                    health,
+                });
+            }
+            health.credit_ok(HEADER_LEN as u64);
+            self.pos = HEADER_LEN;
+            self.header_checked = true;
+        }
+
+        // The same walk as `decode_resilient`, paused after
+        // `chunk_records` recovered records.
+        let data = self.data;
+        while self.pos < data.len() && flows.len() < self.chunk_records {
+            if let Some(f) = ipfix::plausible_at(data, self.pos) {
+                flows.push(f);
+                health.credit_record(RECORD_LEN as u64);
+                self.pos += RECORD_LEN;
+                continue;
+            }
+            let kind = if data.len() - self.pos < RECORD_LEN {
+                FaultKind::Truncated
+            } else {
+                FaultKind::Implausible
+            };
+            let mut next = self.pos + 1;
+            while next + RECORD_LEN <= data.len() && ipfix::plausible_at(data, next).is_none() {
+                next += 1;
+            }
+            if next + RECORD_LEN > data.len() {
+                next = data.len(); // nothing plausible left: quarantine the tail
+            }
+            health.quarantine(self.pos as u64, (next - self.pos) as u64, kind);
+            if next < data.len() {
+                health.note_resync();
+            }
+            self.pos = next;
+        }
+
+        let byte_end = self.pos as u64;
+        health.input_len = byte_end - byte_start;
+        debug_assert!(health.reconciles());
+        let seq = self.seq;
+        self.seq += 1;
+        Some(FlowChunk {
+            seq,
+            byte_start,
+            byte_end,
+            flows,
+            health,
+        })
+    }
+
+    /// Drain every remaining chunk.
+    pub fn collect_chunks(&mut self) -> Vec<FlowChunk> {
+        let mut out = Vec::new();
+        while let Some(c) = self.next_chunk() {
+            out.push(c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipfix::{decode_resilient, encode};
+    use spoofwatch_net::{Asn, FaultInjector, Proto};
+
+    fn plausible_sample(n: u32) -> Vec<FlowRecord> {
+        (0..n)
+            .map(|i| {
+                let packets = 1 + i % 40;
+                let pkt_size = 40 + (i % 1400) as u16;
+                FlowRecord {
+                    ts: 100 + i,
+                    src: 0x0A00_0000 + i,
+                    dst: 0xC000_0200 + i,
+                    proto: if i % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                    sport: 1025 + (i % 60000) as u16,
+                    dport: 80,
+                    packets,
+                    bytes: packets as u64 * pkt_size as u64,
+                    pkt_size,
+                    member: Asn(64496 + i % 7),
+                }
+            })
+            .collect()
+    }
+
+    /// Concatenated chunks must equal the one-shot resilient decode —
+    /// records and health scalars — on clean and corrupted inputs alike.
+    fn assert_chunks_match_oneshot(bytes: &[u8], chunk_records: usize) {
+        let (want_flows, want_health) = decode_resilient(bytes);
+        let chunks = ChunkedIpfixReader::new(bytes, chunk_records).collect_chunks();
+
+        let got_flows: Vec<FlowRecord> =
+            chunks.iter().flat_map(|c| c.flows.iter().copied()).collect();
+        assert_eq!(got_flows, want_flows);
+
+        let mut got_health = IngestHealth::new(0);
+        for c in &chunks {
+            assert!(c.health.reconciles(), "chunk {} does not reconcile", c.seq);
+            assert_eq!(
+                c.byte_end - c.byte_start,
+                c.health.input_len,
+                "chunk {} span mismatch",
+                c.seq
+            );
+            got_health.absorb(&c.health);
+        }
+        assert_eq!(got_health.input_len, want_health.input_len);
+        assert_eq!(got_health.ok_records, want_health.ok_records);
+        assert_eq!(got_health.ok_bytes, want_health.ok_bytes);
+        assert_eq!(got_health.quarantined_bytes, want_health.quarantined_bytes);
+        assert_eq!(got_health.resyncs, want_health.resyncs);
+        assert_eq!(got_health.unrecoverable, want_health.unrecoverable);
+
+        // Chunks tile the input with no gaps or overlaps.
+        let mut cursor = 0u64;
+        for (i, c) in chunks.iter().enumerate() {
+            assert_eq!(c.seq, i as u64);
+            assert_eq!(c.byte_start, cursor);
+            cursor = c.byte_end;
+        }
+        assert_eq!(cursor, bytes.len() as u64);
+    }
+
+    #[test]
+    fn chunks_concatenate_to_oneshot_decode_clean() {
+        let bytes = encode(&plausible_sample(100));
+        for chunk_records in [1, 7, 32, 1000] {
+            assert_chunks_match_oneshot(&bytes, chunk_records);
+        }
+    }
+
+    #[test]
+    fn chunks_concatenate_to_oneshot_decode_corrupted() {
+        for seed in 0..25u64 {
+            let mut bytes = encode(&plausible_sample(80));
+            let mut inj = FaultInjector::new(seed).protect_prefix(HEADER_LEN);
+            for _ in 0..3 {
+                inj.any_single(&mut bytes, RECORD_LEN);
+            }
+            assert_chunks_match_oneshot(&bytes, 16);
+        }
+    }
+
+    #[test]
+    fn seek_to_any_boundary_reproduces_tail() {
+        let mut bytes = encode(&plausible_sample(60));
+        FaultInjector::new(3)
+            .protect_prefix(HEADER_LEN)
+            .insert_garbage(&mut bytes, 11);
+        let all = ChunkedIpfixReader::new(&bytes, 9).collect_chunks();
+        for resume_at in 0..all.len() {
+            let mut r = ChunkedIpfixReader::new(&bytes, 9);
+            let (cursor, seq) = if resume_at == 0 {
+                (0, 0)
+            } else {
+                (all[resume_at - 1].byte_end, all[resume_at - 1].seq + 1)
+            };
+            r.seek(cursor, seq);
+            let tail = r.collect_chunks();
+            assert_eq!(tail.len(), all.len() - resume_at);
+            for (got, want) in tail.iter().zip(&all[resume_at..]) {
+                assert_eq!(got.seq, want.seq);
+                assert_eq!(got.byte_start, want.byte_start);
+                assert_eq!(got.byte_end, want.byte_end);
+                assert_eq!(got.flows, want.flows);
+            }
+        }
+    }
+
+    #[test]
+    fn bad_header_is_one_terminal_chunk() {
+        let mut r = ChunkedIpfixReader::new(b"XXXX\x00\x01whatever", 8);
+        let c = r.next_chunk().expect("terminal chunk");
+        assert!(c.flows.is_empty());
+        assert!(c.health.unrecoverable);
+        assert!(c.health.reconciles());
+        assert_eq!(c.byte_end, 14);
+        assert!(r.next_chunk().is_none());
+    }
+
+    #[test]
+    fn empty_file_yields_header_only_chunk() {
+        let bytes = encode(&[]);
+        let mut r = ChunkedIpfixReader::new(&bytes, 8);
+        let c = r.next_chunk().expect("header chunk");
+        assert!(c.flows.is_empty());
+        assert_eq!(c.health.ok_bytes, HEADER_LEN as u64);
+        assert!(r.next_chunk().is_none());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_and_chunking() {
+        let bytes = encode(&plausible_sample(50));
+        let base = ChunkedIpfixReader::new(&bytes, 8).fingerprint();
+        assert_eq!(ChunkedIpfixReader::new(&bytes, 8).fingerprint(), base);
+        assert_ne!(ChunkedIpfixReader::new(&bytes, 9).fingerprint(), base);
+        let mut edited = bytes.clone();
+        edited[bytes.len() / 2] ^= 0x40;
+        assert_ne!(ChunkedIpfixReader::new(&edited, 8).fingerprint(), base);
+    }
+}

@@ -16,8 +16,10 @@ use spoofwatch_net::{Asn, FaultKind, FlowRecord, IngestHealth, Proto};
 use std::fmt;
 use std::io::{self, Read, Write};
 
-const MAGIC: &[u8; 4] = b"IPFX";
-const VERSION: u16 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"IPFX";
+pub(crate) const VERSION: u16 = 1;
+/// Size of the file header (magic + version).
+pub const HEADER_LEN: usize = 6;
 /// Size of one encoded record.
 pub const RECORD_LEN: usize = 35;
 
@@ -207,7 +209,7 @@ pub fn plausible_record(f: &FlowRecord) -> bool {
 }
 
 /// Whether a plausible record decodes at byte `pos`.
-fn plausible_at(data: &[u8], pos: usize) -> Option<FlowRecord> {
+pub(crate) fn plausible_at(data: &[u8], pos: usize) -> Option<FlowRecord> {
     let rest = data.get(pos..pos + RECORD_LEN)?;
     let f = decode_record(rest).ok()?;
     plausible_record(&f).then_some(f)

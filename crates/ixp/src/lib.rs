@@ -22,9 +22,11 @@
 // panic; tests are exempt via cfg.
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod chunked;
 pub mod ipfix;
 pub mod sampler;
 pub mod traffic;
 
+pub use chunked::{ChunkedIpfixReader, FlowChunk};
 pub use sampler::PacketSampler;
 pub use traffic::{Trace, TrafficConfig, TrafficLabel};

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3) over byte slices.
+//!
+//! The checkpoint codec and any future length-framed on-disk format need
+//! a corruption check that is cheap, dependency-free, and stable across
+//! platforms. This is the standard reflected CRC-32 (polynomial
+//! 0xEDB88320, init and final XOR 0xFFFFFFFF) — the same function as
+//! zlib/`cksum -o 3`, so externally written files can be cross-checked.
+
+/// Lookup table for the reflected polynomial, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789" (CRC-32/ISO-HDLC).
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let clean = b"checkpoint payload".to_vec();
+        let base = crc32(&clean);
+        for i in 0..clean.len() {
+            for bit in 0..8 {
+                let mut flipped = clean.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -28,6 +28,7 @@
 pub mod addr;
 pub mod asn;
 pub mod class;
+pub mod crc32;
 pub mod error;
 pub mod faults;
 pub mod flow;
@@ -35,6 +36,7 @@ pub mod ingest;
 pub mod prefix;
 
 pub use addr::{fmt_addr, parse_addr};
+pub use crc32::crc32;
 pub use asn::Asn;
 pub use class::{InferenceMethod, OrgMode, TrafficClass};
 pub use error::NetError;

@@ -1,0 +1,130 @@
+//! Crash-and-resume walkthrough for the streaming study runner.
+//!
+//! Generates a synthetic world and a lightly corrupted IPFIX trace, then:
+//!
+//! 1. runs the study to completion once (the reference),
+//! 2. runs it again in a second checkpoint directory but "crashes" it
+//!    partway through (no final checkpoint is written — progress past
+//!    the last periodic checkpoint is lost, as in a real crash),
+//! 3. tears the surviving checkpoint file the way an interrupted write
+//!    would, to show the CRC detecting it and the previous slot taking
+//!    over,
+//! 4. resumes, and verifies the resumed report is identical to the
+//!    reference.
+//!
+//! Exits nonzero on any mismatch, so CI can use it as a smoke test.
+//!
+//! ```sh
+//! cargo run --example resumable_study
+//! ```
+
+use spoofwatch_analysis::report::StudyReport;
+use spoofwatch_core::{CheckpointStore, Classifier, RunnerConfig, RunnerError, StudyRunner};
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_ixp::chunked::ChunkedIpfixReader;
+use spoofwatch_ixp::{ipfix, Trace, TrafficConfig};
+use spoofwatch_net::FaultInjector;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // ---- 0. A synthetic world and a slightly dirty flow export --------
+    let net = Internet::generate(InternetConfig::tiny(41));
+    let trace = Trace::generate(&net, &TrafficConfig::tiny(42));
+    let mut bytes = ipfix::encode(&trace.flows);
+    FaultInjector::new(43)
+        .protect_prefix(6)
+        .corrupt_percent(&mut bytes, 0.1);
+    let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+    let cfg = RunnerConfig {
+        workers: 4,
+        checkpoint_every: 4,
+        ..RunnerConfig::default()
+    };
+    let chunk_records = 200;
+    println!(
+        "trace: {} flows, {} bytes (lightly corrupted), chunks of {} records\n",
+        trace.flows.len(),
+        bytes.len(),
+        chunk_records,
+    );
+
+    let scratch = std::env::temp_dir().join(format!("resumable-study-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // ---- 1. The reference: one uninterrupted run ----------------------
+    let ref_store = CheckpointStore::open(scratch.join("reference")).expect("open store");
+    let runner = StudyRunner::new(&classifier, cfg.clone());
+    let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
+    let reference = runner.run(&mut source, &ref_store).expect("reference run");
+    println!("uninterrupted run: {}", reference.health);
+
+    // ---- 2. The same study, crashed partway through -------------------
+    let store = CheckpointStore::open(scratch.join("crashed")).expect("open store");
+    let mut crash_cfg = cfg.clone();
+    crash_cfg.interrupt_after_chunks = Some(reference.health.chunks.offered * 2 / 3);
+    let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
+    match StudyRunner::new(&classifier, crash_cfg).run(&mut source, &store) {
+        Err(RunnerError::Interrupted { committed_chunks }) => {
+            println!("simulated crash after {committed_chunks} committed chunks");
+        }
+        other => {
+            eprintln!("expected a simulated crash, got {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // ---- 3. And the checkpoint it was writing got torn ----------------
+    let cur = store.current_path();
+    let mut cp_bytes = std::fs::read(&cur).expect("read checkpoint");
+    let torn_at = cp_bytes.len() / 2;
+    cp_bytes.truncate(torn_at);
+    std::fs::write(&cur, &cp_bytes).expect("write torn checkpoint");
+    println!("tore the current checkpoint at byte {torn_at} (crash mid-write)");
+
+    // ---- 4. Resume and compare ----------------------------------------
+    let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
+    let resumed = match runner.run(&mut source, &store) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("resume failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "resumed run: {} (rejected {} torn checkpoint slot(s), resumed at chunk {:?})\n",
+        resumed.health,
+        resumed.health.checkpoints_rejected,
+        resumed.health.resumed_at_chunk,
+    );
+
+    if !resumed.same_result(&reference) {
+        eprintln!("MISMATCH: resumed run diverged from the uninterrupted reference");
+        return ExitCode::FAILURE;
+    }
+    if !(resumed.health.reconciles() && resumed.ingest.reconciles()) {
+        eprintln!("MISMATCH: accounting does not reconcile");
+        return ExitCode::FAILURE;
+    }
+    if resumed.health.checkpoints_rejected == 0 || resumed.health.resumed_at_chunk.is_none() {
+        eprintln!("MISMATCH: torn checkpoint was not detected or nothing was resumed");
+        return ExitCode::FAILURE;
+    }
+    println!("resumed report is identical to the uninterrupted reference ✓");
+
+    // ---- 5. The runner's health section in the study report -----------
+    // The report's figures run over the full labelled trace; the
+    // runner's supervision counters ride along as a data-quality section.
+    let classes = classifier.classify_trace(&trace.flows, cfg.method, cfg.org);
+    let report = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+        .with_runner(resumed.health.clone());
+    let text = report.render();
+    let tail = text
+        .split("## Supervision & backpressure")
+        .nth(1)
+        .map(|s| format!("## Supervision & backpressure{s}"))
+        .unwrap_or_default();
+    println!("\n{tail}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    ExitCode::SUCCESS
+}
