@@ -17,9 +17,10 @@ cargo test -q --workspace
 echo "==> clippy (workspace)"
 cargo clippy -q --workspace
 
-echo "==> clippy: no unwrap in decode + runner hot paths (lib targets only)"
+echo "==> clippy: no unwrap in decode + runner + analysis + obs paths (lib targets only)"
 cargo clippy -q -p spoofwatch-net -p spoofwatch-bgp -p spoofwatch-ixp \
-    -p spoofwatch-packet -p spoofwatch-core -- -D clippy::unwrap_used
+    -p spoofwatch-packet -p spoofwatch-core -p spoofwatch-analysis \
+    -p spoofwatch-obs -- -D clippy::unwrap_used
 
 echo "==> fault-injection smoke test (1% corruption acceptance)"
 cargo test -q -p spoofwatch-ixp    ipfix_one_percent_corruption_recovers_unaffected_records
@@ -30,5 +31,19 @@ cargo run -q --release --example dirty_ingest > /dev/null
 echo "==> crash-recovery smoke test (run, interrupt, tear, resume, compare)"
 cargo test -q -p spoofwatch-core --test crash_recovery torn_checkpoint
 cargo run -q --release --example resumable_study > /dev/null
+
+echo "==> observability smoke test (metrics endpoint, reconciliation, flight recorder)"
+cargo test -q -p spoofwatch-core --test telemetry
+snapshot="$(mktemp)"
+SPOOFWATCH_METRICS_ADDR=127.0.0.1:0 SPOOFWATCH_METRICS_SNAPSHOT="$snapshot" \
+    cargo run -q --release --example ixp_study > /dev/null
+test -s "$snapshot" || { echo "metrics snapshot is empty"; exit 1; }
+grep -q '^spoofwatch_classified_flows_total' "$snapshot" \
+    || { echo "metrics snapshot lacks classify counters"; exit 1; }
+rm -f "$snapshot"
+cargo run -q --release --example telemetry_study > /dev/null 2>&1
+
+echo "==> observability overhead contract (disabled hot-path updates < 20 ns)"
+CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench obs > /dev/null
 
 echo "==> CI green"

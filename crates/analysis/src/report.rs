@@ -71,6 +71,9 @@ pub struct StudyReport {
     /// Streaming-runner supervision and backpressure health, when the
     /// study ran under [`spoofwatch_core::StudyRunner`].
     pub runner: Option<RunnerHealth>,
+    /// Metrics snapshot captured at report time, when the study ran
+    /// with telemetry enabled.
+    pub telemetry: Option<spoofwatch_obs::Snapshot>,
 }
 
 impl StudyReport {
@@ -100,6 +103,7 @@ impl StudyReport {
                 .map(|l| evaluate::Evaluation::compute(&trace.flows, l, classes)),
             ingest: None,
             runner: None,
+            telemetry: None,
         }
     }
 
@@ -114,6 +118,14 @@ impl StudyReport {
     /// includes a supervision & backpressure section.
     pub fn with_runner(mut self, health: RunnerHealth) -> Self {
         self.runner = Some(health);
+        self
+    }
+
+    /// Attach a metrics snapshot so [`render`](Self::render) includes a
+    /// telemetry section (latency quantiles, decode fault taxonomy,
+    /// per-class flow counters).
+    pub fn with_telemetry(mut self, snapshot: spoofwatch_obs::Snapshot) -> Self {
+        self.telemetry = Some(snapshot);
         self
     }
 
@@ -238,8 +250,107 @@ impl StudyReport {
                 );
             }
         }
+
+        if let Some(snap) = &self.telemetry {
+            out.push_str("\n## Telemetry\n\n");
+            let series: usize = snap.families.iter().map(|f| f.series.len()).sum();
+            out.push_str(&format!(
+                "- metrics snapshot: {} families, {series} series\n",
+                snap.families.len(),
+            ));
+            for (name, label) in [
+                (
+                    "spoofwatch_runner_chunk_classify_duration_ns",
+                    "per-chunk classify latency",
+                ),
+                (
+                    "spoofwatch_runner_checkpoint_write_duration_ns",
+                    "checkpoint write latency",
+                ),
+            ] {
+                if let Some(h) = snap.histogram(name, &[]) {
+                    out.push_str(&format!("- {label}: {}\n", render_quantiles(h)));
+                }
+            }
+            let classified = snap.counter_sum("spoofwatch_runner_classified_flows_total");
+            if classified > 0 {
+                let per_class: Vec<String> = ["bogon", "unrouted", "invalid", "valid"]
+                    .iter()
+                    .map(|cl| {
+                        let n = snap
+                            .counter(
+                                "spoofwatch_runner_classified_flows_total",
+                                &[("class", cl)],
+                            )
+                            .unwrap_or(0);
+                        format!("{cl} {n}")
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "- classified flows (runner): {}\n",
+                    per_class.join(", "),
+                ));
+            }
+            let faults = snap.counter_sum("spoofwatch_decode_faults_total");
+            if faults > 0 {
+                out.push_str(&format!("- decode faults: {faults} total\n"));
+                for fam in snap
+                    .families
+                    .iter()
+                    .filter(|f| f.name == "spoofwatch_decode_faults_total")
+                {
+                    for s in &fam.series {
+                        if let spoofwatch_obs::SeriesValue::Counter(n) = &s.value {
+                            let labels: Vec<String> = s
+                                .labels
+                                .iter()
+                                .map(|(k, v)| format!("{k}={v}"))
+                                .collect();
+                            out.push_str(&format!("  - {}: {n}\n", labels.join(" ")));
+                        }
+                    }
+                }
+            }
+            if let Some(depth) = snap.gauge("spoofwatch_runner_queue_depth", &[]) {
+                out.push_str(&format!("- queue depth at snapshot: {depth}\n"));
+            }
+            if let Some(conf) = snap.gauge("spoofwatch_rib_confidence", &[]) {
+                let word = match conf {
+                    0 => "fresh",
+                    1 => "degraded",
+                    _ => "stale",
+                };
+                out.push_str(&format!("- routing-table feed grade: {word}\n"));
+            }
+        }
         out
     }
+}
+
+/// `p50/p90/p99` line for a latency histogram, scaled from ns to the
+/// most readable unit.
+fn render_quantiles(h: &spoofwatch_obs::HistogramSnapshot) -> String {
+    fn fmt_ns(ns: f64) -> String {
+        if !ns.is_finite() {
+            "overflow".to_string()
+        } else if ns >= 1e9 {
+            format!("{:.2} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.2} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.2} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    }
+    let q = |p: f64| h.quantile(p).map(fmt_ns).unwrap_or_else(|| "-".to_string());
+    format!(
+        "p50 ≤ {}, p90 ≤ {}, p99 ≤ {} (n={})",
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        h.count,
+    )
 }
 
 #[cfg(test)]
@@ -359,5 +470,62 @@ mod tests {
         assert!(text.contains("resumed from checkpoint at chunk 12"));
         assert!(text.contains("1 rejected as torn"));
         assert!(text.contains("processed subset only"));
+    }
+
+    #[test]
+    fn telemetry_section_renders_when_attached() {
+        let net = Internet::generate(InternetConfig::tiny(88));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(8));
+        let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+        let classes = classifier.classify_trace(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+        );
+        let report = StudyReport::compute(&net, &trace, &classifier, &classes, None);
+        assert!(!report.render().contains("## Telemetry"));
+
+        let reg = spoofwatch_obs::MetricsRegistry::new();
+        let lat = reg.histogram(
+            "spoofwatch_runner_chunk_classify_duration_ns",
+            "test",
+            &[],
+        );
+        for v in [900, 12_000, 45_000, 2_000_000] {
+            lat.record(v);
+        }
+        reg.counter(
+            "spoofwatch_runner_classified_flows_total",
+            "test",
+            &[("class", "valid")],
+        )
+        .add(40);
+        reg.counter(
+            "spoofwatch_runner_classified_flows_total",
+            "test",
+            &[("class", "bogon")],
+        )
+        .add(2);
+        reg.counter(
+            "spoofwatch_decode_faults_total",
+            "test",
+            &[("format", "ipfix"), ("kind", "bad_record")],
+        )
+        .add(3);
+        reg.gauge("spoofwatch_runner_queue_depth", "test", &[]).set(0);
+        reg.gauge("spoofwatch_rib_confidence", "test", &[]).set(1);
+
+        let text = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+            .with_telemetry(reg.snapshot())
+            .render();
+        assert!(text.contains("## Telemetry"));
+        assert!(text.contains("per-chunk classify latency: p50"));
+        assert!(text.contains("(n=4)"));
+        assert!(text.contains("bogon 2"));
+        assert!(text.contains("valid 40"));
+        assert!(text.contains("decode faults: 3 total"));
+        assert!(text.contains("format=ipfix kind=bad_record: 3"));
+        assert!(text.contains("queue depth at snapshot: 0"));
+        assert!(text.contains("routing-table feed grade: degraded"));
     }
 }

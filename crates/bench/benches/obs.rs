@@ -1,0 +1,92 @@
+//! Observability overhead: the cost of metric updates with telemetry
+//! enabled, and — the contract the instrumented hot paths rely on — the
+//! near-zero cost when telemetry is disabled.
+//!
+//! Beyond reporting numbers, this harness *asserts* that a disabled
+//! `Counter::inc` and a disabled `Histogram::record` stay under
+//! 20 ns/call (best of three timed runs), so a regression that puts
+//! real work behind the disabled path fails CI instead of silently
+//! taxing every decoded record.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spoofwatch_obs::MetricsRegistry;
+use std::time::Instant;
+
+fn bench_obs(c: &mut Criterion) {
+    let live = MetricsRegistry::new();
+    let dead = MetricsRegistry::disabled();
+
+    let live_ctr = live.counter("bench_events_total", "bench", &[("lane", "hot")]);
+    let dead_ctr = dead.counter("bench_events_total", "bench", &[("lane", "hot")]);
+    let live_hist = live.histogram("bench_latency_ns", "bench", &[]);
+    let dead_hist = dead.histogram("bench_latency_ns", "bench", &[]);
+
+    let mut group = c.benchmark_group("obs");
+    group.bench_function("counter_inc_enabled", |b| b.iter(|| live_ctr.inc()));
+    group.bench_function("counter_inc_disabled", |b| b.iter(|| dead_ctr.inc()));
+    group.bench_function("histogram_record_enabled", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(2_654_435_761).wrapping_rem(1 << 30);
+            live_hist.record(black_box(v))
+        })
+    });
+    group.bench_function("histogram_record_disabled", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(2_654_435_761).wrapping_rem(1 << 30);
+            dead_hist.record(black_box(v))
+        })
+    });
+    group.bench_function("registry_snapshot_render", |b| {
+        b.iter(|| black_box(live.snapshot().render_prometheus()))
+    });
+    group.finish();
+
+    assert_disabled_overhead();
+}
+
+/// Time `calls` invocations of `f` and return mean ns/call, best of
+/// three runs (the minimum absorbs scheduler noise).
+fn best_of_three(calls: u64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..calls {
+            f();
+        }
+        let per_call = t0.elapsed().as_nanos() as f64 / calls as f64;
+        best = best.min(per_call);
+    }
+    best
+}
+
+fn assert_disabled_overhead() {
+    const CALLS: u64 = 5_000_000;
+    const CEILING_NS: f64 = 20.0;
+    let dead = MetricsRegistry::disabled();
+    let ctr = dead.counter("bench_disabled_total", "bench", &[]);
+    let hist = dead.histogram("bench_disabled_ns", "bench", &[]);
+
+    let inc_ns = best_of_three(CALLS, || ctr.inc());
+    let mut v = 0u64;
+    let rec_ns = best_of_three(CALLS, || {
+        v = v.wrapping_add(2_654_435_761);
+        hist.record(black_box(v));
+    });
+    println!(
+        "  disabled-path contract: counter.inc {inc_ns:.2} ns/call, \
+         histogram.record {rec_ns:.2} ns/call (ceiling {CEILING_NS} ns)"
+    );
+    assert!(
+        inc_ns < CEILING_NS,
+        "disabled Counter::inc costs {inc_ns:.2} ns/call (ceiling {CEILING_NS} ns)"
+    );
+    assert!(
+        rec_ns < CEILING_NS,
+        "disabled Histogram::record costs {rec_ns:.2} ns/call (ceiling {CEILING_NS} ns)"
+    );
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

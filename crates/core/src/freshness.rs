@@ -200,6 +200,48 @@ impl RibFreshness {
             _ => Confidence::Stale,
         }
     }
+
+    /// Export the tracker's state as gauges on `reg`. `now` is study
+    /// time (the same clock `record_snapshot`/`record_gap` run on).
+    /// Call after each feed event or on a scrape cadence; gauges carry
+    /// the latest value only.
+    pub fn export_metrics(&self, reg: &spoofwatch_obs::MetricsRegistry, now: u64) {
+        if !reg.is_enabled() {
+            return;
+        }
+        reg.gauge(
+            "spoofwatch_rib_collectors",
+            "Collectors known to the freshness tracker",
+            &[],
+        )
+        .set(self.collectors.len() as i64);
+        reg.gauge(
+            "spoofwatch_rib_collectors_dropped_out",
+            "Collectors past max_retries with no retry pending (no longer feeding the table)",
+            &[],
+        )
+        .set(self.dropped_out().len() as i64);
+        reg.gauge(
+            "spoofwatch_rib_best_age_seconds",
+            "Age of the freshest collector snapshot (-1 when no collector ever delivered)",
+            &[],
+        )
+        .set(
+            self.best_age(now)
+                .and_then(|a| i64::try_from(a).ok())
+                .unwrap_or(-1),
+        );
+        reg.gauge(
+            "spoofwatch_rib_confidence",
+            "Feed-health grade of the routed table: 0 fresh, 1 degraded, 2 stale",
+            &[],
+        )
+        .set(match self.confidence(now) {
+            Confidence::Fresh => 0,
+            Confidence::Degraded => 1,
+            Confidence::Stale => 2,
+        });
+    }
 }
 
 /// A traffic-class verdict together with the feed confidence it was

@@ -40,6 +40,7 @@ pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, 
 pub use pipeline::Classifier;
 pub use runner::{
     Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore, ChunkSource, FlowAccounting,
-    IngestTotals, RunReport, RunnerConfig, RunnerError, RunnerHealth, ShedPolicy, StudyRunner,
+    IngestTotals, RunReport, RunnerConfig, RunnerError, RunnerHealth, RunnerObs, ShedPolicy,
+    StudyRunner, MEMBER_LABEL_BUDGET,
 };
 pub use stats::{ClassCounters, MemberBreakdown, Table1, Table1Row};

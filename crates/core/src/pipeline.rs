@@ -142,6 +142,8 @@ impl Classifier {
         method: InferenceMethod,
         org: OrgMode,
     ) -> Vec<TrafficClass> {
+        let reg = spoofwatch_obs::global();
+        let t0 = reg.is_enabled().then(std::time::Instant::now);
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
@@ -157,7 +159,42 @@ impl Classifier {
                 });
             }
         });
+        if let Some(t0) = t0 {
+            let elapsed = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            reg.histogram(
+                "spoofwatch_classify_batch_duration_ns",
+                "Wall-clock latency of one classify_trace batch",
+                &[("method", method_label(method))],
+            )
+            .record(elapsed);
+            let mut per_class = [0u64; 4];
+            for c in &out {
+                per_class[c.index()] += 1;
+            }
+            for (class, n) in TrafficClass::ALL.iter().zip(per_class) {
+                if n > 0 {
+                    reg.counter(
+                        "spoofwatch_classified_flows_total",
+                        "Flows classified by classify_trace, by traffic class",
+                        &[
+                            ("class", crate::runner::obs_class_label(*class)),
+                            ("method", method_label(method)),
+                        ],
+                    )
+                    .add(n);
+                }
+            }
+        }
         out
+    }
+}
+
+/// Stable snake_case label value for an inference method.
+fn method_label(m: InferenceMethod) -> &'static str {
+    match m {
+        InferenceMethod::Naive => "naive",
+        InferenceMethod::CustomerCone => "customer_cone",
+        InferenceMethod::FullCone => "full_cone",
     }
 }
 

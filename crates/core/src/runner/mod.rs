@@ -31,14 +31,19 @@
 //! ```
 
 mod checkpoint;
+mod obs;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore};
+pub use obs::{RunnerObs, MEMBER_LABEL_BUDGET};
+pub(crate) use obs::class_label as obs_class_label;
 
 use crate::pipeline::Classifier;
 use crate::stats::{ClassCounters, MemberBreakdown};
+use obs::{MemberLabels, RunMetrics};
 use serde::Serialize;
 use spoofwatch_ixp::chunked::{ChunkedIpfixReader, FlowChunk};
 use spoofwatch_net::{Asn, FlowRecord, InferenceMethod, IngestHealth, OrgMode, TrafficClass};
+use spoofwatch_obs::{Clock, Tracer};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -46,7 +51,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A resumable source of flow chunks.
 ///
@@ -423,12 +428,30 @@ impl RunState {
 pub struct StudyRunner<'a> {
     classifier: &'a Classifier,
     cfg: RunnerConfig,
+    obs: RunnerObs,
 }
 
 impl<'a> StudyRunner<'a> {
-    /// A runner over `classifier` with the given policy.
+    /// A runner over `classifier` with the given policy and no
+    /// observability (inert metrics/tracing handles, real clock).
     pub fn new(classifier: &'a Classifier, cfg: RunnerConfig) -> Self {
-        StudyRunner { classifier, cfg }
+        StudyRunner {
+            classifier,
+            cfg,
+            obs: RunnerObs::disabled(),
+        }
+    }
+
+    /// Attach an observability bundle: metrics registry, tracer/flight
+    /// recorder, and the clock the watchdog and backoff run on.
+    pub fn with_obs(mut self, obs: RunnerObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The active observability bundle.
+    pub fn obs(&self) -> &RunnerObs {
+        &self.obs
     }
 
     /// The active configuration.
@@ -483,10 +506,13 @@ impl<'a> StudyRunner<'a> {
             cfg.workers
         };
         let config_hash = self.config_hash(source.fingerprint());
+        let rm = RunMetrics::new(&self.obs.metrics);
+        let obs = &self.obs;
 
         let mut health = RunnerHealth::default();
         let (loaded, faults) = store.load_latest();
         health.checkpoints_rejected = faults.len() as u64;
+        rm.checkpoints_rejected.add(health.checkpoints_rejected);
         let mut state = match loaded {
             Some((cp, _slot)) => {
                 if cp.config_hash != config_hash {
@@ -501,6 +527,15 @@ impl<'a> StudyRunner<'a> {
             None => RunState::default(),
         };
         source.seek(state.byte_cursor, state.committed_chunks);
+        rm.committed_chunks.set(state.committed_chunks as i64);
+        obs.tracer.event(
+            "run_start",
+            &[
+                ("workers", (workers as u64).into()),
+                ("resumed_at_chunk", state.committed_chunks.into()),
+                ("resumed", health.resumed_at_chunk.is_some().into()),
+            ],
+        );
 
         let (chunk_tx, chunk_rx) = mpsc::sync_channel::<FlowChunk>(cfg.queue_depth.max(1));
         let chunk_rx = Arc::new(Mutex::new(chunk_rx));
@@ -516,14 +551,21 @@ impl<'a> StudyRunner<'a> {
                 let tx = out_tx.clone();
                 let classify = &classify;
                 let restarts = &restarts;
-                s.spawn(move || worker_loop(rx, tx, classify, cfg, restarts));
+                let rm = &rm;
+                s.spawn(move || worker_loop(rx, tx, classify, cfg, restarts, rm, obs));
             }
             if cfg.stall_timeout_ms > 0 {
                 let (committed, done, stalls) = (&committed, &done, &stalls);
                 let timeout = cfg.stall_timeout_ms;
-                s.spawn(move || watchdog_loop(committed, done, stalls, timeout));
+                let rm = &rm;
+                s.spawn(move || watchdog_loop(committed, done, stalls, timeout, rm, obs));
             }
 
+            let mut cobs = CommitObs {
+                rm: &rm,
+                obs,
+                members: MemberLabels::new(),
+            };
             let mut feed = || -> Result<bool, RunnerError> {
                 let mut pending: BTreeMap<u64, PendingMeta> = BTreeMap::new();
                 let mut arrived: BTreeMap<u64, Outcome> = BTreeMap::new();
@@ -548,7 +590,7 @@ impl<'a> StudyRunner<'a> {
                             ingest,
                         },
                     );
-                    dispatch_or_shed(chunk, &chunk_tx, cfg, &mut arrived);
+                    dispatch_or_shed(chunk, &chunk_tx, cfg, &mut arrived, &rm);
                     while let Ok(o) = out_rx.try_recv() {
                         arrived.insert(o.seq, o);
                     }
@@ -561,6 +603,7 @@ impl<'a> StudyRunner<'a> {
                         config_hash,
                         &committed,
                         &mut health,
+                        &mut cobs,
                     )?;
                     if interrupt_due(&state) {
                         return Ok(true);
@@ -586,6 +629,7 @@ impl<'a> StudyRunner<'a> {
                         config_hash,
                         &committed,
                         &mut health,
+                        &mut cobs,
                     )?;
                     if interrupt_due(&state) {
                         return Ok(true);
@@ -594,7 +638,7 @@ impl<'a> StudyRunner<'a> {
 
                 // Completed: persist the terminal checkpoint so a rerun
                 // resumes at end-of-stream instead of recomputing.
-                store.save(&state.to_checkpoint(config_hash))?;
+                save_checkpoint_timed(store, &state.to_checkpoint(config_hash), &rm, obs)?;
                 health.checkpoints_written += 1;
                 Ok(false)
             };
@@ -608,6 +652,14 @@ impl<'a> StudyRunner<'a> {
         health.chunks = state.chunks;
         health.worker_restarts = restarts.load(Ordering::Relaxed);
         health.watchdog_stalls = stalls.load(Ordering::Relaxed);
+        obs.tracer.event(
+            "run_end",
+            &[
+                ("committed_chunks", state.committed_chunks.into()),
+                ("worker_restarts", health.worker_restarts.into()),
+                ("watchdog_stalls", health.watchdog_stalls.into()),
+            ],
+        );
         let interrupted = run_result?;
         if interrupted {
             return Err(RunnerError::Interrupted {
@@ -631,17 +683,22 @@ fn dispatch_or_shed(
     chunk_tx: &SyncSender<FlowChunk>,
     cfg: &RunnerConfig,
     arrived: &mut BTreeMap<u64, Outcome>,
+    rm: &RunMetrics,
 ) {
     let seq = chunk.seq;
     match cfg.shed {
         ShedPolicy::Block => {
-            let _ = chunk_tx.send(chunk);
+            if chunk_tx.send(chunk).is_ok() {
+                rm.queue_depth.add(1);
+            }
         }
         ShedPolicy::Sample { keep_one_in } => match chunk_tx.try_send(chunk) {
-            Ok(()) => {}
+            Ok(()) => rm.queue_depth.add(1),
             Err(TrySendError::Full(chunk)) => {
                 if shed_keeps(cfg.seed, seq, keep_one_in) {
-                    let _ = chunk_tx.send(chunk);
+                    if chunk_tx.send(chunk).is_ok() {
+                        rm.queue_depth.add(1);
+                    }
                 } else {
                     arrived.insert(
                         seq,
@@ -657,6 +714,32 @@ fn dispatch_or_shed(
     }
 }
 
+/// Observability context threaded through the feeder's commit path.
+struct CommitObs<'x> {
+    rm: &'x RunMetrics,
+    obs: &'x RunnerObs,
+    /// Cardinality-budgeted per-member label tracker.
+    members: MemberLabels,
+}
+
+/// Save a checkpoint with write latency recorded (serialize + tmp write
+/// + fsync + rename, i.e. the full durability cost).
+fn save_checkpoint_timed(
+    store: &CheckpointStore,
+    cp: &Checkpoint,
+    rm: &RunMetrics,
+    obs: &RunnerObs,
+) -> Result<(), RunnerError> {
+    let t0 = obs.clock.now_ns();
+    let result = store.save(cp);
+    rm.checkpoint_write_ns.record(obs.clock.since_ns(t0));
+    if result.is_ok() {
+        rm.checkpoints_written.inc();
+    }
+    result?;
+    Ok(())
+}
+
 /// Commit every outcome that is next in sequence order, writing
 /// checkpoints at the configured cadence. Returns whether anything was
 /// committed.
@@ -670,7 +753,9 @@ fn commit_ready(
     config_hash: u64,
     committed: &AtomicU64,
     health: &mut RunnerHealth,
+    cobs: &mut CommitObs<'_>,
 ) -> Result<bool, RunnerError> {
+    let rm = cobs.rm;
     let mut any = false;
     loop {
         // Stop committing exactly at the simulated-crash threshold so
@@ -690,6 +775,8 @@ fn commit_ready(
         };
         state.chunks.offered += 1;
         state.records.offered += meta.records;
+        rm.chunks.offered.inc();
+        rm.records.offered.add(meta.records);
         state.ingest.input_bytes += meta.ingest.input_bytes;
         state.ingest.ok_records += meta.ingest.ok_records;
         state.ingest.ok_bytes += meta.ingest.ok_bytes;
@@ -699,23 +786,50 @@ fn commit_ready(
             OutcomeKind::Processed(partial) => {
                 state.chunks.processed += 1;
                 state.records.processed += meta.records;
+                rm.chunks.processed.inc();
+                rm.records.processed.add(meta.records);
+                if cobs.obs.metrics.is_enabled() {
+                    for (asn, rows) in &partial {
+                        let mut member_flows = 0u64;
+                        for (idx, cc) in rows.iter().enumerate() {
+                            rm.classified_flows[idx].add(cc.flows);
+                            member_flows += cc.flows;
+                        }
+                        cobs.members.record(&cobs.obs.metrics, *asn, member_flows);
+                    }
+                }
                 state.merge_partial(partial);
             }
             OutcomeKind::Shed => {
                 state.chunks.shed += 1;
                 state.records.shed += meta.records;
+                rm.chunks.shed.inc();
+                rm.records.shed.add(meta.records);
+                cobs.obs.tracer.event(
+                    "chunk_shed",
+                    &[("seq", outcome.seq.into()), ("records", meta.records.into())],
+                );
             }
             OutcomeKind::Quarantined => {
                 state.chunks.quarantined += 1;
                 state.records.quarantined += meta.records;
+                rm.chunks.quarantined.inc();
+                rm.records.quarantined.add(meta.records);
+                // The worker already dumped the flight ring at panic
+                // time; the commit event records the final disposition.
+                cobs.obs.tracer.event(
+                    "chunk_quarantined",
+                    &[("seq", outcome.seq.into()), ("records", meta.records.into())],
+                );
             }
         }
         state.committed_chunks += 1;
         state.byte_cursor = meta.byte_end;
         committed.store(state.committed_chunks, Ordering::Relaxed);
+        rm.committed_chunks.set(state.committed_chunks as i64);
         any = true;
         if state.committed_chunks.is_multiple_of(cfg.checkpoint_every.max(1)) {
-            store.save(&state.to_checkpoint(config_hash))?;
+            save_checkpoint_timed(store, &state.to_checkpoint(config_hash), rm, cobs.obs)?;
             health.checkpoints_written += 1;
         }
     }
@@ -723,16 +837,20 @@ fn commit_ready(
 }
 
 /// One supervised worker: classify chunks, quarantine panics, restart
-/// with bounded exponential backoff.
+/// with bounded exponential backoff (slept on the observability clock,
+/// so tests with a manual clock never block for real).
 fn worker_loop<F>(
     rx: Arc<Mutex<Receiver<FlowChunk>>>,
     tx: mpsc::Sender<Outcome>,
     classify: &F,
     cfg: &RunnerConfig,
     restarts: &AtomicU64,
+    rm: &RunMetrics,
+    obs: &RunnerObs,
 ) where
     F: Fn(&[FlowRecord]) -> Vec<TrafficClass> + Sync,
 {
+    let tracer = obs.tracer.as_ref();
     let mut consecutive_panics = 0u32;
     loop {
         let chunk = {
@@ -742,11 +860,23 @@ fn worker_loop<F>(
                 Err(_) => return, // queue closed: clean shutdown
             }
         };
+        rm.queue_depth.sub(1);
         let seq = chunk.seq;
+        let records = chunk.flows.len() as u64;
+        let t0 = obs.clock.now_ns();
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            // The span guard lives inside the unwind boundary so a
+            // panicking classify drops it mid-unwind and its span_end
+            // carries `panicked=true` — the flight recorder's marker
+            // for "this was active when it happened".
+            let _span = tracer.span(
+                "chunk_classify",
+                &[("seq", seq.into()), ("records", records.into())],
+            );
             let classes = classify(&chunk.flows);
             partial_breakdown(&chunk.flows, &classes)
         }));
+        rm.chunk_classify_ns.record(obs.clock.since_ns(t0));
         let kind = match result {
             Ok(partial) => {
                 consecutive_panics = 0;
@@ -757,6 +887,11 @@ fn worker_loop<F>(
                 // worker after a bounded-exponential-backoff pause
                 // (base * 2^(panics-1), capped), mirroring RibFreshness.
                 restarts.fetch_add(1, Ordering::Relaxed);
+                rm.worker_restarts.inc();
+                tracer.event("worker_panic", &[("seq", seq.into())]);
+                tracer.trigger_dump(&format!(
+                    "worker panic: chunk seq {seq} quarantined"
+                ));
                 consecutive_panics = consecutive_panics.saturating_add(1);
                 let exp = consecutive_panics.saturating_sub(1).min(32);
                 let delay = cfg
@@ -764,7 +899,7 @@ fn worker_loop<F>(
                     .saturating_mul(1u64 << exp)
                     .min(cfg.restart_backoff_max_ms);
                 if delay > 0 {
-                    thread::sleep(Duration::from_millis(delay));
+                    obs.clock.sleep(Duration::from_millis(delay));
                 }
                 OutcomeKind::Quarantined
             }
@@ -795,21 +930,47 @@ fn partial_breakdown(
 }
 
 /// Flag when commit progress freezes for longer than the stall timeout.
-fn watchdog_loop(committed: &AtomicU64, done: &AtomicBool, stalls: &AtomicU64, timeout_ms: u64) {
+///
+/// All timing goes through the observability [`Clock`]: under the real
+/// clock this behaves exactly as a `thread::sleep` loop; under a manual
+/// test clock the tick sleeps advance virtual time instantly, so the
+/// timeout schedule runs deterministically at full speed regardless of
+/// scheduler load.
+fn watchdog_loop(
+    committed: &AtomicU64,
+    done: &AtomicBool,
+    stalls: &AtomicU64,
+    timeout_ms: u64,
+    rm: &RunMetrics,
+    obs: &RunnerObs,
+) {
+    let clock: &dyn Clock = obs.clock.as_ref();
+    let tracer: &Tracer = obs.tracer.as_ref();
     let tick = Duration::from_millis((timeout_ms / 4).max(1));
-    let timeout = Duration::from_millis(timeout_ms);
+    let timeout_ns = timeout_ms.saturating_mul(1_000_000);
     let mut last_seen = committed.load(Ordering::Relaxed);
-    let mut last_change = Instant::now();
+    let mut last_change_ns = clock.now_ns();
     let mut flagged = false;
     while !done.load(Ordering::Relaxed) {
-        thread::sleep(tick);
+        clock.sleep(tick);
         let now = committed.load(Ordering::Relaxed);
         if now != last_seen {
             last_seen = now;
-            last_change = Instant::now();
+            last_change_ns = clock.now_ns();
             flagged = false;
-        } else if !flagged && last_change.elapsed() >= timeout {
+        } else if !flagged && clock.since_ns(last_change_ns) >= timeout_ns {
             stalls.fetch_add(1, Ordering::Relaxed);
+            rm.watchdog_stalls.inc();
+            tracer.event(
+                "watchdog_stall",
+                &[
+                    ("committed_chunks", last_seen.into()),
+                    ("stalled_ms", (clock.since_ns(last_change_ns) / 1_000_000).into()),
+                ],
+            );
+            tracer.trigger_dump(&format!(
+                "watchdog stall: no commit past chunk {last_seen} for {timeout_ms} ms"
+            ));
             flagged = true;
         }
     }

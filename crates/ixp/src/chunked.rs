@@ -148,6 +148,7 @@ impl<'a> ChunkedIpfixReader<'a> {
                 // Unrecoverable: one terminal chunk covering the input.
                 health.input_len = data.len() as u64;
                 health.abandon(kind);
+                health.record_metrics("ipfix_chunked");
                 self.pos = data.len();
                 self.done = true;
                 let seq = self.seq;
@@ -197,6 +198,7 @@ impl<'a> ChunkedIpfixReader<'a> {
         let byte_end = self.pos as u64;
         health.input_len = byte_end - byte_start;
         debug_assert!(health.reconciles());
+        health.record_metrics("ipfix_chunked");
         let seq = self.seq;
         self.seq += 1;
         Some(FlowChunk {

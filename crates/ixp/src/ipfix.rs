@@ -231,14 +231,17 @@ pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
     let mut out = Vec::new();
     if data.len() < 4 || &data[..4] != MAGIC {
         health.abandon(FaultKind::BadMagic);
+        health.record_metrics("ipfix");
         return (out, health);
     }
     if data.len() < 6 {
         health.abandon(FaultKind::Truncated);
+        health.record_metrics("ipfix");
         return (out, health);
     }
     if u16::from_be_bytes([data[4], data[5]]) != VERSION {
         health.abandon(FaultKind::BadVersion);
+        health.record_metrics("ipfix");
         return (out, health);
     }
     health.credit_ok(6);
@@ -268,6 +271,7 @@ pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
         }
         pos = next;
     }
+    health.record_metrics("ipfix");
     (out, health)
 }
 

@@ -41,6 +41,39 @@ pub enum FaultKind {
     Implausible,
 }
 
+impl FaultKind {
+    /// Every fault kind, in [`FaultKind::index`] order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::BadMagic,
+        FaultKind::BadVersion,
+        FaultKind::Truncated,
+        FaultKind::BadRecord,
+        FaultKind::Implausible,
+    ];
+
+    /// Dense index into per-kind tally arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::BadMagic => 0,
+            FaultKind::BadVersion => 1,
+            FaultKind::Truncated => 2,
+            FaultKind::BadRecord => 3,
+            FaultKind::Implausible => 4,
+        }
+    }
+
+    /// Stable snake_case name, used as a metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::BadMagic => "bad_magic",
+            FaultKind::BadVersion => "bad_version",
+            FaultKind::Truncated => "truncated",
+            FaultKind::BadRecord => "bad_record",
+            FaultKind::Implausible => "implausible",
+        }
+    }
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -111,6 +144,9 @@ pub struct IngestHealth {
     pub events: Vec<IngestEvent>,
     /// Quarantine events beyond the [`MAX_EVENTS`] cap.
     pub events_dropped: u64,
+    /// Per-kind quarantine tallies, indexed by [`FaultKind::index`].
+    /// Unlike `events` these are never capped.
+    pub fault_counts: [u64; 5],
     /// Set when the decoder could not establish the format at all.
     pub unrecoverable: bool,
 }
@@ -142,6 +178,7 @@ impl IngestHealth {
             return;
         }
         self.quarantined_bytes += len;
+        self.fault_counts[kind.index()] += 1;
         if self.events.len() < MAX_EVENTS {
             self.events.push(IngestEvent { offset, len, kind });
         } else {
@@ -207,7 +244,69 @@ impl IngestHealth {
             }
         }
         self.events_dropped += other.events_dropped;
+        for (mine, theirs) in self.fault_counts.iter_mut().zip(other.fault_counts) {
+            *mine += theirs;
+        }
         self.unrecoverable |= other.unrecoverable;
+    }
+
+    /// Report this source's accounting to the process-global metrics
+    /// registry under the given `format` label (`ipfix`, `mrt`,
+    /// `pcap`, …). A no-op unless the global registry is enabled (see
+    /// `spoofwatch_obs::global`). Call exactly once per decoded source:
+    /// the counters are cumulative across calls.
+    pub fn record_metrics(&self, format: &'static str) {
+        let reg = spoofwatch_obs::global();
+        if !reg.is_enabled() {
+            return;
+        }
+        let fmt_label = [("format", format)];
+        reg.counter(
+            "spoofwatch_decode_records_total",
+            "Records decoded cleanly by the resilient decoders",
+            &fmt_label,
+        )
+        .add(self.ok_records);
+        reg.counter(
+            "spoofwatch_decode_resyncs_total",
+            "Times a decoder skipped forward to a new plausible record boundary",
+            &fmt_label,
+        )
+        .add(self.resyncs);
+        reg.counter(
+            "spoofwatch_decode_fault_events_dropped_total",
+            "Quarantine events beyond the per-source itemization cap",
+            &fmt_label,
+        )
+        .add(self.events_dropped);
+        for (disposition, bytes) in [("ok", self.ok_bytes), ("quarantined", self.quarantined_bytes)]
+        {
+            reg.counter(
+                "spoofwatch_decode_bytes_total",
+                "Input bytes by decode disposition; ok + quarantined covers every input byte",
+                &[("format", format), ("disposition", disposition)],
+            )
+            .add(bytes);
+        }
+        for kind in FaultKind::ALL {
+            let n = self.fault_counts[kind.index()];
+            if n > 0 {
+                reg.counter(
+                    "spoofwatch_decode_faults_total",
+                    "Quarantined spans by fault kind",
+                    &[("format", format), ("kind", kind.label())],
+                )
+                .add(n);
+            }
+        }
+        if self.unrecoverable {
+            reg.counter(
+                "spoofwatch_decode_unrecoverable_total",
+                "Sources whose format could not be established at all",
+                &fmt_label,
+            )
+            .inc();
+        }
     }
 }
 
@@ -287,6 +386,82 @@ mod tests {
         assert_eq!(a.quarantined_bytes, 15);
         assert!(a.reconciles());
         assert_eq!(a.status(), IngestStatus::Recovered);
+    }
+
+    #[test]
+    fn fault_counts_tally_by_kind_uncapped() {
+        let mut h = IngestHealth::new(10_000);
+        for i in 0..(MAX_EVENTS as u64 + 10) {
+            h.quarantine(i, 1, FaultKind::BadRecord);
+        }
+        h.quarantine(9_000, 1, FaultKind::Truncated);
+        assert_eq!(h.fault_counts[FaultKind::BadRecord.index()], MAX_EVENTS as u64 + 10);
+        assert_eq!(h.fault_counts[FaultKind::Truncated.index()], 1);
+
+        let mut other = IngestHealth::new(10);
+        other.quarantine(0, 10, FaultKind::BadRecord);
+        h.absorb(&other);
+        assert_eq!(h.fault_counts[FaultKind::BadRecord.index()], MAX_EVENTS as u64 + 11);
+    }
+
+    #[test]
+    fn record_metrics_exports_taxonomy() {
+        // Install a live global registry for this test binary; nothing
+        // else in spoofwatch-net's tests touches the global.
+        let reg = spoofwatch_obs::MetricsRegistry::new();
+        spoofwatch_obs::install_global(std::sync::Arc::clone(&reg));
+        let reg = std::sync::Arc::clone(spoofwatch_obs::global());
+        assert!(reg.is_enabled(), "install must precede first global() use");
+
+        let mut h = IngestHealth::new(100);
+        h.credit_ok(6);
+        h.credit_record(50);
+        h.quarantine(56, 40, FaultKind::BadRecord);
+        h.note_resync();
+        h.quarantine(96, 4, FaultKind::Truncated);
+        h.record_metrics("testfmt");
+
+        let snap = reg.snapshot();
+        let fmt = &[("format", "testfmt")][..];
+        assert_eq!(
+            snap.counter("spoofwatch_decode_records_total", fmt),
+            Some(1)
+        );
+        assert_eq!(snap.counter("spoofwatch_decode_resyncs_total", fmt), Some(1));
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_decode_bytes_total",
+                &[("format", "testfmt"), ("disposition", "ok")],
+            ),
+            Some(56)
+        );
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_decode_bytes_total",
+                &[("format", "testfmt"), ("disposition", "quarantined")],
+            ),
+            Some(44)
+        );
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_decode_faults_total",
+                &[("format", "testfmt"), ("kind", "bad_record")],
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_decode_faults_total",
+                &[("format", "testfmt"), ("kind", "truncated")],
+            ),
+            Some(1)
+        );
+        // ok + quarantined bytes cover the whole input, mirrored in the
+        // exported counters.
+        assert_eq!(
+            snap.counter_sum("spoofwatch_decode_bytes_total"),
+            h.input_len
+        );
     }
 
     #[test]

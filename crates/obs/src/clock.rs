@@ -1,0 +1,141 @@
+//! A pluggable time source.
+//!
+//! The streaming runner's watchdog and restart backoff are
+//! timing-sensitive: tested against the real clock they either sleep
+//! for real (slow tests) or flake under load (a 10 ms sleep can take
+//! 200 ms on a busy CI box). Every timing decision therefore goes
+//! through the [`Clock`] trait: production uses [`RealClock`], tests
+//! use [`ManualClock`] whose time advances only when the code under
+//! test sleeps — making stall detection and backoff schedules exactly
+//! reproducible.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source plus the ability to wait on it.
+///
+/// `now_ns` must be monotonic non-decreasing within one clock instance;
+/// the absolute epoch is unspecified (only differences are meaningful).
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's (arbitrary) epoch.
+    fn now_ns(&self) -> u64;
+
+    /// Wait for `d` of this clock's time.
+    fn sleep(&self, d: Duration);
+
+    /// Convenience: the elapsed time since an earlier `now_ns` reading.
+    fn since_ns(&self, earlier_ns: u64) -> u64 {
+        self.now_ns().saturating_sub(earlier_ns)
+    }
+}
+
+/// The production clock: monotonic [`Instant`] time and real
+/// [`std::thread::sleep`].
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A clock whose epoch is its moment of construction.
+    pub fn new() -> RealClock {
+        RealClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now_ns(&self) -> u64 {
+        // ~584 years of range; saturate rather than wrap on the absurd.
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// A deterministic test clock.
+///
+/// Time stands still except when explicitly advanced — either by the
+/// test ([`ManualClock::advance`]) or by the code under test calling
+/// [`Clock::sleep`], which advances time instantly instead of blocking.
+/// A watchdog loop that `sleep`s its tick therefore runs its timeout
+/// schedule at full speed with no wall-clock dependence at all.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at time zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        let add = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.ns.fetch_add(add, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+
+    fn sleep(&self, d: Duration) {
+        // Sleeping *is* advancing: the sleeper wakes exactly when its
+        // deadline arrives, and nothing else moves the clock meanwhile.
+        self.advance(d);
+        // Yield so other real threads (e.g. a worker the watchdog is
+        // monitoring) get scheduled between manual-clock ticks.
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+        c.sleep(Duration::from_millis(1));
+        assert!(c.now_ns() > a);
+        assert!(c.since_ns(a) >= 1_000_000);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0, "time stands still");
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c.now_ns(), 1_000_000_000);
+        c.sleep(Duration::from_millis(250));
+        assert_eq!(c.now_ns(), 1_250_000_000, "sleep advances instantly");
+        assert_eq!(c.since_ns(1_000_000_000), 250_000_000);
+    }
+
+    #[test]
+    fn manual_clock_is_shareable() {
+        use std::sync::Arc;
+        let c = Arc::new(ManualClock::new());
+        let c2 = Arc::clone(&c);
+        let h = std::thread::spawn(move || c2.sleep(Duration::from_secs(2)));
+        h.join().expect("join");
+        assert_eq!(c.now_ns(), 2_000_000_000);
+    }
+}

@@ -1,0 +1,521 @@
+//! Prometheus text-exposition transport: a parser/validator for
+//! scraped output, a tiny blocking `/metrics` HTTP endpoint, and the
+//! matching one-shot client.
+//!
+//! The parser exists so CI can assert that what the registry *exports*
+//! is well-formed — not merely that internal counters look right. The
+//! server is deliberately minimal: one blocking [`TcpListener`], one
+//! request per connection, `GET /metrics` only. It is an operational
+//! peephole for a long-running study, not a web framework.
+
+use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Why an exposition document was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpositionError {
+    /// A line fit neither a comment nor a sample.
+    BadLine(String),
+    /// A sample's value did not parse as a float.
+    BadValue(String),
+    /// Label syntax error (unterminated quote, missing `=`, …).
+    BadLabels(String),
+    /// A `# TYPE` declared something other than counter/gauge/histogram
+    /// /summary/untyped.
+    BadType(String),
+    /// A histogram family violated its structural invariants.
+    BadHistogram(String),
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpositionError::BadLine(l) => write!(f, "unparseable line: {l:?}"),
+            ExpositionError::BadValue(l) => write!(f, "bad sample value: {l:?}"),
+            ExpositionError::BadLabels(l) => write!(f, "bad label syntax: {l:?}"),
+            ExpositionError::BadType(t) => write!(f, "unknown metric type: {t:?}"),
+            ExpositionError::BadHistogram(m) => write!(f, "histogram invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Full sample name as written (`family`, `family_bucket`, …).
+    pub name: String,
+    /// Label pairs in document order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations by family name.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations by family name.
+    pub helps: BTreeMap<String, String>,
+    /// Every sample in document order.
+    pub samples: Vec<ParsedSample>,
+}
+
+fn unescape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// A parsed label set: sorted `(key, value)` pairs.
+pub type LabelSet = Vec<(String, String)>;
+
+/// Parse `{k="v",…}`; returns the labels and the rest of the line.
+fn parse_labels(s: &str) -> Result<(LabelSet, &str), ExpositionError> {
+    let bad = || ExpositionError::BadLabels(s.to_string());
+    let mut labels = Vec::new();
+    let mut rest = s.strip_prefix('{').ok_or_else(bad)?;
+    loop {
+        rest = rest.trim_start_matches(',');
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest.find('=').ok_or_else(bad)?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].strip_prefix('"').ok_or_else(bad)?;
+        // Find the closing quote, honoring backslash escapes.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(bad)?;
+        labels.push((key, unescape_label_value(&rest[..end])));
+        rest = &rest[end + 1..];
+    }
+}
+
+/// Parse a Prometheus text-exposition document.
+pub fn parse_exposition(text: &str) -> Result<Exposition, ExpositionError> {
+    let mut out = Exposition::default();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("HELP ") {
+                if let Some((name, help)) = rest.split_once(' ') {
+                    out.helps.insert(name.to_string(), help.to_string());
+                } else {
+                    out.helps.insert(rest.to_string(), String::new());
+                }
+            } else if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let (name, kind) = rest
+                    .split_once(' ')
+                    .ok_or_else(|| ExpositionError::BadLine(line.to_string()))?;
+                match kind {
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped" => {}
+                    other => return Err(ExpositionError::BadType(other.to_string())),
+                }
+                out.types.insert(name.to_string(), kind.to_string());
+            }
+            continue; // other comments are legal and ignored
+        }
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_whitespace())
+            .ok_or_else(|| ExpositionError::BadLine(line.to_string()))?;
+        let name = &line[..name_end];
+        if name.is_empty() {
+            return Err(ExpositionError::BadLine(line.to_string()));
+        }
+        let rest = &line[name_end..];
+        let (labels, rest) = if rest.starts_with('{') {
+            parse_labels(rest)?
+        } else {
+            (Vec::new(), rest)
+        };
+        let mut parts = rest.split_whitespace();
+        let value_str = parts
+            .next()
+            .ok_or_else(|| ExpositionError::BadLine(line.to_string()))?;
+        let value = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse()
+                .map_err(|_| ExpositionError::BadValue(line.to_string()))?,
+        };
+        out.samples.push(ParsedSample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(out)
+}
+
+impl Exposition {
+    /// The first sample matching `name` and containing every given
+    /// label pair.
+    pub fn sample(&self, name: &str, labels: &[(&str, &str)]) -> Option<&ParsedSample> {
+        self.samples.iter().find(|s| {
+            s.name == name
+                && labels.iter().all(|(k, v)| {
+                    s.labels.iter().any(|(sk, sv)| sk == k && sv == v)
+                })
+        })
+    }
+
+    /// Sum of every sample named `name`.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Structural validation:
+    ///
+    /// * every histogram family's `_bucket` series (per label set) has
+    ///   strictly ascending `le` values, non-decreasing cumulative
+    ///   counts, and ends in `+Inf`;
+    /// * the `+Inf` bucket equals the family's `_count` for the same
+    ///   label set;
+    /// * every typed family actually has samples.
+    pub fn validate(&self) -> Result<(), ExpositionError> {
+        for (family, kind) in &self.types {
+            if kind != "histogram" {
+                let has = self.samples.iter().any(|s| &s.name == family);
+                if !has {
+                    return Err(ExpositionError::BadHistogram(format!(
+                        "typed family {family} has no samples"
+                    )));
+                }
+                continue;
+            }
+            let bucket_name = format!("{family}_bucket");
+            let count_name = format!("{family}_count");
+            // Group buckets by their non-`le` labels.
+            let mut groups: BTreeMap<LabelSet, Vec<(f64, f64)>> = BTreeMap::new();
+            for s in self.samples.iter().filter(|s| s.name == bucket_name) {
+                let mut key: LabelSet = s
+                    .labels
+                    .iter()
+                    .filter(|(k, _)| k != "le")
+                    .cloned()
+                    .collect();
+                key.sort();
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| match v.as_str() {
+                        "+Inf" => f64::INFINITY,
+                        v => v.parse().unwrap_or(f64::NAN),
+                    })
+                    .ok_or_else(|| {
+                        ExpositionError::BadHistogram(format!("{bucket_name} without le"))
+                    })?;
+                groups.entry(key).or_default().push((le, s.value));
+            }
+            if groups.is_empty() {
+                return Err(ExpositionError::BadHistogram(format!(
+                    "histogram {family} has no buckets"
+                )));
+            }
+            for (key, buckets) in groups {
+                let mut prev_le = f64::NEG_INFINITY;
+                let mut prev_cum = 0.0f64;
+                for (le, cum) in &buckets {
+                    if *le <= prev_le || le.is_nan() {
+                        return Err(ExpositionError::BadHistogram(format!(
+                            "{family}{key:?}: le not ascending at {le}"
+                        )));
+                    }
+                    if *cum < prev_cum {
+                        return Err(ExpositionError::BadHistogram(format!(
+                            "{family}{key:?}: cumulative count decreased at le={le}"
+                        )));
+                    }
+                    prev_le = *le;
+                    prev_cum = *cum;
+                }
+                if prev_le.is_finite() {
+                    return Err(ExpositionError::BadHistogram(format!(
+                        "{family}{key:?}: missing +Inf bucket"
+                    )));
+                }
+                let label_refs: Vec<(&str, &str)> =
+                    key.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+                let count = self
+                    .sample(&count_name, &label_refs)
+                    .map(|s| s.value)
+                    .ok_or_else(|| {
+                        ExpositionError::BadHistogram(format!("{family}{key:?}: missing _count"))
+                    })?;
+                if (count - prev_cum).abs() > 0.0 {
+                    return Err(ExpositionError::BadHistogram(format!(
+                        "{family}{key:?}: +Inf bucket {prev_cum} != count {count}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Handle to a running `/metrics` endpoint; dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the serving thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept() awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_inner();
+        }
+    }
+}
+
+fn handle_request(registry: &MetricsRegistry, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // Read enough of the request to see the request line; tolerate
+    // clients that send the whole header in one segment (ours does).
+    let mut buf = [0u8; 1024];
+    let n = stream.read(&mut buf).unwrap_or(0);
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let first = request.lines().next().unwrap_or("");
+    let mut parts = first.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = registry.render_prometheus();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found; try /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\
+             Connection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Serve `registry` over HTTP at `addr` (e.g. `"127.0.0.1:0"`) on a
+/// background thread. One connection at a time, `GET /metrics`.
+pub fn serve(registry: Arc<MetricsRegistry>, addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("spoofwatch-metrics".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => handle_request(&registry, stream),
+                    Err(_) => continue,
+                }
+            }
+        })?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// One-shot scrape of a `/metrics` endpoint — the curl equivalent used
+/// by CI and tests. Returns the response body.
+pub fn fetch_metrics(addr: impl ToSocketAddrs) -> io::Result<String> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable address"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(
+        format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (header, body) = response.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "malformed HTTP response")
+    })?;
+    let status = header.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(io::Error::other(format!("non-200 response: {status}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_what_the_registry_renders() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "a", &[("k", "v with \"quotes\" and \\slashes\\")])
+            .add(3);
+        reg.gauge("depth", "d", &[]).set(-7);
+        let h = reg.histogram("lat_ns", "l", &[("stage", "x")]);
+        for v in [1u64, 2, 3, 100, 10_000] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        let parsed = parse_exposition(&text).expect("parse");
+        parsed.validate().expect("validate");
+        assert_eq!(parsed.types.get("a_total").map(String::as_str), Some("counter"));
+        let s = parsed
+            .sample("a_total", &[("k", "v with \"quotes\" and \\slashes\\")])
+            .expect("escaped label value roundtrips");
+        assert_eq!(s.value, 3.0);
+        assert_eq!(
+            parsed.sample("depth", &[]).map(|s| s.value),
+            Some(-7.0)
+        );
+        assert_eq!(parsed.sum("lat_ns_count"), 5.0);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(matches!(
+            parse_exposition("metric{unterminated 3"),
+            Err(ExpositionError::BadLabels(_))
+        ));
+        assert!(matches!(
+            parse_exposition("metric notanumber"),
+            Err(ExpositionError::BadValue(_))
+        ));
+        assert!(matches!(
+            parse_exposition("# TYPE m flarble"),
+            Err(ExpositionError::BadType(_))
+        ));
+    }
+
+    #[test]
+    fn validate_catches_broken_histograms() {
+        // Decreasing cumulative counts.
+        let doc = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+        let parsed = parse_exposition(doc).expect("parse");
+        assert!(matches!(
+            parsed.validate(),
+            Err(ExpositionError::BadHistogram(_))
+        ));
+        // Missing +Inf.
+        let doc = "\
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_sum 9
+h_count 5
+";
+        assert!(parse_exposition(doc).expect("parse").validate().is_err());
+        // +Inf disagrees with count.
+        let doc = "\
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 4
+h_sum 9
+h_count 5
+";
+        assert!(parse_exposition(doc).expect("parse").validate().is_err());
+    }
+
+    #[test]
+    fn server_serves_and_client_fetches() {
+        let reg = MetricsRegistry::new();
+        reg.counter("up_total", "u", &[]).inc();
+        let server = serve(Arc::clone(&reg), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let body = fetch_metrics(addr).expect("fetch");
+        assert!(body.contains("up_total 1"));
+        let parsed = parse_exposition(&body).expect("parse");
+        parsed.validate().expect("validate");
+        // Counters keep moving between scrapes.
+        reg.counter("up_total", "u", &[]).inc();
+        let body = fetch_metrics(addr).expect("second fetch");
+        assert!(body.contains("up_total 2"));
+        server.shutdown();
+        assert!(fetch_metrics(addr).is_err(), "server is down after shutdown");
+    }
+}

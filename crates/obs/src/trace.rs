@@ -1,0 +1,647 @@
+//! Span/event tracing with a bounded ring-buffer flight recorder.
+//!
+//! A [`Tracer`] records structured events (name + key=value fields +
+//! monotonic timestamp) into a fixed-capacity ring: old events fall off
+//! the back, so memory is bounded no matter how long a study runs.
+//! [`Span`] guards wrap a timed region — a `span_begin` event on entry,
+//! a `span_end` event (with `duration_ns`, and `panicked=true` when the
+//! guard is dropped during unwinding) on exit.
+//!
+//! The ring doubles as a **flight recorder**: when something goes wrong
+//! (a worker panic quarantines a chunk, the watchdog flags a stall) the
+//! caller triggers a dump and gets the last N events as JSONL — the
+//! trace that was in the air at the moment of the incident, including
+//! the `span_begin` of whatever was active when it happened. When armed
+//! with a path, dumps are also written to disk (latest dump wins).
+
+use crate::clock::{Clock, RealClock};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A structured field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// What an event marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanBegin,
+    /// A span closed (fields carry `duration_ns` and `panicked`).
+    SpanEnd,
+    /// A point-in-time event.
+    Event,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Event => "event",
+        }
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Clock timestamp (ns since the tracer's clock epoch).
+    pub ts_ns: u64,
+    /// Begin/end/point.
+    pub kind: EventKind,
+    /// Event or span name.
+    pub name: String,
+    /// Span identity linking begin and end (0 for point events).
+    pub span_id: u64,
+    /// Structured fields.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+fn escape_json(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Render as one JSON object (one JSONL line, no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"ts_ns\":{},\"type\":\"{}\",\"name\":\"",
+            self.ts_ns,
+            self.kind.as_str()
+        );
+        escape_json(&mut out, &self.name);
+        out.push('"');
+        if self.span_id != 0 {
+            let _ = write!(out, ",\"span\":{}", self.span_id);
+        }
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            escape_json(&mut out, k);
+            out.push_str("\":");
+            match v {
+                FieldValue::U64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                FieldValue::I64(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                FieldValue::F64(x) => {
+                    if x.is_finite() {
+                        let _ = write!(out, "{x}");
+                    } else {
+                        out.push_str("null"); // JSON has no Inf/NaN
+                    }
+                }
+                FieldValue::Bool(b) => {
+                    let _ = write!(out, "{b}");
+                }
+                FieldValue::Str(s) => {
+                    out.push('"');
+                    escape_json(&mut out, s);
+                    out.push('"');
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// The tracer: a clocked, bounded event ring with span guards and
+/// flight-recorder dumps. Share via `Arc`.
+pub struct Tracer {
+    enabled: bool,
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+    ring: Mutex<Ring>,
+    next_span_id: AtomicU64,
+    dump_path: Mutex<Option<PathBuf>>,
+    last_dump: Mutex<Option<String>>,
+    dumps: AtomicU64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled)
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A live tracer keeping the last `capacity` events (minimum 1) on
+    /// the given clock.
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled: true,
+            capacity: capacity.max(1),
+            clock,
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+            next_span_id: AtomicU64::new(1),
+            dump_path: Mutex::new(None),
+            last_dump: Mutex::new(None),
+            dumps: AtomicU64::new(0),
+        })
+    }
+
+    /// A live tracer on the real clock.
+    pub fn with_capacity(capacity: usize) -> Arc<Tracer> {
+        Tracer::new(capacity, Arc::new(RealClock::new()))
+    }
+
+    /// A tracer that records nothing and dumps empty traces.
+    pub fn disabled() -> Arc<Tracer> {
+        Arc::new(Tracer {
+            enabled: false,
+            capacity: 1,
+            clock: Arc::new(RealClock::new()),
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+            next_span_id: AtomicU64::new(1),
+            dump_path: Mutex::new(None),
+            last_dump: Mutex::new(None),
+            dumps: AtomicU64::new(0),
+        })
+    }
+
+    /// Whether events are recorded at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The tracer's clock (shared with whoever needs coherent times).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    fn lock_ring(&self) -> MutexGuard<'_, Ring> {
+        self.ring.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut ring = self.lock_ring();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// Record a point-in-time event.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled {
+            return;
+        }
+        self.push(TraceEvent {
+            ts_ns: self.clock.now_ns(),
+            kind: EventKind::Event,
+            name: name.to_string(),
+            span_id: 0,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+    }
+
+    /// Open a span: records `span_begin` now, `span_end` when the
+    /// returned guard drops (noting `panicked=true` if dropped during
+    /// unwinding).
+    pub fn span(&self, name: &str, fields: &[(&str, FieldValue)]) -> Span<'_> {
+        let t0 = self.clock.now_ns();
+        if !self.enabled {
+            return Span {
+                tracer: self,
+                name: String::new(),
+                span_id: 0,
+                t0,
+            };
+        }
+        let span_id = self.next_span_id.fetch_add(1, Ordering::Relaxed);
+        self.push(TraceEvent {
+            ts_ns: t0,
+            kind: EventKind::SpanBegin,
+            name: name.to_string(),
+            span_id,
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        });
+        Span {
+            tracer: self,
+            name: name.to_string(),
+            span_id,
+            t0,
+        }
+    }
+
+    /// Events currently in the ring plus how many older ones were
+    /// evicted.
+    pub fn events(&self) -> (Vec<TraceEvent>, u64) {
+        let ring = self.lock_ring();
+        (ring.events.iter().cloned().collect(), ring.dropped)
+    }
+
+    /// Arm the flight recorder: every [`trigger_dump`](Self::trigger_dump)
+    /// also writes the JSONL to `path` (latest dump wins).
+    pub fn arm(&self, path: impl AsRef<Path>) {
+        *self
+            .dump_path
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(path.as_ref().to_path_buf());
+    }
+
+    /// The armed dump path, if any.
+    pub fn dump_path(&self) -> Option<PathBuf> {
+        self.dump_path
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Render the ring as JSONL (oldest first), prefixed with one
+    /// header object recording the dump reason and eviction count.
+    pub fn dump_jsonl(&self, reason: &str) -> String {
+        let (events, dropped) = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        let mut header = String::new();
+        escape_json(&mut header, reason);
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"flight_recorder_dump\",\"reason\":\"{header}\",\"events\":{},\"evicted\":{dropped}}}",
+            events.len(),
+        );
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Dump the ring: records the dump itself as an event, renders
+    /// JSONL, stores it as [`last_dump`](Self::last_dump), and writes it
+    /// to the armed path if any. Returns the JSONL. No-op (returns
+    /// `None`) on a disabled tracer.
+    pub fn trigger_dump(&self, reason: &str) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        self.event("flight_dump_triggered", &[("reason", reason.into())]);
+        let dump = self.dump_jsonl(reason);
+        self.dumps.fetch_add(1, Ordering::Relaxed);
+        *self
+            .last_dump
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()) = Some(dump.clone());
+        if let Some(path) = self.dump_path() {
+            let _ = std::fs::write(&path, &dump); // best-effort: telemetry must not fail the study
+        }
+        Some(dump)
+    }
+
+    /// The most recent dump, if any was triggered.
+    pub fn last_dump(&self) -> Option<String> {
+        self.last_dump
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// How many dumps have been triggered.
+    pub fn dump_count(&self) -> u64 {
+        self.dumps.load(Ordering::Relaxed)
+    }
+}
+
+/// A span guard; see [`Tracer::span`].
+#[must_use = "a span measures the region until it is dropped"]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    span_id: u64,
+    t0: u64,
+}
+
+impl Span<'_> {
+    /// The span's identity (0 on a disabled tracer).
+    pub fn id(&self) -> u64 {
+        self.span_id
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.span_id == 0 {
+            return;
+        }
+        let now = self.tracer.clock.now_ns();
+        self.tracer.push(TraceEvent {
+            ts_ns: now,
+            kind: EventKind::SpanEnd,
+            name: std::mem::take(&mut self.name),
+            span_id: self.span_id,
+            fields: vec![
+                (
+                    "duration_ns".to_string(),
+                    FieldValue::U64(now.saturating_sub(self.t0)),
+                ),
+                (
+                    "panicked".to_string(),
+                    FieldValue::Bool(std::thread::panicking()),
+                ),
+            ],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual_tracer(cap: usize) -> (Arc<Tracer>, Arc<ManualClock>) {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(cap, Arc::clone(&clock) as Arc<dyn Clock>);
+        (tracer, clock)
+    }
+
+    /// A minimal recursive-descent JSON well-formedness check (the
+    /// vendored serde_json is serialize-only, so we verify our
+    /// hand-rolled output with a hand-rolled parser).
+    fn json_well_formed(s: &str) -> bool {
+        fn skip_ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> Option<usize> {
+            let i = skip_ws(b, i);
+            match b.get(i)? {
+                b'{' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b'}') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = string(b, skip_ws(b, i))?;
+                        i = skip_ws(b, i);
+                        if b.get(i) != Some(&b':') {
+                            return None;
+                        }
+                        i = value(b, i + 1)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b'}' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'[' => {
+                    let mut i = skip_ws(b, i + 1);
+                    if b.get(i) == Some(&b']') {
+                        return Some(i + 1);
+                    }
+                    loop {
+                        i = value(b, i)?;
+                        i = skip_ws(b, i);
+                        match b.get(i)? {
+                            b',' => i += 1,
+                            b']' => return Some(i + 1),
+                            _ => return None,
+                        }
+                    }
+                }
+                b'"' => string(b, i),
+                b't' => b[i..].starts_with(b"true").then_some(i + 4),
+                b'f' => b[i..].starts_with(b"false").then_some(i + 5),
+                b'n' => b[i..].starts_with(b"null").then_some(i + 4),
+                b'-' | b'0'..=b'9' => {
+                    let mut j = i + 1;
+                    while j < b.len()
+                        && matches!(b[j], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                    {
+                        j += 1;
+                    }
+                    Some(j)
+                }
+                _ => None,
+            }
+        }
+        fn string(b: &[u8], i: usize) -> Option<usize> {
+            if b.get(i) != Some(&b'"') {
+                return None;
+            }
+            let mut i = i + 1;
+            while let Some(&c) = b.get(i) {
+                match c {
+                    b'"' => return Some(i + 1),
+                    b'\\' => i += 2,
+                    0x00..=0x1f => return None,
+                    _ => i += 1,
+                }
+            }
+            None
+        }
+        let b = s.as_bytes();
+        value(b, 0).map(|i| skip_ws(b, i)) == Some(b.len())
+    }
+
+    #[test]
+    fn spans_record_begin_end_and_duration() {
+        let (tracer, clock) = manual_tracer(16);
+        {
+            let _span = tracer.span("work", &[("seq", 7u64.into())]);
+            clock.advance(std::time::Duration::from_micros(5));
+        }
+        let (events, dropped) = tracer.events();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanBegin);
+        assert_eq!(events[1].kind, EventKind::SpanEnd);
+        assert_eq!(events[0].span_id, events[1].span_id);
+        assert_eq!(
+            events[1].fields[0],
+            ("duration_ns".to_string(), FieldValue::U64(5_000))
+        );
+        assert_eq!(
+            events[1].fields[1],
+            ("panicked".to_string(), FieldValue::Bool(false))
+        );
+    }
+
+    #[test]
+    fn panicking_span_is_marked() {
+        let (tracer, _clock) = manual_tracer(16);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = tracer.span("doomed", &[]);
+            panic!("injected");
+        }));
+        assert!(result.is_err());
+        let (events, _) = tracer.events();
+        let end = events
+            .iter()
+            .find(|e| e.kind == EventKind::SpanEnd)
+            .expect("span_end recorded during unwind");
+        assert!(end
+            .fields
+            .iter()
+            .any(|(k, v)| k == "panicked" && *v == FieldValue::Bool(true)));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let (tracer, _clock) = manual_tracer(4);
+        for i in 0..10u64 {
+            tracer.event("tick", &[("i", i.into())]);
+        }
+        let (events, dropped) = tracer.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(dropped, 6);
+        // The survivors are the newest four.
+        assert_eq!(events[0].fields[0].1, FieldValue::U64(6));
+        assert_eq!(events[3].fields[0].1, FieldValue::U64(9));
+    }
+
+    #[test]
+    fn dump_is_valid_jsonl() {
+        let (tracer, clock) = manual_tracer(16);
+        tracer.event(
+            "weird \"name\"\n",
+            &[
+                ("s", "tricky \"string\"\t".into()),
+                ("f", 1.5f64.into()),
+                ("neg", (-3i64).into()),
+                ("ok", true.into()),
+                ("inf", f64::INFINITY.into()),
+            ],
+        );
+        {
+            let _s = tracer.span("outer", &[]);
+            clock.advance(std::time::Duration::from_nanos(42));
+        }
+        let dump = tracer.trigger_dump("test").expect("enabled");
+        let mut lines = dump.lines();
+        let header = lines.next().expect("header line");
+        assert!(json_well_formed(header), "header parses: {header}");
+        assert!(header.contains("\"reason\":\"test\""));
+        for line in lines {
+            assert!(json_well_formed(line), "every line parses: {line}");
+            assert!(line.contains("\"ts_ns\":"));
+            assert!(line.contains("\"type\":\""));
+        }
+        assert!(dump.contains("\"type\":\"span_begin\""));
+        assert!(dump.contains("\"duration_ns\":42"));
+        assert_eq!(tracer.dump_count(), 1);
+        assert_eq!(tracer.last_dump(), Some(dump));
+    }
+
+    #[test]
+    fn armed_dump_writes_file() {
+        let (tracer, _clock) = manual_tracer(8);
+        let path = std::env::temp_dir().join(format!(
+            "obs-flight-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        tracer.arm(&path);
+        tracer.event("incident", &[]);
+        tracer.trigger_dump("unit test").expect("enabled");
+        let text = std::fs::read_to_string(&path).expect("dump file");
+        assert!(text.contains("\"incident\""));
+        assert!(text.contains("flight_recorder_dump"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        tracer.event("x", &[]);
+        {
+            let _s = tracer.span("y", &[]);
+        }
+        let (events, dropped) = tracer.events();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0);
+        assert!(tracer.trigger_dump("r").is_none());
+        assert!(tracer.last_dump().is_none());
+    }
+}

@@ -300,6 +300,7 @@ pub fn decode_resilient(data: &[u8]) -> (Vec<PcapPacket>, IngestHealth) {
     let mut out = Vec::new();
     if data.len() < 24 {
         health.abandon(FaultKind::Truncated);
+        health.record_metrics("pcap");
         return (out, health);
     }
     let magic = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
@@ -308,6 +309,7 @@ pub fn decode_resilient(data: &[u8]) -> (Vec<PcapPacket>, IngestHealth) {
         m if m.swap_bytes() == MAGIC_USEC || m.swap_bytes() == MAGIC_NSEC => true,
         _ => {
             health.abandon(FaultKind::BadMagic);
+            health.record_metrics("pcap");
             return (out, health);
         }
     };
@@ -355,6 +357,7 @@ pub fn decode_resilient(data: &[u8]) -> (Vec<PcapPacket>, IngestHealth) {
         }
         pos = next;
     }
+    health.record_metrics("pcap");
     (out, health)
 }
 

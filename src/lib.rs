@@ -16,6 +16,7 @@ pub use spoofwatch_core as core;
 pub use spoofwatch_internet as internet;
 pub use spoofwatch_ixp as ixp;
 pub use spoofwatch_net as net;
+pub use spoofwatch_obs as obs;
 pub use spoofwatch_packet as packet;
 pub use spoofwatch_spoofer as spoofer;
 pub use spoofwatch_trie as trie;
