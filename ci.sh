@@ -43,7 +43,14 @@ grep -q '^spoofwatch_classified_flows_total' "$snapshot" \
 rm -f "$snapshot"
 cargo run -q --release --example telemetry_study > /dev/null 2>&1
 
-echo "==> observability overhead contract (disabled hot-path updates < 20 ns)"
+echo "==> rollup smoke test (windowed ring: generate, crash, resume, query, reconcile)"
+cargo test -q -p spoofwatch-core --test rollups
+# --demo asserts the window count tiles the committed chunks, that the
+# ring's sums reconcile with the run report, and that the resumed ring
+# is bit-identical to an uninterrupted run's.
+cargo run -q --release --example telemetry_query -- --demo > /dev/null
+
+echo "==> observability overhead contract (disabled hot-path updates < 20 ns, sampler-off classify within 5%)"
 CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench obs > /dev/null
 
 echo "==> CI green"

@@ -3,7 +3,11 @@
 //! operator (or a reviewer) reads end to end.
 
 use crate::{addrstruct, attack, ccdf, evaluate, portmix, scatter, sizes, timeseries, venn};
-use spoofwatch_core::{Classifier, Confidence, DegradedStats, MemberBreakdown, RunnerHealth, Table1};
+use spoofwatch_core::{
+    Classifier, Confidence, DecisionRecord, DegradedStats, DisagreementMatrix, MemberBreakdown,
+    RunnerHealth, Table1,
+};
+use spoofwatch_net::InferenceMethod;
 use spoofwatch_internet::Internet;
 use spoofwatch_ixp::{Trace, TrafficLabel};
 use spoofwatch_net::{IngestHealth, TrafficClass};
@@ -74,6 +78,11 @@ pub struct StudyReport {
     /// Metrics snapshot captured at report time, when the study ran
     /// with telemetry enabled.
     pub telemetry: Option<spoofwatch_obs::Snapshot>,
+    /// Method-disagreement matrix, when the run tracked it.
+    pub disagreement: Option<DisagreementMatrix>,
+    /// Sampled decision-provenance exemplars, when the study classified
+    /// with a live [`spoofwatch_core::ProvenanceSampler`].
+    pub provenance: Option<Vec<DecisionRecord>>,
 }
 
 impl StudyReport {
@@ -104,6 +113,8 @@ impl StudyReport {
             ingest: None,
             runner: None,
             telemetry: None,
+            disagreement: None,
+            provenance: None,
         }
     }
 
@@ -126,6 +137,22 @@ impl StudyReport {
     /// per-class flow counters).
     pub fn with_telemetry(mut self, snapshot: spoofwatch_obs::Snapshot) -> Self {
         self.telemetry = Some(snapshot);
+        self
+    }
+
+    /// Attach a method-disagreement matrix so [`render`](Self::render)
+    /// includes a method-sensitivity section (pairwise transition
+    /// counts and org-adjustment deltas).
+    pub fn with_disagreement(mut self, matrix: DisagreementMatrix) -> Self {
+        self.disagreement = Some(matrix);
+        self
+    }
+
+    /// Attach sampled decision-provenance exemplars so
+    /// [`render`](Self::render) includes a "why was this flow classified
+    /// that way" section.
+    pub fn with_provenance(mut self, exemplars: Vec<DecisionRecord>) -> Self {
+        self.provenance = Some(exemplars);
         self
     }
 
@@ -323,6 +350,29 @@ impl StudyReport {
                 out.push_str(&format!("- routing-table feed grade: {word}\n"));
             }
         }
+
+        if let Some(m) = &self.disagreement {
+            out.push_str("\n## Method disagreement\n\n");
+            out.push_str(&m.render());
+            out.push_str(&format!(
+                "- org adjustment moved {} flows under customer cone, {} under full cone\n",
+                m.org_delta(InferenceMethod::CustomerCone),
+                m.org_delta(InferenceMethod::FullCone),
+            ));
+            if !m.reconciles() {
+                out.push_str("\n*Caveat: disagreement cells do not tile the batch.*\n");
+            }
+        }
+
+        if let Some(exemplars) = &self.provenance {
+            out.push_str("\n## Decision provenance exemplars\n\n");
+            if exemplars.is_empty() {
+                out.push_str("- none sampled\n");
+            }
+            for r in exemplars {
+                out.push_str(&format!("- {r}\n"));
+            }
+        }
         out
     }
 }
@@ -470,6 +520,45 @@ mod tests {
         assert!(text.contains("resumed from checkpoint at chunk 12"));
         assert!(text.contains("1 rejected as torn"));
         assert!(text.contains("processed subset only"));
+    }
+
+    #[test]
+    fn disagreement_and_provenance_sections_render_when_attached() {
+        use spoofwatch_core::ProvenanceSampler;
+        let net = Internet::generate(InternetConfig::tiny(88));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(8));
+        let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+        let classes = classifier.classify_trace(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+        );
+        let plain = StudyReport::compute(&net, &trace, &classifier, &classes, None).render();
+        assert!(!plain.contains("Method disagreement"));
+        assert!(!plain.contains("provenance exemplars"));
+
+        let matrix = classifier.method_disagreement(&trace.flows);
+        assert!(matrix.reconciles());
+        let mut sampler = ProvenanceSampler::new(7, 3);
+        let sampled = classifier.classify_trace_sampled(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+            &mut sampler,
+        );
+        assert_eq!(sampled, classes);
+        let exemplars = sampler.all_exemplars();
+        assert!(!exemplars.is_empty());
+
+        let text = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+            .with_disagreement(matrix)
+            .with_provenance(exemplars)
+            .render();
+        assert!(text.contains("## Method disagreement"));
+        assert!(text.contains("naive vs customer_cone"));
+        assert!(text.contains("org adjustment moved"));
+        assert!(text.contains("## Decision provenance exemplars"));
+        assert!(text.contains("->"), "exemplar lines use DecisionRecord display");
     }
 
     #[test]

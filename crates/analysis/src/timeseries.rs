@@ -1,6 +1,9 @@
-//! Figure 8b: hourly sampled-packet time series per class.
+//! Figure 8b: hourly sampled-packet time series per class, plus
+//! [`WindowSeries`] — per-window telemetry assembled from a runner
+//! rollup ring.
 
 use serde::Serialize;
+use spoofwatch_core::WindowAccum;
 use spoofwatch_net::{FlowRecord, TrafficClass};
 
 /// Hourly packet counts per class.
@@ -82,6 +85,146 @@ impl Fig8b {
     }
 }
 
+/// One rollup window flattened for analysis and rendering.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowPoint {
+    /// Window ordinal.
+    pub window_index: u64,
+    /// First chunk sequence covered by the window.
+    pub start_chunk: u64,
+    /// Chunks committed into the window.
+    pub chunks: u64,
+    /// Flows in the window's processed chunks.
+    pub flows: u64,
+    /// Per-class traffic shares (0.0–1.0) by [`TrafficClass::index`].
+    pub shares: [f64; 4],
+    /// Decoder faults in the window, by `FaultKind::index`.
+    pub faults: [u64; 5],
+    /// Flows on which at least one method pair disagreed, when the run
+    /// tracked disagreement.
+    pub disagreements: Option<u64>,
+}
+
+/// A telemetry time series over the windows of one rollup ring: the
+/// input to per-window class-share tables, fault-taxonomy views, and
+/// window-over-window drift checks.
+#[derive(Debug, Clone, Serialize)]
+pub struct WindowSeries {
+    /// One point per window, in window order.
+    pub points: Vec<WindowPoint>,
+}
+
+impl WindowSeries {
+    /// Build from ring windows (as returned by
+    /// `spoofwatch_core::read_ring`, already index-sorted).
+    pub fn from_windows(windows: &[WindowAccum]) -> WindowSeries {
+        let points = windows
+            .iter()
+            .map(|w| WindowPoint {
+                window_index: w.window_index,
+                start_chunk: w.start_chunk,
+                chunks: w.chunks,
+                flows: w.total_flows(),
+                shares: w.class_shares(),
+                faults: w.fault_counts,
+                disagreements: w
+                    .disagreement
+                    .as_ref()
+                    .map(|m| m.pairs.iter().map(|p| p.disagreements()).sum()),
+            })
+            .collect();
+        WindowSeries { points }
+    }
+
+    /// Total flows across all windows.
+    pub fn total_flows(&self) -> u64 {
+        self.points.iter().map(|p| p.flows).sum()
+    }
+
+    /// Window-over-window share drifts beyond `threshold`, as
+    /// `(window_index, class, delta)` — the offline counterpart of the
+    /// runner's live drift watch. Empty windows neither fire nor move
+    /// the baseline.
+    pub fn drift(&self, threshold: f64) -> Vec<(u64, TrafficClass, f64)> {
+        let mut out = Vec::new();
+        let mut prev: Option<[f64; 4]> = None;
+        for p in &self.points {
+            if p.flows == 0 {
+                continue;
+            }
+            if let Some(prev) = prev {
+                for class in TrafficClass::ALL {
+                    let delta = p.shares[class.index()] - prev[class.index()];
+                    if delta.abs() > threshold {
+                        out.push((p.window_index, class, delta));
+                    }
+                }
+            }
+            prev = Some(p.shares);
+        }
+        out
+    }
+
+    /// Render as an aligned table: one row per window with class
+    /// shares, fault total, and disagreement count.
+    pub fn render_table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.window_index.to_string(),
+                    p.start_chunk.to_string(),
+                    p.chunks.to_string(),
+                    p.flows.to_string(),
+                    format!("{:.4}", p.shares[0]),
+                    format!("{:.4}", p.shares[1]),
+                    format!("{:.4}", p.shares[2]),
+                    format!("{:.4}", p.shares[3]),
+                    p.faults.iter().sum::<u64>().to_string(),
+                    p.disagreements
+                        .map(|d| d.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                ]
+            })
+            .collect();
+        crate::render::table(
+            &[
+                "window", "start", "chunks", "flows", "bogon", "unrouted", "invalid", "valid",
+                "faults", "disagree",
+            ],
+            &rows,
+        )
+    }
+
+    /// Render as CSV with a header row, shares in full precision so the
+    /// output is machine-comparable across runs.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from(
+            "window,start_chunk,chunks,flows,share_bogon,share_unrouted,share_invalid,\
+             share_valid,faults,disagreements\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                p.window_index,
+                p.start_chunk,
+                p.chunks,
+                p.flows,
+                p.shares[0],
+                p.shares[1],
+                p.shares[2],
+                p.shares[3],
+                p.faults.iter().sum::<u64>(),
+                p.disagreements
+                    .map(|d| d.to_string())
+                    .unwrap_or_default(),
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,5 +281,46 @@ mod tests {
         assert_eq!(w0.series[TrafficClass::Valid.index()][0], 1);
         let w2 = fig.week(2);
         assert_eq!(w2.series[TrafficClass::Valid.index()][1], 9);
+    }
+
+    fn window(index: u64, class_flows: [u64; 4]) -> WindowAccum {
+        let mut w = WindowAccum::start(index, index * 4);
+        w.chunks = 4;
+        w.class_flows = class_flows;
+        w
+    }
+
+    #[test]
+    fn window_series_flattens_shares_and_detects_drift() {
+        let windows = vec![
+            window(0, [0, 0, 0, 100]),
+            window(1, [5, 0, 0, 95]),
+            window(2, [0, 0, 0, 0]), // empty: skipped by the drift watch
+            window(3, [60, 0, 0, 40]),
+        ];
+        let series = WindowSeries::from_windows(&windows);
+        assert_eq!(series.points.len(), 4);
+        assert_eq!(series.total_flows(), 300);
+        assert_eq!(series.points[0].shares, [0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(series.points[2].shares, [0.0; 4]);
+        assert_eq!(series.points[0].disagreements, None);
+
+        // 0→1 drifts by 0.05; 1→3 (window 2 is empty) by 0.55.
+        assert!(series.drift(0.60).is_empty());
+        let breaches = series.drift(0.30);
+        assert_eq!(breaches.len(), 2);
+        assert!(breaches
+            .iter()
+            .any(|(w, c, d)| *w == 3 && *c == TrafficClass::Bogon && *d > 0.5));
+        assert!(breaches
+            .iter()
+            .any(|(w, c, d)| *w == 3 && *c == TrafficClass::Valid && *d < -0.5));
+
+        let table = series.render_table();
+        assert!(table.contains("window"));
+        assert!(table.contains("0.9500"));
+        let csv = series.render_csv();
+        assert_eq!(csv.lines().count(), 5, "header + one row per window");
+        assert!(csv.lines().nth(1).unwrap().starts_with("0,0,4,100,"));
     }
 }

@@ -2,13 +2,20 @@
 //! enabled, and — the contract the instrumented hot paths rely on — the
 //! near-zero cost when telemetry is disabled.
 //!
-//! Beyond reporting numbers, this harness *asserts* that a disabled
-//! `Counter::inc` and a disabled `Histogram::record` stay under
-//! 20 ns/call (best of three timed runs), so a regression that puts
-//! real work behind the disabled path fails CI instead of silently
-//! taxing every decoded record.
+//! Beyond reporting numbers, this harness *asserts* two contracts:
+//!
+//! * a disabled `Counter::inc` and a disabled `Histogram::record` stay
+//!   under 20 ns/call (best of three timed runs), so a regression that
+//!   puts real work behind the disabled path fails CI instead of
+//!   silently taxing every decoded record;
+//! * `Classifier::classify_trace_sampled` with a *disabled* provenance
+//!   sampler stays within 5% of the plain `classify_trace` path — the
+//!   sampling hook must cost one branch per flow, not an allocation.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spoofwatch_core::{Classifier, ProvenanceSampler};
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_ixp::{Trace, TrafficConfig};
 use spoofwatch_obs::MetricsRegistry;
 use std::time::Instant;
 
@@ -43,7 +50,54 @@ fn bench_obs(c: &mut Criterion) {
     });
     group.finish();
 
+    bench_provenance_sampling(c);
     assert_disabled_overhead();
+    assert_disabled_sampler_overhead();
+}
+
+/// Classification with and without the provenance-sampling hook, plus
+/// the live-sampler cost for scale.
+fn bench_provenance_sampling(c: &mut Criterion) {
+    let (classifier, flows) = sampling_fixture();
+    let method = spoofwatch_net::InferenceMethod::FullCone;
+    let org = spoofwatch_net::OrgMode::OrgAdjusted;
+
+    let mut group = c.benchmark_group("provenance");
+    group.bench_function("classify_trace_plain", |b| {
+        b.iter(|| black_box(classifier.classify_trace(black_box(&flows), method, org)))
+    });
+    group.bench_function("classify_trace_sampler_disabled", |b| {
+        let mut sampler = ProvenanceSampler::disabled();
+        b.iter(|| {
+            black_box(classifier.classify_trace_sampled(
+                black_box(&flows),
+                method,
+                org,
+                &mut sampler,
+            ))
+        })
+    });
+    group.bench_function("classify_trace_sampler_live_16", |b| {
+        b.iter(|| {
+            let mut sampler = ProvenanceSampler::new(7, 16);
+            black_box(classifier.classify_trace_sampled(
+                black_box(&flows),
+                method,
+                org,
+                &mut sampler,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn sampling_fixture() -> (Classifier, Vec<spoofwatch_net::FlowRecord>) {
+    let net = Internet::generate(InternetConfig::tiny(5));
+    let mut tc = TrafficConfig::tiny(6);
+    tc.regular_flows = 20_000;
+    let trace = Trace::generate(&net, &tc);
+    let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+    (classifier, trace.flows)
 }
 
 /// Time `calls` invocations of `f` and return mean ns/call, best of
@@ -85,6 +139,47 @@ fn assert_disabled_overhead() {
     assert!(
         rec_ns < CEILING_NS,
         "disabled Histogram::record costs {rec_ns:.2} ns/call (ceiling {CEILING_NS} ns)"
+    );
+}
+
+/// The disabled-sampler classify path must track the plain path within
+/// 5% — the provenance hook's whole design is that the cold branch is
+/// free.
+fn assert_disabled_sampler_overhead() {
+    const RUNS: usize = 5;
+    const MAX_RATIO: f64 = 1.05;
+    let (classifier, flows) = sampling_fixture();
+    let method = spoofwatch_net::InferenceMethod::FullCone;
+    let org = spoofwatch_net::OrgMode::OrgAdjusted;
+
+    let time = |f: &mut dyn FnMut()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    // Warm caches once so the first timed run isn't penalized.
+    black_box(classifier.classify_trace(&flows, method, org));
+    let plain_ns = time(&mut || {
+        black_box(classifier.classify_trace(black_box(&flows), method, org));
+    });
+    let mut sampler = ProvenanceSampler::disabled();
+    let sampled_ns = time(&mut || {
+        black_box(classifier.classify_trace_sampled(black_box(&flows), method, org, &mut sampler));
+    });
+    let ratio = sampled_ns / plain_ns;
+    println!(
+        "  sampler-disabled contract: plain {:.2} ms, sampled {:.2} ms, ratio {ratio:.3} \
+         (ceiling {MAX_RATIO})",
+        plain_ns / 1e6,
+        sampled_ns / 1e6,
+    );
+    assert!(
+        ratio < MAX_RATIO,
+        "classify with disabled sampler is {ratio:.3}x the plain path (ceiling {MAX_RATIO})"
     );
 }
 

@@ -31,6 +31,7 @@ pub mod acl;
 pub mod fphunt;
 pub mod freshness;
 mod pipeline;
+pub mod provenance;
 pub mod relinfer;
 pub mod runner;
 pub mod stats;
@@ -38,9 +39,13 @@ pub mod stray;
 
 pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, RibFreshness};
 pub use pipeline::Classifier;
+pub use provenance::{
+    DecisionRecord, DisagreementMatrix, MatchedRule, MethodVariant, PairMatrix, ProvenanceSampler,
+    VerdictVector, METHOD_VARIANTS, VARIANT_PAIRS,
+};
 pub use runner::{
-    Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore, ChunkSource, FlowAccounting,
-    IngestTotals, RunReport, RunnerConfig, RunnerError, RunnerHealth, RunnerObs, ShedPolicy,
-    StudyRunner, MEMBER_LABEL_BUDGET,
+    read_ring, Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore, ChunkSource,
+    FlowAccounting, IngestTotals, RollupConfig, RunReport, RunnerConfig, RunnerError, RunnerHealth,
+    RunnerObs, ShedPolicy, StudyRunner, WindowAccum, MEMBER_LABEL_BUDGET,
 };
 pub use stats::{ClassCounters, MemberBreakdown, Table1, Table1Row};

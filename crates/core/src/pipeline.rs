@@ -1,10 +1,14 @@
 //! The classification pipeline (paper Figure 3).
 
+use crate::provenance::{
+    DecisionRecord, DisagreementMatrix, MatchedRule, MethodVariant, ProvenanceSampler,
+    VerdictVector, METHOD_VARIANTS,
+};
 use crate::relinfer::Relationships;
 use spoofwatch_asgraph::{augment_with_orgs, As2Org, ReachCones};
-use spoofwatch_bgp::{Announcement, RoutedTable};
+use spoofwatch_bgp::{Announcement, RouteInfo, RoutedTable};
 use spoofwatch_internet::bogon;
-use spoofwatch_net::{FlowRecord, InferenceMethod, OrgMode, TrafficClass};
+use spoofwatch_net::{FlowRecord, InferenceMethod, Ipv4Prefix, OrgMode, TrafficClass};
 use spoofwatch_trie::PrefixSet;
 
 /// The four precomputed cone variants, held as named fields so the hot
@@ -133,6 +137,133 @@ impl Classifier {
         } else {
             TrafficClass::Invalid
         }
+    }
+
+    /// The validity verdict for one routed flow under one method
+    /// variant — the shared leaf of `classify_with`, `classify_explain`
+    /// and `classify_variants`.
+    fn valid_under(&self, flow: &FlowRecord, info: &RouteInfo, v: MethodVariant) -> bool {
+        match self.cones.get(v.method, v.org) {
+            None => info.has_on_path(flow.member),
+            Some(cones) => cones.is_valid_source_any(flow.member, &info.origins),
+        }
+    }
+
+    /// Classify one flow and say *why*: which sequential rule of the
+    /// Figure 3 pipeline fired, with its evidence — the matched reserved
+    /// range for Bogon, the /8 bucket of the longest-match miss for
+    /// Unrouted, and the full per-variant verdict vector for routed
+    /// flows. The class always equals `classify_with` on the same
+    /// arguments.
+    ///
+    /// This path does strictly more work than `classify_with` (one
+    /// extra bogon walk, five validity checks instead of one), which is
+    /// why the hot path samples it via [`Classifier::classify_trace_sampled`]
+    /// instead of calling it per flow.
+    pub fn classify_explain(
+        &self,
+        flow: &FlowRecord,
+        method: InferenceMethod,
+        org: OrgMode,
+    ) -> DecisionRecord {
+        let variant = METHOD_VARIANTS[MethodVariant::index_of(method, org)];
+        let record = |class, rule| DecisionRecord {
+            src: flow.src,
+            member: flow.member,
+            variant,
+            class,
+            rule,
+        };
+        if let Some(range) = self.bogons.lookup(flow.src) {
+            return record(TrafficClass::Bogon, MatchedRule::Bogon { range });
+        }
+        let Some((prefix, info)) = self.table.lookup(flow.src) else {
+            return record(
+                TrafficClass::Unrouted,
+                MatchedRule::Unrouted {
+                    bucket: Ipv4Prefix::new_truncating(flow.src, 8),
+                },
+            );
+        };
+        let verdicts =
+            VerdictVector::from_verdicts(METHOD_VARIANTS.map(|v| self.valid_under(flow, info, v)));
+        if verdicts.is_valid_under(MethodVariant::index_of(method, org)) {
+            record(TrafficClass::Valid, MatchedRule::Valid { prefix, verdicts })
+        } else {
+            record(TrafficClass::Invalid, MatchedRule::Invalid { prefix, verdicts })
+        }
+    }
+
+    /// Classify one flow under all five method variants at once,
+    /// sharing the bogon check and the single table lookup. Slot `i`
+    /// equals `classify_with(flow, METHOD_VARIANTS[i].method,
+    /// METHOD_VARIANTS[i].org)`.
+    pub fn classify_variants(&self, flow: &FlowRecord) -> [TrafficClass; 5] {
+        if self.bogons.contains_addr(flow.src) {
+            return [TrafficClass::Bogon; 5];
+        }
+        let Some((_prefix, info)) = self.table.lookup(flow.src) else {
+            return [TrafficClass::Unrouted; 5];
+        };
+        METHOD_VARIANTS.map(|v| {
+            if self.valid_under(flow, info, v) {
+                TrafficClass::Valid
+            } else {
+                TrafficClass::Invalid
+            }
+        })
+    }
+
+    /// The method-disagreement matrix over a batch: per-variant-pair
+    /// class-transition counts (paper §4.3's sensitivity analysis as
+    /// telemetry). Parallel over chunks; partial matrices merge, so the
+    /// result is independent of the thread split.
+    pub fn method_disagreement(&self, flows: &[FlowRecord]) -> DisagreementMatrix {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(flows.len().max(1));
+        let chunk = flows.len().div_ceil(threads).max(1);
+        let mut matrix = DisagreementMatrix::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = flows
+                .chunks(chunk)
+                .map(|in_chunk| {
+                    s.spawn(move || {
+                        let mut m = DisagreementMatrix::new();
+                        for f in in_chunk {
+                            m.record(&self.classify_variants(f));
+                        }
+                        m
+                    })
+                })
+                .collect();
+            for h in handles {
+                matrix.merge(&h.join().expect("disagreement worker panicked"));
+            }
+        });
+        matrix
+    }
+
+    /// [`Classifier::classify_trace`] plus provenance sampling: each
+    /// flow's class is offered to the sampler's per-class reservoir, and
+    /// the expensive [`Classifier::classify_explain`] runs only for
+    /// offers that win admission. With a disabled sampler this is one
+    /// branch over `classify_trace` — the hot path stays allocation-free.
+    pub fn classify_trace_sampled(
+        &self,
+        flows: &[FlowRecord],
+        method: InferenceMethod,
+        org: OrgMode,
+        sampler: &mut ProvenanceSampler,
+    ) -> Vec<TrafficClass> {
+        let out = self.classify_trace(flows, method, org);
+        if sampler.is_enabled() {
+            for (f, class) in flows.iter().zip(&out) {
+                sampler.offer(*class, || self.classify_explain(f, method, org));
+            }
+        }
+        out
     }
 
     /// Classify a batch in parallel (order-preserving).
@@ -412,5 +543,190 @@ mod tests {
         assert!(c
             .classify_trace(&[], InferenceMethod::FullCone, OrgMode::Plain)
             .is_empty());
+    }
+
+    /// A mixed flow set hitting all four classes and both disagreement
+    /// axes (Full vs CC via Figure 1c, org-adjustment via siblings).
+    fn mixed_flows() -> Vec<FlowRecord> {
+        (0..200)
+            .map(|i| {
+                let src = match i % 5 {
+                    0 => "10.1.2.3",  // bogon
+                    1 => "99.0.0.1",  // unrouted
+                    2 => "30.0.0.1",  // D's space: Full/CC disagree for member 1
+                    3 => "20.0.0.1",  // C's space
+                    _ => "40.0.0.1",  // A's own space
+                };
+                flow(src, 1 + (i % 4) as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn explain_matches_classify_for_every_variant() {
+        let c = classifier();
+        for f in &mixed_flows() {
+            for v in crate::provenance::METHOD_VARIANTS {
+                let rec = c.classify_explain(f, v.method, v.org);
+                assert_eq!(rec.class, c.classify_with(f, v.method, v.org), "{rec}");
+                assert_eq!(rec.src, f.src);
+                assert_eq!(rec.member, f.member);
+                assert_eq!(rec.variant, v);
+                // The rule kind always matches the class.
+                match (rec.class, rec.rule) {
+                    (TrafficClass::Bogon, crate::provenance::MatchedRule::Bogon { .. })
+                    | (TrafficClass::Unrouted, crate::provenance::MatchedRule::Unrouted { .. })
+                    | (TrafficClass::Invalid, crate::provenance::MatchedRule::Invalid { .. })
+                    | (TrafficClass::Valid, crate::provenance::MatchedRule::Valid { .. }) => {}
+                    (class, rule) => panic!("class {class} carries rule {rule:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explain_evidence_is_concrete() {
+        let c = classifier();
+        let rec = c.classify_explain(
+            &flow("10.1.2.3", 1),
+            InferenceMethod::FullCone,
+            OrgMode::Plain,
+        );
+        assert_eq!(
+            rec.rule,
+            crate::provenance::MatchedRule::Bogon {
+                range: "10.0.0.0/8".parse().unwrap()
+            }
+        );
+        let rec = c.classify_explain(
+            &flow("99.7.7.7", 1),
+            InferenceMethod::FullCone,
+            OrgMode::Plain,
+        );
+        assert_eq!(
+            rec.rule,
+            crate::provenance::MatchedRule::Unrouted {
+                bucket: "99.0.0.0/8".parse().unwrap()
+            }
+        );
+        // Figure 1c flow: Full Cone valid, Customer Cone invalid — the
+        // verdict vector must show exactly that split.
+        let rec = c.classify_explain(
+            &flow("30.0.0.1", 1),
+            InferenceMethod::CustomerCone,
+            OrgMode::Plain,
+        );
+        match rec.rule {
+            crate::provenance::MatchedRule::Invalid { prefix, verdicts } => {
+                assert_eq!(prefix, "30.0.0.0/8".parse().unwrap());
+                for (i, v) in crate::provenance::METHOD_VARIANTS.iter().enumerate() {
+                    assert_eq!(
+                        verdicts.is_valid_under(i),
+                        c.classify_with(&flow("30.0.0.1", 1), v.method, v.org)
+                            == TrafficClass::Valid,
+                        "verdict slot {i} ({v})"
+                    );
+                }
+            }
+            other => panic!("expected Invalid rule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variants_match_per_variant_classify() {
+        let c = classifier();
+        for f in &mixed_flows() {
+            let all = c.classify_variants(f);
+            for (i, v) in crate::provenance::METHOD_VARIANTS.iter().enumerate() {
+                assert_eq!(all[i], c.classify_with(f, v.method, v.org), "slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_trace_matches_plain_and_collects_exemplars() {
+        let c = classifier();
+        let flows = mixed_flows();
+        let plain = c.classify_trace(&flows, InferenceMethod::FullCone, OrgMode::Plain);
+
+        let mut off = crate::provenance::ProvenanceSampler::disabled();
+        let sampled =
+            c.classify_trace_sampled(&flows, InferenceMethod::FullCone, OrgMode::Plain, &mut off);
+        assert_eq!(sampled, plain, "disabled sampler must not change verdicts");
+        assert!(off.all_exemplars().is_empty());
+
+        let mut on = crate::provenance::ProvenanceSampler::new(42, 4);
+        let sampled =
+            c.classify_trace_sampled(&flows, InferenceMethod::FullCone, OrgMode::Plain, &mut on);
+        assert_eq!(sampled, plain);
+        for (class, n) in TrafficClass::ALL.iter().zip(plain.iter().fold(
+            [0u64; 4],
+            |mut acc, c| {
+                acc[c.index()] += 1;
+                acc
+            },
+        )) {
+            assert_eq!(on.seen(*class), n, "{class} offers == class count");
+            let exemplars = on.exemplars(*class);
+            assert_eq!(exemplars.len(), (n as usize).min(4));
+            for e in exemplars {
+                assert_eq!(e.class, *class);
+                assert_eq!(e.class, c.classify_with(&flow_back(e), e.variant.method, e.variant.org));
+            }
+        }
+        // Determinism: same seed, same flows, same exemplars.
+        let mut again = crate::provenance::ProvenanceSampler::new(42, 4);
+        c.classify_trace_sampled(&flows, InferenceMethod::FullCone, OrgMode::Plain, &mut again);
+        for class in TrafficClass::ALL {
+            assert_eq!(on.exemplars(class), again.exemplars(class));
+        }
+    }
+
+    /// Reconstruct a flow from an exemplar's identity fields (the other
+    /// FlowRecord fields don't influence classification).
+    fn flow_back(e: &crate::provenance::DecisionRecord) -> FlowRecord {
+        FlowRecord {
+            src: e.src,
+            member: e.member,
+            ..flow("0.0.0.1", 0)
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Acceptance criterion: the disagreement matrix reconciles
+        /// exactly with pairwise `classify_trace` runs over the same
+        /// flows.
+        #[test]
+        fn disagreement_matrix_reconciles_with_pairwise_traces(
+            picks in proptest::collection::vec((0usize..7, 1u32..6), 0..120),
+        ) {
+            use crate::provenance::METHOD_VARIANTS;
+            let c = classifier();
+            let srcs = [
+                "10.1.2.3", "99.0.0.1", "20.0.0.1", "30.0.0.1", "40.0.0.1", "50.0.0.1",
+                "172.16.0.9",
+            ];
+            let flows: Vec<FlowRecord> =
+                picks.iter().map(|&(s, m)| flow(srcs[s], m)).collect();
+            let m = c.method_disagreement(&flows);
+            prop_assert_eq!(m.flows, flows.len() as u64);
+            prop_assert!(m.reconciles());
+            // Every pair's transition matrix must equal the one built
+            // from two independent classify_trace runs.
+            for p in &m.pairs {
+                let (va, vb) = (METHOD_VARIANTS[p.a], METHOD_VARIANTS[p.b]);
+                let ca = c.classify_trace(&flows, va.method, va.org);
+                let cb = c.classify_trace(&flows, vb.method, vb.org);
+                let mut expect = [[0u64; 4]; 4];
+                for (x, y) in ca.iter().zip(&cb) {
+                    expect[x.index()][y.index()] += 1;
+                }
+                prop_assert_eq!(p.transitions, expect, "pair {} vs {}", va, vb);
+            }
+        }
     }
 }

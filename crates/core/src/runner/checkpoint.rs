@@ -15,7 +15,9 @@
 //! exists on disk: a crash mid-write tears only the tmp file, and a
 //! corrupted current file falls back to the previous one.
 
+use super::rollup::WindowAccum;
 use super::{FlowAccounting, IngestTotals};
+use crate::provenance::DisagreementMatrix;
 use crate::stats::ClassCounters;
 use spoofwatch_net::{crc32, Asn, TrafficClass};
 use std::collections::BTreeMap;
@@ -28,6 +30,53 @@ const MAGIC: &[u8; 4] = b"SWCP";
 const VERSION: u16 = 1;
 /// magic + version + payload_len.
 const HEADER_LEN: usize = 10;
+
+/// Wrap `payload` in the shared length-framed, CRC-protected envelope
+/// (`magic | version | payload_len | payload | crc32`). Checkpoints and
+/// rollup windows use the same frame with different magics.
+pub(super) fn frame_encode(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out
+}
+
+/// Unwrap and verify a framed envelope, returning the payload slice.
+/// Every failure mode a torn or bit-flipped file can produce maps to a
+/// [`CheckpointError`]; never panics on arbitrary bytes.
+pub(super) fn frame_decode<'a>(
+    magic: &[u8; 4],
+    data: &'a [u8],
+) -> Result<&'a [u8], CheckpointError> {
+    if data.len() < HEADER_LEN + 4 {
+        return Err(CheckpointError::TooShort);
+    }
+    if &data[..4] != magic {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = u16::from_be_bytes([data[4], data[5]]);
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let declared = u32::from_be_bytes([data[6], data[7], data[8], data[9]]) as u64;
+    let available = (data.len() - HEADER_LEN - 4) as u64;
+    if declared != available {
+        return Err(CheckpointError::LengthMismatch {
+            declared,
+            available,
+        });
+    }
+    let payload = &data[HEADER_LEN..HEADER_LEN + declared as usize];
+    let crc_bytes = &data[HEADER_LEN + declared as usize..];
+    let want = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(payload) != want {
+        return Err(CheckpointError::BadCrc);
+    }
+    Ok(payload)
+}
 
 /// The runner's deterministic state at a committed chunk boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +98,14 @@ pub struct Checkpoint {
     /// Per-member, per-class counters (indexed by
     /// [`TrafficClass::index`]) over processed chunks.
     pub per_member: BTreeMap<Asn, [ClassCounters; 4]>,
+    /// Cumulative method-disagreement matrix, when the run tracks it.
+    /// Serialized as an optional trailing section so checkpoints written
+    /// before this field existed still decode (both `None`).
+    pub disagreement: Option<DisagreementMatrix>,
+    /// The in-progress rollup window's accumulator, when the run writes
+    /// rollups — carrying it in the checkpoint is what makes window
+    /// contents bit-exact across interrupt and resume.
+    pub rollup_accum: Option<WindowAccum>,
 }
 
 /// Why a checkpoint file was rejected.
@@ -168,14 +225,22 @@ impl Checkpoint {
                 payload.extend_from_slice(&cc.bytes.to_be_bytes());
             }
         }
+        // Optional trailing extension: a flag byte announcing which
+        // sections follow. Omitted entirely when both are absent, so a
+        // checkpoint without them is byte-identical to the pre-extension
+        // format and old files (no trailing bytes) still decode.
+        let flags = (self.disagreement.is_some() as u8) | ((self.rollup_accum.is_some() as u8) << 1);
+        if flags != 0 {
+            payload.push(flags);
+            if let Some(d) = &self.disagreement {
+                d.encode_into(&mut payload);
+            }
+            if let Some(w) = &self.rollup_accum {
+                w.encode_into(&mut payload);
+            }
+        }
 
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
-        out.extend_from_slice(MAGIC);
-        out.extend_from_slice(&VERSION.to_be_bytes());
-        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        out.extend_from_slice(&payload);
-        out.extend_from_slice(&crc32(&payload).to_be_bytes());
-        out
+        frame_encode(MAGIC, &payload)
     }
 
     /// Parse and verify a wire-form checkpoint. Every failure mode a
@@ -183,31 +248,7 @@ impl Checkpoint {
     /// [`CheckpointError`]; this function never panics on arbitrary
     /// bytes.
     pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
-        if data.len() < HEADER_LEN + 4 {
-            return Err(CheckpointError::TooShort);
-        }
-        if &data[..4] != MAGIC {
-            return Err(CheckpointError::BadMagic);
-        }
-        let version = u16::from_be_bytes([data[4], data[5]]);
-        if version != VERSION {
-            return Err(CheckpointError::BadVersion(version));
-        }
-        let declared = u32::from_be_bytes([data[6], data[7], data[8], data[9]]) as u64;
-        let available = (data.len() - HEADER_LEN - 4) as u64;
-        if declared != available {
-            return Err(CheckpointError::LengthMismatch {
-                declared,
-                available,
-            });
-        }
-        let payload = &data[HEADER_LEN..HEADER_LEN + declared as usize];
-        let crc_bytes = &data[HEADER_LEN + declared as usize..];
-        let want = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
-        if crc32(payload) != want {
-            return Err(CheckpointError::BadCrc);
-        }
-
+        let payload = frame_decode(MAGIC, data)?;
         let mut r = Reader {
             buf: payload,
             pos: 0,
@@ -237,6 +278,26 @@ impl Checkpoint {
             }
             per_member.insert(asn, rows);
         }
+        // Trailing extension section (absent in pre-extension files).
+        let (mut disagreement, mut rollup_accum) = (None, None);
+        if r.pos != payload.len() {
+            let flags = r.take(1)?[0];
+            if flags == 0 || flags & !0b11 != 0 {
+                return Err(CheckpointError::Malformed);
+            }
+            if flags & 0b01 != 0 {
+                disagreement = Some(
+                    DisagreementMatrix::decode_from(payload, &mut r.pos)
+                        .ok_or(CheckpointError::Malformed)?,
+                );
+            }
+            if flags & 0b10 != 0 {
+                rollup_accum = Some(
+                    WindowAccum::decode_from(payload, &mut r.pos)
+                        .ok_or(CheckpointError::Malformed)?,
+                );
+            }
+        }
         if r.pos != payload.len() {
             return Err(CheckpointError::Malformed);
         }
@@ -248,6 +309,8 @@ impl Checkpoint {
             chunks,
             ingest,
             per_member,
+            disagreement,
+            rollup_accum,
         })
     }
 }
@@ -403,6 +466,33 @@ mod tests {
                 resyncs: 1,
             },
             per_member,
+            disagreement: None,
+            rollup_accum: None,
+        }
+    }
+
+    /// A checkpoint exercising the optional trailing extension.
+    fn sample_extended() -> Checkpoint {
+        let mut d = DisagreementMatrix::new();
+        d.record(&[
+            TrafficClass::Valid,
+            TrafficClass::Invalid,
+            TrafficClass::Valid,
+            TrafficClass::Valid,
+            TrafficClass::Valid,
+        ]);
+        d.record(&[TrafficClass::Bogon; 5]);
+        let mut w = WindowAccum::start(3, 42);
+        w.class_flows = [1, 2, 3, 4];
+        w.chunks = 5;
+        w.records.offered = 10;
+        w.records.processed = 10;
+        w.fault_counts = [0, 1, 0, 2, 0];
+        w.disagreement = Some(d.clone());
+        Checkpoint {
+            disagreement: Some(d),
+            rollup_accum: Some(w),
+            ..sample()
         }
     }
 
@@ -423,8 +513,48 @@ mod tests {
     }
 
     #[test]
+    fn extended_roundtrip() {
+        let cp = sample_extended();
+        assert_eq!(Checkpoint::decode(&cp.encode()).unwrap(), cp);
+        // Each section also rides alone.
+        let only_matrix = Checkpoint {
+            rollup_accum: None,
+            ..sample_extended()
+        };
+        assert_eq!(Checkpoint::decode(&only_matrix.encode()).unwrap(), only_matrix);
+        let only_accum = Checkpoint {
+            disagreement: None,
+            ..sample_extended()
+        };
+        assert_eq!(Checkpoint::decode(&only_accum.encode()).unwrap(), only_accum);
+    }
+
+    #[test]
+    fn extension_is_backward_and_forward_compatible() {
+        // A checkpoint without the new sections encodes to exactly the
+        // pre-extension byte layout: no flag byte, nothing trailing —
+        // so files written by older builds (same bytes) still decode.
+        let cp = sample();
+        let bytes = cp.encode();
+        let ext = sample_extended().encode();
+        assert!(ext.len() > bytes.len());
+        let decoded = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded.disagreement, None);
+        assert_eq!(decoded.rollup_accum, None);
+        // A flag byte with unknown bits is rejected, not ignored.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&bytes[HEADER_LEN..bytes.len() - 4]);
+        payload.push(0b100);
+        let framed = frame_encode(MAGIC, &payload);
+        assert_eq!(
+            Checkpoint::decode(&framed),
+            Err(CheckpointError::Malformed)
+        );
+    }
+
+    #[test]
     fn every_truncation_is_detected() {
-        let bytes = sample().encode();
+        let bytes = sample_extended().encode();
         for cut in 0..bytes.len() {
             assert!(
                 Checkpoint::decode(&bytes[..cut]).is_err(),
@@ -435,7 +565,7 @@ mod tests {
 
     #[test]
     fn every_single_bit_flip_is_detected() {
-        let clean = sample().encode();
+        let clean = sample_extended().encode();
         for i in 0..clean.len() {
             for bit in 0..8 {
                 let mut torn = clean.clone();

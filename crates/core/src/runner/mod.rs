@@ -32,12 +32,16 @@
 
 mod checkpoint;
 mod obs;
+pub mod rollup;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore};
 pub use obs::{RunnerObs, MEMBER_LABEL_BUDGET};
 pub(crate) use obs::class_label as obs_class_label;
+pub use rollup::{read_ring, RollupConfig, WindowAccum};
 
 use crate::pipeline::Classifier;
+use crate::provenance::{DisagreementMatrix, MethodVariant};
+use rollup::{RollupWriter, WindowCommit};
 use crate::stats::{ClassCounters, MemberBreakdown};
 use obs::{MemberLabels, RunMetrics};
 use serde::Serialize;
@@ -131,6 +135,11 @@ pub struct RunnerConfig {
     /// with [`RunnerError::Interrupted`] once this many chunks are
     /// committed, without writing a final checkpoint.
     pub interrupt_after_chunks: Option<u64>,
+    /// Classify every flow under all five method variants and track the
+    /// per-pair disagreement matrix (exported through the registry,
+    /// folded into rollup windows, and returned in the report). Costs
+    /// five validity checks per routed flow instead of one.
+    pub track_disagreement: bool,
 }
 
 impl Default for RunnerConfig {
@@ -147,6 +156,7 @@ impl Default for RunnerConfig {
             restart_backoff_max_ms: 200,
             stall_timeout_ms: 30_000,
             interrupt_after_chunks: None,
+            track_disagreement: false,
         }
     }
 }
@@ -259,6 +269,9 @@ pub struct RunReport {
     pub ingest: IngestTotals,
     /// Supervision and backpressure counters.
     pub health: RunnerHealth,
+    /// Cumulative method-disagreement matrix over all processed chunks,
+    /// when [`RunnerConfig::track_disagreement`] is on.
+    pub disagreement: Option<DisagreementMatrix>,
 }
 
 impl RunReport {
@@ -273,6 +286,7 @@ impl RunReport {
             && self.ingest == other.ingest
             && self.health.records == other.health.records
             && self.health.chunks == other.health.chunks
+            && self.disagreement == other.disagreement
     }
 }
 
@@ -353,8 +367,12 @@ fn shed_keeps(seed: u64, seq: u64, keep_one_in: u32) -> bool {
 
 /// What a worker reports back for one chunk.
 enum OutcomeKind {
-    /// Classified; the partial per-member breakdown rides along.
-    Processed(BTreeMap<Asn, [ClassCounters; 4]>),
+    /// Classified; the partial per-member breakdown and (when tracked)
+    /// the chunk's disagreement matrix ride along.
+    Processed(
+        BTreeMap<Asn, [ClassCounters; 4]>,
+        Option<DisagreementMatrix>,
+    ),
     /// The classification panicked; the chunk is poisoned.
     Quarantined,
     /// Dropped by the shed policy (emitted by the feeder, not a worker).
@@ -372,6 +390,7 @@ struct PendingMeta {
     records: u64,
     byte_end: u64,
     ingest: IngestTotals,
+    fault_counts: [u64; 5],
 }
 
 /// The deterministic state the checkpoint persists.
@@ -383,6 +402,8 @@ struct RunState {
     chunks: FlowAccounting,
     ingest: IngestTotals,
     per_member: BTreeMap<Asn, [ClassCounters; 4]>,
+    disagreement: Option<DisagreementMatrix>,
+    rollup_accum: Option<WindowAccum>,
 }
 
 impl RunState {
@@ -394,6 +415,8 @@ impl RunState {
             chunks: cp.chunks,
             ingest: cp.ingest,
             per_member: cp.per_member,
+            disagreement: cp.disagreement,
+            rollup_accum: cp.rollup_accum,
         }
     }
 
@@ -406,6 +429,8 @@ impl RunState {
             chunks: self.chunks,
             ingest: self.ingest,
             per_member: self.per_member.clone(),
+            disagreement: self.disagreement.clone(),
+            rollup_accum: self.rollup_accum.clone(),
         }
     }
 
@@ -429,6 +454,7 @@ pub struct StudyRunner<'a> {
     classifier: &'a Classifier,
     cfg: RunnerConfig,
     obs: RunnerObs,
+    rollup: Option<RollupConfig>,
 }
 
 impl<'a> StudyRunner<'a> {
@@ -439,6 +465,7 @@ impl<'a> StudyRunner<'a> {
             classifier,
             cfg,
             obs: RunnerObs::disabled(),
+            rollup: None,
         }
     }
 
@@ -446,6 +473,13 @@ impl<'a> StudyRunner<'a> {
     /// recorder, and the clock the watchdog and backoff run on.
     pub fn with_obs(mut self, obs: RunnerObs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Write fixed-interval telemetry rollups into a window ring while
+    /// the run progresses (see [`rollup`]).
+    pub fn with_rollups(mut self, cfg: RollupConfig) -> Self {
+        self.rollup = Some(cfg);
         self
     }
 
@@ -470,7 +504,10 @@ impl<'a> StudyRunner<'a> {
     }
 
     /// Run (or resume) the study, classifying with the configured
-    /// method/org pair.
+    /// method/org pair. With [`RunnerConfig::track_disagreement`] set,
+    /// every flow is classified under all five method variants in one
+    /// pass (shared bogon check and table lookup) and the per-chunk
+    /// disagreement matrices are exported and accumulated.
     pub fn run<S: ChunkSource>(
         &self,
         source: &mut S,
@@ -478,12 +515,27 @@ impl<'a> StudyRunner<'a> {
     ) -> Result<RunReport, RunnerError> {
         let classifier = self.classifier;
         let (method, org) = (self.cfg.method, self.cfg.org);
-        self.run_with(source, store, move |flows: &[FlowRecord]| {
-            flows
-                .iter()
-                .map(|f| classifier.classify_with(f, method, org))
-                .collect()
-        })
+        if self.cfg.track_disagreement {
+            let primary = MethodVariant::index_of(method, org);
+            self.run_inner(source, store, move |flows: &[FlowRecord]| {
+                let mut matrix = DisagreementMatrix::new();
+                let mut classes = Vec::with_capacity(flows.len());
+                for f in flows {
+                    let variants = classifier.classify_variants(f);
+                    matrix.record(&variants);
+                    classes.push(variants[primary]);
+                }
+                (classes, Some(matrix))
+            })
+        } else {
+            self.run_inner(source, store, move |flows: &[FlowRecord]| {
+                let classes = flows
+                    .iter()
+                    .map(|f| classifier.classify_with(f, method, org))
+                    .collect();
+                (classes, None)
+            })
+        }
     }
 
     /// Run (or resume) the study with an explicit per-chunk classify
@@ -498,6 +550,21 @@ impl<'a> StudyRunner<'a> {
     where
         S: ChunkSource,
         F: Fn(&[FlowRecord]) -> Vec<TrafficClass> + Sync,
+    {
+        self.run_inner(source, store, move |flows| (classify(flows), None))
+    }
+
+    /// The full runner with the internal worker seam: classify returns
+    /// the classes plus an optional per-chunk disagreement matrix.
+    fn run_inner<S, F>(
+        &self,
+        source: &mut S,
+        store: &CheckpointStore,
+        classify: F,
+    ) -> Result<RunReport, RunnerError>
+    where
+        S: ChunkSource,
+        F: Fn(&[FlowRecord]) -> (Vec<TrafficClass>, Option<DisagreementMatrix>) + Sync,
     {
         let cfg = &self.cfg;
         let workers = if cfg.workers == 0 {
@@ -527,6 +594,15 @@ impl<'a> StudyRunner<'a> {
             None => RunState::default(),
         };
         source.seek(state.byte_cursor, state.committed_chunks);
+        let rollup_writer = match &self.rollup {
+            Some(rcfg) => Some(RollupWriter::open(
+                rcfg.clone(),
+                obs,
+                state.committed_chunks,
+                state.rollup_accum.take(),
+            )?),
+            None => None,
+        };
         rm.committed_chunks.set(state.committed_chunks as i64);
         obs.tracer.event(
             "run_start",
@@ -565,6 +641,7 @@ impl<'a> StudyRunner<'a> {
                 rm: &rm,
                 obs,
                 members: MemberLabels::new(),
+                rollup: rollup_writer,
             };
             let mut feed = || -> Result<bool, RunnerError> {
                 let mut pending: BTreeMap<u64, PendingMeta> = BTreeMap::new();
@@ -588,6 +665,7 @@ impl<'a> StudyRunner<'a> {
                             records: chunk.flows.len() as u64,
                             byte_end: chunk.byte_end,
                             ingest,
+                            fault_counts: chunk.health.fault_counts,
                         },
                     );
                     dispatch_or_shed(chunk, &chunk_tx, cfg, &mut arrived, &rm);
@@ -636,8 +714,13 @@ impl<'a> StudyRunner<'a> {
                     }
                 }
 
-                // Completed: persist the terminal checkpoint so a rerun
-                // resumes at end-of-stream instead of recomputing.
+                // Completed: close the final partial rollup window, then
+                // persist the terminal checkpoint so a rerun resumes at
+                // end-of-stream instead of recomputing.
+                if let Some(w) = cobs.rollup.as_mut() {
+                    w.flush()?;
+                    state.rollup_accum = Some(w.accum().clone());
+                }
                 save_checkpoint_timed(store, &state.to_checkpoint(config_hash), &rm, obs)?;
                 health.checkpoints_written += 1;
                 Ok(false)
@@ -672,6 +755,7 @@ impl<'a> StudyRunner<'a> {
             },
             ingest: state.ingest,
             health,
+            disagreement: state.disagreement,
         })
     }
 }
@@ -714,12 +798,15 @@ fn dispatch_or_shed(
     }
 }
 
-/// Observability context threaded through the feeder's commit path.
+/// Observability and rollup context threaded through the feeder's
+/// commit path.
 struct CommitObs<'x> {
     rm: &'x RunMetrics,
     obs: &'x RunnerObs,
     /// Cardinality-budgeted per-member label tracker.
     members: MemberLabels,
+    /// Windowed rollup writer, when the run was built `with_rollups`.
+    rollup: Option<RollupWriter>,
 }
 
 /// Save a checkpoint with write latency recorded (serialize + tmp write
@@ -783,7 +870,7 @@ fn commit_ready(
         state.ingest.quarantined_bytes += meta.ingest.quarantined_bytes;
         state.ingest.resyncs += meta.ingest.resyncs;
         match outcome.kind {
-            OutcomeKind::Processed(partial) => {
+            OutcomeKind::Processed(partial, matrix) => {
                 state.chunks.processed += 1;
                 state.records.processed += meta.records;
                 rm.chunks.processed.inc();
@@ -798,6 +885,30 @@ fn commit_ready(
                         cobs.members.record(&cobs.obs.metrics, *asn, member_flows);
                     }
                 }
+                if let Some(m) = &matrix {
+                    m.export(&cobs.obs.metrics);
+                    state
+                        .disagreement
+                        .get_or_insert_with(DisagreementMatrix::new)
+                        .merge(m);
+                }
+                if let Some(w) = cobs.rollup.as_mut() {
+                    let mut class_flows = [0u64; 4];
+                    for rows in partial.values() {
+                        for (into, cc) in class_flows.iter_mut().zip(rows) {
+                            *into += cc.flows;
+                        }
+                    }
+                    w.absorb(
+                        meta.records,
+                        &meta.ingest,
+                        &meta.fault_counts,
+                        WindowCommit::Processed {
+                            class_flows,
+                            matrix: matrix.as_ref(),
+                        },
+                    )?;
+                }
                 state.merge_partial(partial);
             }
             OutcomeKind::Shed => {
@@ -805,6 +916,14 @@ fn commit_ready(
                 state.records.shed += meta.records;
                 rm.chunks.shed.inc();
                 rm.records.shed.add(meta.records);
+                if let Some(w) = cobs.rollup.as_mut() {
+                    w.absorb(
+                        meta.records,
+                        &meta.ingest,
+                        &meta.fault_counts,
+                        WindowCommit::Shed,
+                    )?;
+                }
                 cobs.obs.tracer.event(
                     "chunk_shed",
                     &[("seq", outcome.seq.into()), ("records", meta.records.into())],
@@ -815,6 +934,14 @@ fn commit_ready(
                 state.records.quarantined += meta.records;
                 rm.chunks.quarantined.inc();
                 rm.records.quarantined.add(meta.records);
+                if let Some(w) = cobs.rollup.as_mut() {
+                    w.absorb(
+                        meta.records,
+                        &meta.ingest,
+                        &meta.fault_counts,
+                        WindowCommit::Quarantined,
+                    )?;
+                }
                 // The worker already dumped the flight ring at panic
                 // time; the commit event records the final disposition.
                 cobs.obs.tracer.event(
@@ -829,6 +956,7 @@ fn commit_ready(
         rm.committed_chunks.set(state.committed_chunks as i64);
         any = true;
         if state.committed_chunks.is_multiple_of(cfg.checkpoint_every.max(1)) {
+            state.rollup_accum = cobs.rollup.as_ref().map(|w| w.accum().clone());
             save_checkpoint_timed(store, &state.to_checkpoint(config_hash), rm, cobs.obs)?;
             health.checkpoints_written += 1;
         }
@@ -848,7 +976,7 @@ fn worker_loop<F>(
     rm: &RunMetrics,
     obs: &RunnerObs,
 ) where
-    F: Fn(&[FlowRecord]) -> Vec<TrafficClass> + Sync,
+    F: Fn(&[FlowRecord]) -> (Vec<TrafficClass>, Option<DisagreementMatrix>) + Sync,
 {
     let tracer = obs.tracer.as_ref();
     let mut consecutive_panics = 0u32;
@@ -873,14 +1001,14 @@ fn worker_loop<F>(
                 "chunk_classify",
                 &[("seq", seq.into()), ("records", records.into())],
             );
-            let classes = classify(&chunk.flows);
-            partial_breakdown(&chunk.flows, &classes)
+            let (classes, matrix) = classify(&chunk.flows);
+            (partial_breakdown(&chunk.flows, &classes), matrix)
         }));
         rm.chunk_classify_ns.record(obs.clock.since_ns(t0));
         let kind = match result {
-            Ok(partial) => {
+            Ok((partial, matrix)) => {
                 consecutive_panics = 0;
-                OutcomeKind::Processed(partial)
+                OutcomeKind::Processed(partial, matrix)
             }
             Err(_) => {
                 // The chunk is poisoned: quarantine it and restart the

@@ -195,25 +195,29 @@ impl RunMetrics {
 /// the single-threaded feeder, so a plain `HashSet` suffices.
 pub(super) struct MemberLabels {
     seen: HashSet<Asn>,
-    overflowed: bool,
+    dropped: HashSet<Asn>,
 }
 
 impl MemberLabels {
     pub fn new() -> MemberLabels {
         MemberLabels {
             seen: HashSet::new(),
-            overflowed: false,
+            dropped: HashSet::new(),
         }
     }
 
     /// Whether any member has been folded into `member="other"`.
     #[cfg(test)]
     pub fn overflowed(&self) -> bool {
-        self.overflowed
+        !self.dropped.is_empty()
     }
 
     /// Count `flows` classified flows for `member` against the
     /// registry, minting a new label series only while under budget.
+    /// Because the commit loop feeds chunks in sequence order, which
+    /// members land in `member="other"` is deterministic for a given
+    /// trace, and `sum(per-member series) + other` always equals the
+    /// per-class totals.
     pub fn record(&mut self, reg: &MetricsRegistry, member: Asn, flows: u64) {
         if !reg.is_enabled() || flows == 0 {
             return;
@@ -224,7 +228,15 @@ impl MemberLabels {
             self.seen.insert(member);
             member.0.to_string()
         } else {
-            self.overflowed = true;
+            if self.dropped.insert(member) {
+                reg.counter(
+                    "spoofwatch_member_labels_dropped_total",
+                    "Distinct IXP members folded into member=\"other\" after \
+                     the per-member label budget filled",
+                    &[],
+                )
+                .inc();
+            }
             "other".to_string()
         };
         reg.counter(
@@ -271,6 +283,48 @@ mod tests {
                 &[("member", "64000")]
             ),
             Some(10)
+        );
+        // One dropped-label tick per distinct folded member.
+        assert_eq!(
+            snap.counter("spoofwatch_member_labels_dropped_total", &[]),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn member_series_reconcile_with_total_after_overflow() {
+        let reg = MetricsRegistry::new();
+        let mut labels = MemberLabels::new();
+        let mut expected_total = 0u64;
+        // Deterministic mix: members both under and past the budget,
+        // with repeats of dropped members (which must not re-tick the
+        // dropped counter).
+        for round in 0..3u64 {
+            for i in 0..(MEMBER_LABEL_BUDGET as u32 + 20) {
+                let flows = u64::from(i % 7) + round;
+                labels.record(&reg, Asn(65_000 + i), flows);
+                expected_total += flows;
+            }
+        }
+        let snap = reg.snapshot();
+        let family = snap
+            .families
+            .iter()
+            .find(|f| f.name == "spoofwatch_runner_member_flows_total")
+            .expect("family registered");
+        let series_sum: u64 = family
+            .series
+            .iter()
+            .map(|s| match s.value {
+                spoofwatch_obs::SeriesValue::Counter(v) => v,
+                _ => panic!("member flows must be counters"),
+            })
+            .sum();
+        assert_eq!(series_sum, expected_total, "per-member + other == total");
+        assert_eq!(
+            snap.counter("spoofwatch_member_labels_dropped_total", &[]),
+            Some(20),
+            "each distinct folded member ticks the dropped counter once"
         );
     }
 

@@ -1,0 +1,694 @@
+//! Windowed telemetry rollups: fixed-interval snapshots of the runner's
+//! accounting into a CRC-framed ring of files.
+//!
+//! Every `window_chunks` committed chunks, the runner closes a
+//! [`WindowAccum`] — per-class flow counts, record/chunk accounting
+//! deltas, ingest deltas, the fault taxonomy, and (when tracked) the
+//! window's method-disagreement matrix — and writes it as one file in
+//! the rollup directory, framed exactly like a checkpoint (`"SWRW"` |
+//! version | payload length | payload | crc32, written tmp + fsync +
+//! rename). The ring is therefore torn-file-safe: a crash mid-write
+//! tears only a tmp file, and [`read_ring`] reports any corrupt window
+//! alongside the valid ones instead of trusting it.
+//!
+//! Resume exactness: the in-progress accumulator rides inside the
+//! runner's [`super::Checkpoint`], and commits are strictly sequential,
+//! so a window's file content is a pure function of the trace and the
+//! config — an interrupted-and-resumed run rewrites byte-identical
+//! windows.
+//!
+//! A window-over-window drift watch compares per-class traffic shares
+//! between consecutive closed windows; a change beyond
+//! [`RollupConfig::drift_threshold`] emits a `class_share_drift` flight
+//! recorder event and bumps `spoofwatch_rollup_drift_breaches_total`.
+
+use super::checkpoint::{frame_decode, frame_encode, CheckpointError};
+use super::obs::{class_label, RunnerObs};
+use super::{FlowAccounting, IngestTotals};
+use crate::provenance::DisagreementMatrix;
+use serde::Serialize;
+use spoofwatch_net::TrafficClass;
+use spoofwatch_obs::{Counter, Tracer};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const ROLLUP_MAGIC: &[u8; 4] = b"SWRW";
+
+/// Policy for the rollup writer.
+#[derive(Debug, Clone)]
+pub struct RollupConfig {
+    /// Directory holding the window ring.
+    pub dir: PathBuf,
+    /// Committed chunks per window (minimum 1). Windows are the fixed
+    /// chunk ranges `[w·N, (w+1)·N)`, independent of checkpoint cadence.
+    pub window_chunks: u64,
+    /// Maximum window files retained; older windows are pruned when a
+    /// new one closes. `0` keeps everything.
+    pub retention: usize,
+    /// Absolute per-class traffic-share change (0.0–1.0) between
+    /// consecutive windows that counts as drift.
+    pub drift_threshold: f64,
+}
+
+impl RollupConfig {
+    /// A config with unlimited retention and a 10-share-point drift
+    /// threshold.
+    pub fn new(dir: impl Into<PathBuf>, window_chunks: u64) -> RollupConfig {
+        RollupConfig {
+            dir: dir.into(),
+            window_chunks: window_chunks.max(1),
+            retention: 0,
+            drift_threshold: 0.10,
+        }
+    }
+}
+
+/// One rollup window: the registry-visible deltas accumulated over a
+/// fixed range of committed chunks. This is both the checkpointable
+/// in-progress accumulator and the payload of a closed window file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct WindowAccum {
+    /// Window ordinal; the window covers chunks
+    /// `[start_chunk, start_chunk + chunks)`.
+    pub window_index: u64,
+    /// First chunk sequence in the window.
+    pub start_chunk: u64,
+    /// Chunks committed into the window so far.
+    pub chunks: u64,
+    /// Flows in processed chunks by [`TrafficClass::index`].
+    pub class_flows: [u64; 4],
+    /// Record-level accounting delta for the window.
+    pub records: FlowAccounting,
+    /// Chunk-level accounting delta for the window.
+    pub chunk_outcomes: FlowAccounting,
+    /// Ingest decode-health delta for the window.
+    pub ingest: IngestTotals,
+    /// Decoder fault taxonomy delta, indexed by
+    /// [`spoofwatch_net::FaultKind::index`].
+    pub fault_counts: [u64; 5],
+    /// The window's method-disagreement matrix, when the run tracks it.
+    pub disagreement: Option<DisagreementMatrix>,
+}
+
+impl WindowAccum {
+    /// A fresh, empty accumulator for the window starting at
+    /// `start_chunk`.
+    pub fn start(window_index: u64, start_chunk: u64) -> WindowAccum {
+        WindowAccum {
+            window_index,
+            start_chunk,
+            chunks: 0,
+            class_flows: [0; 4],
+            records: FlowAccounting::default(),
+            chunk_outcomes: FlowAccounting::default(),
+            ingest: IngestTotals::default(),
+            fault_counts: [0; 5],
+            disagreement: None,
+        }
+    }
+
+    /// Total flows in the window's processed chunks.
+    pub fn total_flows(&self) -> u64 {
+        self.class_flows.iter().sum()
+    }
+
+    /// Per-class traffic shares (each 0.0–1.0; all zero for a window
+    /// with no processed flows).
+    pub fn class_shares(&self) -> [f64; 4] {
+        let total = self.total_flows();
+        if total == 0 {
+            return [0.0; 4];
+        }
+        self.class_flows.map(|n| n as f64 / total as f64)
+    }
+
+    /// Serialize into `out` (all integers big-endian; the optional
+    /// matrix behind a presence byte).
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        for v in [self.window_index, self.start_chunk, self.chunks] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        for v in self.class_flows {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        for a in [&self.records, &self.chunk_outcomes] {
+            for v in [a.offered, a.processed, a.shed, a.quarantined] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+        }
+        for v in [
+            self.ingest.input_bytes,
+            self.ingest.ok_records,
+            self.ingest.ok_bytes,
+            self.ingest.quarantined_bytes,
+            self.ingest.resyncs,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        for v in self.fault_counts {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        match &self.disagreement {
+            None => out.push(0),
+            Some(d) => {
+                out.push(1);
+                d.encode_into(out);
+            }
+        }
+    }
+
+    /// Decode from `buf` starting at `*pos`, advancing it. `None` on
+    /// truncated or structurally invalid input.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Option<WindowAccum> {
+        let take_u64 = |pos: &mut usize| -> Option<u64> {
+            let b = buf.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(u64::from_be_bytes(b.try_into().ok()?))
+        };
+        let window_index = take_u64(pos)?;
+        let start_chunk = take_u64(pos)?;
+        let chunks = take_u64(pos)?;
+        let mut class_flows = [0u64; 4];
+        for v in &mut class_flows {
+            *v = take_u64(pos)?;
+        }
+        let accounting = |pos: &mut usize| -> Option<FlowAccounting> {
+            Some(FlowAccounting {
+                offered: take_u64(pos)?,
+                processed: take_u64(pos)?,
+                shed: take_u64(pos)?,
+                quarantined: take_u64(pos)?,
+            })
+        };
+        let records = accounting(pos)?;
+        let chunk_outcomes = accounting(pos)?;
+        let ingest = IngestTotals {
+            input_bytes: take_u64(pos)?,
+            ok_records: take_u64(pos)?,
+            ok_bytes: take_u64(pos)?,
+            quarantined_bytes: take_u64(pos)?,
+            resyncs: take_u64(pos)?,
+        };
+        let mut fault_counts = [0u64; 5];
+        for v in &mut fault_counts {
+            *v = take_u64(pos)?;
+        }
+        let flag = *buf.get(*pos)?;
+        *pos += 1;
+        let disagreement = match flag {
+            0 => None,
+            1 => Some(DisagreementMatrix::decode_from(buf, pos)?),
+            _ => return None,
+        };
+        Some(WindowAccum {
+            window_index,
+            start_chunk,
+            chunks,
+            class_flows,
+            records,
+            chunk_outcomes,
+            ingest,
+            fault_counts,
+            disagreement,
+        })
+    }
+}
+
+/// File name of window `index` inside a rollup directory.
+pub fn window_file_name(index: u64) -> String {
+    format!("window-{index:010}.bin")
+}
+
+/// Atomically write one closed window into `dir` (tmp + fsync +
+/// rename), returning the file path.
+pub fn write_window(dir: &Path, w: &WindowAccum) -> io::Result<PathBuf> {
+    let mut payload = Vec::with_capacity(256);
+    w.encode_into(&mut payload);
+    let framed = frame_encode(ROLLUP_MAGIC, &payload);
+    let tmp = dir.join("window.tmp");
+    let path = dir.join(window_file_name(w.window_index));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(&framed)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Parse and verify one window file's bytes.
+pub fn decode_window(data: &[u8]) -> Result<WindowAccum, CheckpointError> {
+    let payload = frame_decode(ROLLUP_MAGIC, data)?;
+    let mut pos = 0;
+    let w = WindowAccum::decode_from(payload, &mut pos).ok_or(CheckpointError::Malformed)?;
+    if pos != payload.len() {
+        return Err(CheckpointError::Malformed);
+    }
+    Ok(w)
+}
+
+/// Read every window in a rollup directory, sorted by window index.
+/// Corrupt or torn files are reported as faults, never trusted; a
+/// missing directory reads as an empty ring.
+pub fn read_ring(dir: &Path) -> io::Result<(Vec<WindowAccum>, Vec<(PathBuf, CheckpointError)>)> {
+    let mut windows = Vec::new();
+    let mut faults = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((windows, faults)),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if window_index_of(&path).is_none() {
+            continue;
+        }
+        let bytes = fs::read(&path)?;
+        match decode_window(&bytes) {
+            Ok(w) => windows.push(w),
+            Err(e) => faults.push((path, e)),
+        }
+    }
+    windows.sort_by_key(|w| w.window_index);
+    faults.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok((windows, faults))
+}
+
+/// The window index encoded in a ring file's name, if it is one.
+fn window_index_of(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("window-")?.strip_suffix(".bin")?;
+    digits.parse().ok()
+}
+
+/// Commit-side view of one chunk's disposition, fed to
+/// [`RollupWriter::absorb`].
+pub(super) enum WindowCommit<'a> {
+    /// Classified; per-class flow counts and (when tracked) the chunk's
+    /// disagreement matrix ride along.
+    Processed {
+        class_flows: [u64; 4],
+        matrix: Option<&'a DisagreementMatrix>,
+    },
+    /// Dropped by the shed policy.
+    Shed,
+    /// Quarantined after a worker panic.
+    Quarantined,
+}
+
+/// The runner-side rollup writer: accumulates per-commit deltas into the
+/// current window, closes windows on their fixed chunk boundary, prunes
+/// per retention, and runs the drift watch.
+pub(super) struct RollupWriter {
+    cfg: RollupConfig,
+    accum: WindowAccum,
+    /// Shares of the previous *non-empty* closed window, for the drift
+    /// watch. Rebuilt from the ring on resume.
+    prev_shares: Option<[f64; 4]>,
+    tracer: Arc<Tracer>,
+    windows_written: Counter,
+    drift_breaches: [Counter; 4],
+}
+
+impl RollupWriter {
+    /// Open the ring directory and position the writer at
+    /// `committed_chunks`, restoring the checkpointed in-progress
+    /// accumulator when it matches the window the cursor falls in.
+    pub fn open(
+        cfg: RollupConfig,
+        obs: &RunnerObs,
+        committed_chunks: u64,
+        saved: Option<WindowAccum>,
+    ) -> io::Result<RollupWriter> {
+        fs::create_dir_all(&cfg.dir)?;
+        let window = committed_chunks / cfg.window_chunks;
+        let start = window * cfg.window_chunks;
+        let accum = saved
+            .filter(|a| a.window_index == window && a.start_chunk == start)
+            .unwrap_or_else(|| WindowAccum::start(window, start));
+        // Drift continuity across resume: the most recent non-empty
+        // window already on disk before the cursor seeds prev_shares.
+        let (ring, _faults) = read_ring(&cfg.dir)?;
+        let prev_shares = ring
+            .iter()
+            .rev()
+            .find(|w| w.window_index < window && w.total_flows() > 0)
+            .map(WindowAccum::class_shares);
+        let reg = &obs.metrics;
+        Ok(RollupWriter {
+            accum,
+            prev_shares,
+            tracer: Arc::clone(&obs.tracer),
+            windows_written: reg.counter(
+                "spoofwatch_rollup_windows_total",
+                "Rollup windows closed and written to the ring",
+                &[],
+            ),
+            drift_breaches: TrafficClass::ALL.map(|c| {
+                reg.counter(
+                    "spoofwatch_rollup_drift_breaches_total",
+                    "Window-over-window class-share changes beyond the drift threshold",
+                    &[("class", class_label(c))],
+                )
+            }),
+            cfg,
+        })
+    }
+
+    /// The in-progress accumulator (checkpointed alongside the runner
+    /// state).
+    pub fn accum(&self) -> &WindowAccum {
+        &self.accum
+    }
+
+    /// Fold one committed chunk into the current window, then close the
+    /// window if the chunk was its last.
+    pub fn absorb(
+        &mut self,
+        records: u64,
+        ingest: &IngestTotals,
+        fault_counts: &[u64; 5],
+        commit: WindowCommit<'_>,
+    ) -> io::Result<()> {
+        let a = &mut self.accum;
+        a.chunks += 1;
+        a.chunk_outcomes.offered += 1;
+        a.records.offered += records;
+        a.ingest.input_bytes += ingest.input_bytes;
+        a.ingest.ok_records += ingest.ok_records;
+        a.ingest.ok_bytes += ingest.ok_bytes;
+        a.ingest.quarantined_bytes += ingest.quarantined_bytes;
+        a.ingest.resyncs += ingest.resyncs;
+        for (into, n) in a.fault_counts.iter_mut().zip(fault_counts) {
+            *into += n;
+        }
+        match commit {
+            WindowCommit::Processed {
+                class_flows,
+                matrix,
+            } => {
+                a.chunk_outcomes.processed += 1;
+                a.records.processed += records;
+                for (into, n) in a.class_flows.iter_mut().zip(class_flows) {
+                    *into += n;
+                }
+                if let Some(m) = matrix {
+                    a.disagreement
+                        .get_or_insert_with(DisagreementMatrix::new)
+                        .merge(m);
+                }
+            }
+            WindowCommit::Shed => {
+                a.chunk_outcomes.shed += 1;
+                a.records.shed += records;
+            }
+            WindowCommit::Quarantined => {
+                a.chunk_outcomes.quarantined += 1;
+                a.records.quarantined += records;
+            }
+        }
+        if a.chunks >= self.cfg.window_chunks {
+            self.close()?;
+        }
+        Ok(())
+    }
+
+    /// Close the final partial window at end of stream, if non-empty.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.accum.chunks > 0 {
+            self.close()?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        write_window(&self.cfg.dir, &self.accum)?;
+        self.windows_written.inc();
+        self.prune()?;
+        self.watch_drift();
+        let next = self.accum.window_index + 1;
+        let next_start = self.accum.start_chunk + self.accum.chunks;
+        self.accum = WindowAccum::start(next, next_start);
+        Ok(())
+    }
+
+    /// Drop the oldest windows beyond the retention budget.
+    fn prune(&self) -> io::Result<()> {
+        if self.cfg.retention == 0 {
+            return Ok(());
+        }
+        let mut indexed: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in fs::read_dir(&self.cfg.dir)? {
+            let path = entry?.path();
+            if let Some(i) = window_index_of(&path) {
+                indexed.push((i, path));
+            }
+        }
+        indexed.sort();
+        let excess = indexed.len().saturating_sub(self.cfg.retention);
+        for (_, path) in indexed.into_iter().take(excess) {
+            fs::remove_file(path)?;
+        }
+        Ok(())
+    }
+
+    /// Compare the just-closed window's class shares against the
+    /// previous non-empty window's; breaches raise flight-recorder
+    /// events and counters. Empty windows neither fire nor reset the
+    /// baseline (a share of nothing is undefined, not zero).
+    fn watch_drift(&mut self) {
+        if self.accum.total_flows() == 0 {
+            return;
+        }
+        let shares = self.accum.class_shares();
+        if let Some(prev) = self.prev_shares {
+            for (i, class) in TrafficClass::ALL.iter().enumerate() {
+                let delta = (shares[i] - prev[i]).abs();
+                if delta > self.cfg.drift_threshold {
+                    self.drift_breaches[i].inc();
+                    self.tracer.event(
+                        "class_share_drift",
+                        &[
+                            ("window", self.accum.window_index.into()),
+                            ("class", class_label(*class).into()),
+                            ("previous_share", prev[i].into()),
+                            ("share", shares[i].into()),
+                            ("delta", delta.into()),
+                        ],
+                    );
+                }
+            }
+        }
+        self.prev_shares = Some(shares);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_obs::{MetricsRegistry, Tracer};
+
+    fn accum(index: u64, class_flows: [u64; 4]) -> WindowAccum {
+        let mut w = WindowAccum::start(index, index * 4);
+        w.chunks = 4;
+        w.class_flows = class_flows;
+        w.records = FlowAccounting {
+            offered: class_flows.iter().sum(),
+            processed: class_flows.iter().sum(),
+            shed: 0,
+            quarantined: 0,
+        };
+        w.chunk_outcomes = FlowAccounting {
+            offered: 4,
+            processed: 4,
+            shed: 0,
+            quarantined: 0,
+        };
+        w.fault_counts = [0, 0, 1, 0, 2];
+        w
+    }
+
+    fn ring_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "swrw-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn accum_codec_roundtrip() {
+        let mut w = accum(7, [1, 2, 3, 94]);
+        let mut m = DisagreementMatrix::new();
+        m.record(&[TrafficClass::Valid; 5]);
+        w.disagreement = Some(m);
+        let mut buf = Vec::new();
+        w.encode_into(&mut buf);
+        let mut pos = 0;
+        assert_eq!(WindowAccum::decode_from(&buf, &mut pos), Some(w.clone()));
+        assert_eq!(pos, buf.len());
+        // Without the matrix too.
+        w.disagreement = None;
+        let mut buf = Vec::new();
+        w.encode_into(&mut buf);
+        assert_eq!(WindowAccum::decode_from(&buf, &mut 0), Some(w));
+        // Every truncation fails clean.
+        for cut in 0..buf.len() {
+            assert!(WindowAccum::decode_from(&buf[..cut], &mut 0).is_none());
+        }
+    }
+
+    #[test]
+    fn window_file_roundtrip_and_torn_detection() {
+        let dir = ring_dir("file");
+        let w = accum(3, [5, 0, 5, 90]);
+        let path = write_window(&dir, &w).unwrap();
+        assert_eq!(path.file_name().unwrap(), "window-0000000003.bin");
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(decode_window(&bytes).unwrap(), w);
+        // Truncations and bit flips are all detected.
+        for cut in 0..bytes.len() {
+            assert!(decode_window(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        for i in 0..bytes.len() {
+            let mut torn = bytes.clone();
+            torn[i] ^= 0x40;
+            assert!(decode_window(&torn).is_err(), "flip at {i}");
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn ring_reads_sorted_and_reports_faults() {
+        let dir = ring_dir("ring");
+        for (i, flows) in [(2u64, 10u64), (0, 30), (1, 20)] {
+            write_window(&dir, &accum(i, [0, 0, 0, flows])).unwrap();
+        }
+        // A torn window and an unrelated file sit alongside.
+        let torn_path = dir.join(window_file_name(9));
+        let mut torn = fs::read(dir.join(window_file_name(2))).unwrap();
+        torn.truncate(torn.len() - 3);
+        fs::write(&torn_path, &torn).unwrap();
+        fs::write(dir.join("notes.txt"), b"ignored").unwrap();
+
+        let (windows, faults) = read_ring(&dir).unwrap();
+        assert_eq!(
+            windows.iter().map(|w| w.window_index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(windows[0].total_flows(), 30);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].0, torn_path);
+        assert!(matches!(
+            faults[0].1,
+            CheckpointError::LengthMismatch { .. }
+        ));
+        // A missing directory is an empty ring, not an error.
+        let (w, f) = read_ring(&dir.join("missing")).unwrap();
+        assert!(w.is_empty() && f.is_empty());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn shares_of_empty_window_are_zero() {
+        let w = WindowAccum::start(0, 0);
+        assert_eq!(w.class_shares(), [0.0; 4]);
+        let w = accum(0, [25, 25, 0, 50]);
+        assert_eq!(w.class_shares(), [0.25, 0.25, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn writer_closes_on_boundary_prunes_and_watches_drift() {
+        let dir = ring_dir("writer");
+        let reg = MetricsRegistry::new();
+        let tracer = Tracer::with_capacity(64);
+        let obs = RunnerObs::new(Arc::clone(&reg), Arc::clone(&tracer));
+        let mut cfg = RollupConfig::new(&dir, 2);
+        cfg.retention = 3;
+        cfg.drift_threshold = 0.30;
+        let mut writer = RollupWriter::open(cfg, &obs, 0, None).unwrap();
+
+        // 10 chunks of 100 valid flows, then 2 chunks all-bogon: the
+        // last window's shares jump by 1.0 in two classes.
+        for i in 0..12u64 {
+            let class_flows = if i < 10 { [0, 0, 0, 100] } else { [100, 0, 0, 0] };
+            writer
+                .absorb(
+                    100,
+                    &IngestTotals::default(),
+                    &[0; 5],
+                    WindowCommit::Processed {
+                        class_flows,
+                        matrix: None,
+                    },
+                )
+                .unwrap();
+        }
+        let (windows, faults) = read_ring(&dir).unwrap();
+        assert!(faults.is_empty());
+        // 6 windows closed, retention keeps the newest 3.
+        assert_eq!(
+            windows.iter().map(|w| w.window_index).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(windows[2].class_flows, [200, 0, 0, 0]);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("spoofwatch_rollup_windows_total", &[]),
+            Some(6)
+        );
+        // Drift fired exactly once per affected class (bogon up, valid
+        // down), on the final window.
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_rollup_drift_breaches_total",
+                &[("class", "bogon")]
+            ),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_rollup_drift_breaches_total",
+                &[("class", "valid")]
+            ),
+            Some(1)
+        );
+        // Unaffected classes keep their pre-registered zero series.
+        assert_eq!(
+            snap.counter(
+                "spoofwatch_rollup_drift_breaches_total",
+                &[("class", "unrouted")]
+            ),
+            Some(0)
+        );
+        assert!(tracer
+            .events()
+            .0
+            .iter()
+            .any(|e| e.name == "class_share_drift"));
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn writer_restores_checkpointed_accum_and_discards_mismatched() {
+        let dir = ring_dir("restore");
+        let obs = RunnerObs::disabled();
+        let cfg = RollupConfig::new(&dir, 4);
+        // Matching accum (window 2 of width 4, cursor at chunk 9).
+        let mut saved = WindowAccum::start(2, 8);
+        saved.chunks = 1;
+        saved.class_flows = [0, 0, 0, 7];
+        let writer = RollupWriter::open(cfg.clone(), &obs, 9, Some(saved.clone())).unwrap();
+        assert_eq!(writer.accum(), &saved);
+        // Mismatched accum (stale window index) starts fresh.
+        let stale = WindowAccum::start(1, 4);
+        let writer = RollupWriter::open(cfg, &obs, 9, Some(stale)).unwrap();
+        assert_eq!(writer.accum(), &WindowAccum::start(2, 8));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -300,8 +300,34 @@ impl Exposition {
     }
 }
 
+/// Socket and shutdown tuning for [`serve_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Read timeout on accepted sockets: a scraper that connects and
+    /// then stalls is cut off after this long instead of wedging the
+    /// single-threaded exporter.
+    pub read_timeout: Duration,
+    /// Write timeout on accepted sockets (a scraper that stops reading
+    /// mid-response is likewise cut off).
+    pub write_timeout: Duration,
+    /// How often the accept loop re-checks the stop flag while idle.
+    /// Bounds shutdown latency even if nothing ever connects again.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
 /// Handle to a running `/metrics` endpoint; dropping it (or calling
-/// [`MetricsServer::shutdown`]) stops the serving thread.
+/// [`MetricsServer::stop`] / [`MetricsServer::shutdown`]) stops and
+/// joins the serving thread — the listener never outlives the handle.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -315,32 +341,42 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stop accepting and join the serving thread.
-    pub fn shutdown(mut self) {
-        self.stop_inner();
-    }
-
-    fn stop_inner(&mut self) {
+    /// Stop accepting and join the serving thread. Idempotent; the
+    /// consuming [`shutdown`](Self::shutdown) and `Drop` both route
+    /// here.
+    pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept() awake.
+        // Fast path: nudge a blocked accept awake. The accept loop
+        // polls the stop flag on a nonblocking listener, so shutdown
+        // completes within one poll interval even if this connect
+        // fails (e.g. the interface went away).
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+
+    /// Consuming alias of [`stop`](Self::stop).
+    pub fn shutdown(mut self) {
+        self.stop();
     }
 }
 
 impl Drop for MetricsServer {
     fn drop(&mut self) {
         if self.handle.is_some() {
-            self.stop_inner();
+            self.stop();
         }
     }
 }
 
-fn handle_request(registry: &MetricsRegistry, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+fn handle_request(registry: &MetricsRegistry, mut stream: TcpStream, opts: &ServeOptions) {
+    // A socket accepted from a nonblocking listener may inherit the
+    // flag on some platforms; force blocking so the timeouts below
+    // govern.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(opts.read_timeout));
+    let _ = stream.set_write_timeout(Some(opts.write_timeout));
     // Read enough of the request to see the request line; tolerate
     // clients that send the whole header in one segment (ours does).
     let mut buf = [0u8; 1024];
@@ -371,23 +407,41 @@ fn handle_request(registry: &MetricsRegistry, mut stream: TcpStream) {
 }
 
 /// Serve `registry` over HTTP at `addr` (e.g. `"127.0.0.1:0"`) on a
-/// background thread. One connection at a time, `GET /metrics`.
+/// background thread with default [`ServeOptions`]. One connection at
+/// a time, `GET /metrics`.
 pub fn serve(registry: Arc<MetricsRegistry>, addr: impl ToSocketAddrs) -> io::Result<MetricsServer> {
+    serve_with(registry, addr, ServeOptions::default())
+}
+
+/// [`serve`] with explicit socket timeouts and shutdown poll interval.
+///
+/// The listener runs nonblocking and polls the stop flag between
+/// accepts, so dropping (or stopping) the returned handle always joins
+/// the thread within one poll interval — no leaked listener thread —
+/// and the per-socket timeouts mean a scraper that connects and stalls
+/// delays the next scrape by at most `read_timeout + write_timeout`.
+pub fn serve_with(
+    registry: Arc<MetricsRegistry>,
+    addr: impl ToSocketAddrs,
+    opts: ServeOptions,
+) -> io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("spoofwatch-metrics".to_string())
-        .spawn(move || {
-            for conn in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
+        .spawn(move || loop {
+            if stop_flag.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => handle_request(&registry, stream, &opts),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(opts.poll_interval);
                 }
-                match conn {
-                    Ok(stream) => handle_request(&registry, stream),
-                    Err(_) => continue,
-                }
+                Err(_) => continue,
             }
         })?;
     Ok(MetricsServer {
@@ -499,6 +553,136 @@ h_sum 9
 h_count 5
 ";
         assert!(parse_exposition(doc).expect("parse").validate().is_err());
+    }
+
+    #[test]
+    fn label_escaping_edge_cases_roundtrip() {
+        let reg = MetricsRegistry::new();
+        // Every character class the exposition format escapes: raw
+        // backslash, double quote, and embedded newline — plus their
+        // pathological combinations at string edges.
+        let nasty = [
+            "back\\slash",
+            "quo\"te",
+            "line\nbreak",
+            "\\",
+            "\"",
+            "\n",
+            "\\n literal then real\n",
+            "trailing backslash\\",
+        ];
+        for (i, v) in nasty.iter().enumerate() {
+            reg.counter("edge_total", "edges", &[("v", v)]).add(i as u64 + 1);
+        }
+        let text = reg.render_prometheus();
+        let parsed = parse_exposition(&text).expect("parse");
+        parsed.validate().expect("validate");
+        // The document stays line-structured: a raw newline in a label
+        // value would split its sample across two lines and change the
+        // sample count.
+        let lines = parsed.samples.iter().filter(|s| s.name == "edge_total").count();
+        assert_eq!(lines, nasty.len(), "one sample line per label value");
+        for (i, v) in nasty.iter().enumerate() {
+            let s = parsed
+                .sample("edge_total", &[("v", v)])
+                .unwrap_or_else(|| panic!("label value {v:?} did not roundtrip"));
+            assert_eq!(s.value, i as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_and_validates() {
+        let reg = MetricsRegistry::new();
+        // Registered but never recorded: must still expose a +Inf
+        // bucket, _sum, and _count (all zero) and pass validation.
+        let _h = reg.histogram("idle_ns", "never recorded", &[("stage", "cold")]);
+        let text = reg.render_prometheus();
+        let parsed = parse_exposition(&text).expect("parse");
+        parsed.validate().expect("validate");
+        let inf = parsed
+            .sample("idle_ns_bucket", &[("stage", "cold"), ("le", "+Inf")])
+            .expect("+Inf bucket present for empty histogram");
+        assert_eq!(inf.value, 0.0);
+        assert_eq!(parsed.sample("idle_ns_count", &[("stage", "cold")]).map(|s| s.value), Some(0.0));
+        assert_eq!(parsed.sample("idle_ns_sum", &[("stage", "cold")]).map(|s| s.value), Some(0.0));
+    }
+
+    #[test]
+    fn disagreement_and_exemplar_families_roundtrip() {
+        // The families the provenance layer exports: the pairwise
+        // method-disagreement matrix and the exemplar-bearing per-class
+        // counters. Render → parse → validate must hold over them.
+        let reg = MetricsRegistry::new();
+        for (a, b, from, to, n) in [
+            ("naive", "full_cone_org", "valid", "invalid", 7u64),
+            ("naive", "full_cone_org", "valid", "valid", 93),
+            ("customer_cone", "customer_cone_org", "invalid", "valid", 2),
+        ] {
+            reg.counter(
+                "spoofwatch_method_disagreement_total",
+                "Pairwise class transitions between method variants",
+                &[("a", a), ("b", b), ("from", from), ("to", to)],
+            )
+            .add(n);
+        }
+        reg.counter(
+            "spoofwatch_classified_flows_total",
+            "per-class flows (exemplars attach out of band)",
+            &[("class", "invalid"), ("method", "full_cone")],
+        )
+        .add(9);
+        let parsed = parse_exposition(&reg.render_prometheus()).expect("parse");
+        parsed.validate().expect("validate");
+        assert_eq!(parsed.sum("spoofwatch_method_disagreement_total"), 102.0);
+        let s = parsed
+            .sample(
+                "spoofwatch_method_disagreement_total",
+                &[("a", "naive"), ("b", "full_cone_org"), ("from", "valid"), ("to", "invalid")],
+            )
+            .expect("matrix cell");
+        assert_eq!(s.value, 7.0);
+    }
+
+    #[test]
+    fn explicit_stop_joins_and_is_idempotent() {
+        let reg = MetricsRegistry::new();
+        reg.counter("up_total", "u", &[]).inc();
+        let mut server = serve(Arc::clone(&reg), "127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        assert!(fetch_metrics(addr).is_ok());
+        server.stop();
+        assert!(fetch_metrics(addr).is_err(), "listener gone after stop()");
+        server.stop(); // second stop is a no-op, not a hang or panic
+        drop(server); // and so is the drop afterwards
+    }
+
+    #[test]
+    fn stalled_scraper_cannot_wedge_the_exporter() {
+        let reg = MetricsRegistry::new();
+        reg.counter("up_total", "u", &[]).inc();
+        let opts = ServeOptions {
+            read_timeout: Duration::from_millis(50),
+            write_timeout: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(5),
+        };
+        let server = serve_with(Arc::clone(&reg), "127.0.0.1:0", opts).expect("bind");
+        let addr = server.addr();
+        // A scraper that connects and then goes silent. The serial
+        // server is stuck in its read for at most read_timeout.
+        let stalled = TcpStream::connect(addr).expect("connect");
+        // A well-behaved scrape right behind it must still succeed.
+        let body = fetch_metrics(addr).expect("fetch despite stalled peer");
+        assert!(body.contains("up_total 1"));
+        drop(stalled);
+        // Shutdown still joins promptly with the tight poll interval.
+        let t0 = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "shutdown took {:?}",
+            t0.elapsed()
+        );
+        assert!(fetch_metrics(addr).is_err());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Seeded reservoir sampling for bounded exemplar collection.
+//!
+//! Counters tell an operator *how many* flows landed in a class;
+//! exemplars tell them *which ones and why*. [`ReservoirSampler`] keeps
+//! a uniform, bounded sample of an unbounded stream (Vitter's
+//! Algorithm R) with two properties the classify hot path depends on:
+//!
+//! * **Deterministic** — the kept set is a pure function of the seed
+//!   and the offer sequence, so tests and replayed runs agree exactly.
+//! * **Lazy** — [`offer_with`](ReservoirSampler::offer_with) takes a
+//!   closure and only invokes it for offers that are actually admitted,
+//!   so a *disabled* (zero-capacity) sampler costs one branch per offer
+//!   and never allocates; an enabled one pays construction cost only
+//!   for the `O(k · log(n/k))` admitted offers, not for all `n`.
+
+/// xorshift64* — the same tiny deterministic generator style the shed
+/// sampler uses; good enough for reservoir admission, dependency-free.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A seeded, fixed-capacity uniform reservoir over a stream of `T`.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    items: Vec<T>,
+    capacity: usize,
+    seen: u64,
+    rng: u64,
+}
+
+impl<T> ReservoirSampler<T> {
+    /// A sampler keeping at most `capacity` items, admission decisions
+    /// driven by `seed`. `capacity == 0` is the disabled sampler.
+    pub fn new(seed: u64, capacity: usize) -> ReservoirSampler<T> {
+        ReservoirSampler {
+            items: Vec::new(), // allocates only on first admission
+            capacity,
+            // A zero xorshift state is a fixed point; premix the seed.
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15 | 1,
+            seen: 0,
+        }
+    }
+
+    /// The disabled sampler: every offer is one branch, nothing is
+    /// constructed or stored.
+    pub fn disabled() -> ReservoirSampler<T> {
+        ReservoirSampler::new(0, 0)
+    }
+
+    /// Whether this sampler can ever admit an item.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Offer one stream element. `make` runs only if the element is
+    /// admitted (reservoir not yet full, or it won the replacement
+    /// draw) — the caller's expensive record construction is skipped
+    /// for rejected offers and for a disabled sampler.
+    pub fn offer_with(&mut self, make: impl FnOnce() -> T) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            if self.items.capacity() == 0 {
+                self.items.reserve_exact(self.capacity);
+            }
+            self.items.push(make());
+            return;
+        }
+        // Algorithm R: replace a random slot with probability k/seen.
+        let j = xorshift64(&mut self.rng) % self.seen;
+        if (j as usize) < self.capacity {
+            self.items[j as usize] = make();
+        }
+    }
+
+    /// The current sample, in admission order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Total elements offered (admitted or not) since construction.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum items the reservoir retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop the sample and the offer count, keeping seed state — the
+    /// next window starts fresh but stays deterministic.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_stays_bounded() {
+        let mut s = ReservoirSampler::new(7, 8);
+        for i in 0..1000u64 {
+            s.offer_with(|| i);
+        }
+        assert_eq!(s.items().len(), 8);
+        assert_eq!(s.seen(), 1000);
+        assert!(s.items().iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut s = ReservoirSampler::new(seed, 5);
+            for i in 0..500u64 {
+                s.offer_with(|| i);
+            }
+            s.items().to_vec()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2), "different seeds sample differently");
+    }
+
+    #[test]
+    fn disabled_never_constructs() {
+        let mut s: ReservoirSampler<String> = ReservoirSampler::disabled();
+        assert!(!s.is_enabled());
+        for _ in 0..100 {
+            s.offer_with(|| unreachable!("disabled sampler must not construct"));
+        }
+        assert!(s.items().is_empty());
+        assert_eq!(s.seen(), 0);
+    }
+
+    #[test]
+    fn rejected_offers_do_not_construct() {
+        // Once the reservoir is full, most offers lose the draw; count
+        // how many times `make` actually ran.
+        let mut s = ReservoirSampler::new(3, 4);
+        let mut built = 0u64;
+        for i in 0..10_000u64 {
+            s.offer_with(|| {
+                built += 1;
+                i
+            });
+        }
+        assert_eq!(s.items().len(), 4);
+        // E[built] = 4 + sum_{n=5..10000} 4/n ≈ 35; anything near 10000
+        // means laziness is broken.
+        assert!(built < 200, "built {built} of 10000 offers");
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        // Each of 100 elements should land in a 10-slot reservoir with
+        // p = 0.1; over 2000 seeds, per-element hit rates concentrate.
+        let mut hits = [0u32; 100];
+        for seed in 0..2000u64 {
+            let mut s = ReservoirSampler::new(seed, 10);
+            for i in 0..100usize {
+                s.offer_with(|| i);
+            }
+            for &i in s.items() {
+                hits[i] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(
+                (100..300).contains(&h),
+                "element {i} kept {h}/2000 times (expect ~200)"
+            );
+        }
+    }
+
+    #[test]
+    fn clear_resets_sample_but_stays_deterministic() {
+        let mut s = ReservoirSampler::new(9, 4);
+        for i in 0..50u64 {
+            s.offer_with(|| i);
+        }
+        s.clear();
+        assert!(s.items().is_empty());
+        assert_eq!(s.seen(), 0);
+        for i in 0..4u64 {
+            s.offer_with(|| i);
+        }
+        assert_eq!(s.items(), &[0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Query tool for windowed telemetry rollup rings.
+//!
+//! Reads the window ring a [`spoofwatch_core::StudyRunner`] writes when
+//! configured `with_rollups`, and renders per-window class shares, the
+//! decoder fault taxonomy, window-over-window drift, and the merged
+//! method-disagreement matrix — as an aligned table or as CSV.
+//!
+//! ```sh
+//! # Inspect a ring directory written by a previous run:
+//! cargo run --example telemetry_query -- /path/to/ring
+//! cargo run --example telemetry_query -- /path/to/ring --csv
+//!
+//! # Self-contained demo: generate a world, run a study with rollups,
+//! # crash it partway, resume, and verify the ring reconciles with the
+//! # run report and is bit-identical to an uninterrupted run's:
+//! cargo run --example telemetry_query -- --demo
+//! ```
+//!
+//! Exits nonzero on torn windows (inspection mode) or any verification
+//! failure (demo mode), so CI can use `--demo` as a smoke test.
+
+use spoofwatch_analysis::timeseries::WindowSeries;
+use spoofwatch_core::{
+    read_ring, CheckpointStore, Classifier, DisagreementMatrix, RollupConfig, RunnerConfig,
+    RunnerError, StudyRunner, WindowAccum,
+};
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_ixp::chunked::ChunkedIpfixReader;
+use spoofwatch_ixp::{ipfix, Trace, TrafficConfig};
+use spoofwatch_net::{FaultInjector, FaultKind};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let demo = args.iter().any(|a| a == "--demo");
+    let dir = args.iter().find(|a| !a.starts_with("--"));
+
+    match (demo, dir) {
+        (true, _) => run_demo(),
+        (false, Some(dir)) => inspect(Path::new(dir), csv),
+        (false, None) => {
+            eprintln!("usage: telemetry_query <ring-dir> [--csv] | --demo");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Read one ring directory and render it.
+fn inspect(dir: &Path, csv: bool) -> ExitCode {
+    let (windows, faults) = match read_ring(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read ring {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for (path, err) in &faults {
+        eprintln!("torn window rejected: {}: {err}", path.display());
+    }
+    if csv {
+        print!("{}", WindowSeries::from_windows(&windows).render_csv());
+    } else {
+        print!("{}", render_ring(&windows));
+    }
+    if faults.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The human-readable view: share table, fault taxonomy, drift, and the
+/// merged disagreement matrix.
+fn render_ring(windows: &[WindowAccum]) -> String {
+    let series = WindowSeries::from_windows(windows);
+    let mut out = format!(
+        "# Rollup ring: {} windows, {} flows\n\n## Per-window class shares\n\n{}",
+        windows.len(),
+        series.total_flows(),
+        series.render_table(),
+    );
+
+    out.push_str("\n## Decoder fault taxonomy (all windows)\n\n");
+    let mut fault_sum = [0u64; 5];
+    for w in windows {
+        for (into, v) in fault_sum.iter_mut().zip(w.fault_counts) {
+            *into += v;
+        }
+    }
+    for kind in FaultKind::ALL {
+        out.push_str(&format!(
+            "- {}: {}\n",
+            kind.label(),
+            fault_sum[kind.index()]
+        ));
+    }
+
+    let drift = series.drift(0.10);
+    out.push_str("\n## Window-over-window drift (threshold 0.10)\n\n");
+    if drift.is_empty() {
+        out.push_str("- none\n");
+    }
+    for (window, class, delta) in &drift {
+        out.push_str(&format!(
+            "- window {window}: {class} share moved {delta:+.4}\n"
+        ));
+    }
+
+    let mut merged = DisagreementMatrix::new();
+    let mut tracked = false;
+    for w in windows {
+        if let Some(m) = &w.disagreement {
+            merged.merge(m);
+            tracked = true;
+        }
+    }
+    if tracked {
+        out.push_str("\n## Method disagreement (all windows)\n\n");
+        out.push_str(&merged.render());
+    }
+    out
+}
+
+/// End-to-end demo doubling as the CI smoke test: the ring a crashed
+/// and resumed run leaves behind must reconcile with the run report and
+/// be byte-identical to an uninterrupted run's ring.
+fn run_demo() -> ExitCode {
+    let net = Internet::generate(InternetConfig::tiny(61));
+    let trace = Trace::generate(&net, &TrafficConfig::tiny(62));
+    let mut bytes = ipfix::encode(&trace.flows);
+    FaultInjector::new(63)
+        .protect_prefix(6)
+        .corrupt_percent(&mut bytes, 0.1);
+    let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+    let cfg = RunnerConfig {
+        workers: 4,
+        checkpoint_every: 4,
+        track_disagreement: true,
+        ..RunnerConfig::default()
+    };
+    let chunk_records = 200;
+    let window_chunks = 3;
+    let scratch = std::env::temp_dir().join(format!("telemetry-query-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Reference: uninterrupted run with rollups.
+    let ref_ring = scratch.join("ref-ring");
+    let store = CheckpointStore::open(scratch.join("ref-ckpt")).expect("open store");
+    let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
+    let reference = StudyRunner::new(&classifier, cfg.clone())
+        .with_rollups(RollupConfig::new(&ref_ring, window_chunks))
+        .run(&mut source, &store)
+        .expect("reference run");
+
+    // Crash partway, then resume into the same ring.
+    let ring = scratch.join("ring");
+    let store = CheckpointStore::open(scratch.join("ckpt")).expect("open store");
+    let mut crash_cfg = cfg.clone();
+    crash_cfg.interrupt_after_chunks = Some(reference.health.chunks.offered / 2);
+    let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
+    match StudyRunner::new(&classifier, crash_cfg)
+        .with_rollups(RollupConfig::new(&ring, window_chunks))
+        .run(&mut source, &store)
+    {
+        Err(RunnerError::Interrupted { committed_chunks }) => {
+            println!("simulated crash after {committed_chunks} committed chunks");
+        }
+        other => {
+            eprintln!("expected a simulated crash, got {other:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
+    let resumed = StudyRunner::new(&classifier, cfg)
+        .with_rollups(RollupConfig::new(&ring, window_chunks))
+        .run(&mut source, &store)
+        .expect("resumed run");
+    println!("resumed run: {}", resumed.health);
+
+    // ---- Verification -------------------------------------------------
+    let (windows, faults) = read_ring(&ring).expect("read ring");
+    if !faults.is_empty() {
+        eprintln!("MISMATCH: {} torn windows in the resumed ring", faults.len());
+        return ExitCode::FAILURE;
+    }
+    let offered = resumed.health.chunks.offered;
+    let expected_windows = offered.div_ceil(window_chunks);
+    if windows.len() as u64 != expected_windows {
+        eprintln!(
+            "MISMATCH: expected {expected_windows} windows for {offered} chunks, found {}",
+            windows.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    let chunk_sum: u64 = windows.iter().map(|w| w.chunks).sum();
+    let record_sum: u64 = windows.iter().map(|w| w.records.offered).sum();
+    if chunk_sum != offered || record_sum != resumed.health.records.offered {
+        eprintln!(
+            "MISMATCH: window sums ({chunk_sum} chunks, {record_sum} records) do not \
+             reconcile with the report ({offered} chunks, {} records)",
+            resumed.health.records.offered
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("ring reconciles: {expected_windows} windows tile all {offered} chunks ✓");
+
+    // The acceptance bar: per-window class shares (in fact the whole
+    // window files) are bit-exact across interrupt-and-resume.
+    if ring_bytes(&ref_ring) != ring_bytes(&ring) {
+        eprintln!("MISMATCH: resumed ring is not byte-identical to the reference ring");
+        return ExitCode::FAILURE;
+    }
+    let resumed_csv = WindowSeries::from_windows(&windows).render_csv();
+    let (ref_windows, _) = read_ring(&ref_ring).expect("read reference ring");
+    let reference_csv = WindowSeries::from_windows(&ref_windows).render_csv();
+    if resumed_csv != reference_csv {
+        eprintln!("MISMATCH: per-window class shares diverged after resume");
+        return ExitCode::FAILURE;
+    }
+    println!("resumed ring is bit-identical to the uninterrupted reference ✓\n");
+
+    print!("{}", render_ring(&windows));
+    let _ = std::fs::remove_dir_all(&scratch);
+    ExitCode::SUCCESS
+}
+
+/// Byte content of every window file, sorted by name.
+fn ring_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("read ring dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p: &PathBuf| p.extension().is_some_and(|x| x == "bin"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&p).expect("read window"),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
