@@ -53,4 +53,12 @@ cargo run -q --release --example telemetry_query -- --demo > /dev/null
 echo "==> observability overhead contract (disabled hot-path updates < 20 ns, sampler-off classify within 5%)"
 CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench obs > /dev/null
 
+echo "==> compiled LPM contract (frozen >= 2x trie at 0/1/5% bogon mix, fused classify beats two walks, swap under load)"
+# The bench asserts the speedup floors itself and refreshes the tracked
+# BENCH_lpm.json baseline at the repo root.
+CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench lpm > /dev/null
+test -s BENCH_lpm.json || { echo "BENCH_lpm.json baseline missing"; exit 1; }
+grep -q '"bench":"lpm"' BENCH_lpm.json \
+    || { echo "BENCH_lpm.json baseline malformed"; exit 1; }
+
 echo "==> CI green"

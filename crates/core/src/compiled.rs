@@ -1,0 +1,378 @@
+//! The compiled classify fast path and its epoch-swap publication.
+//!
+//! The paper's sequential pipeline (Figure 3: bogon → unrouted →
+//! invalid/valid) costs two Patricia-trie walks per flow — one against
+//! the bogon list, one against the routed table. [`CompiledClassifier`]
+//! fuses both into a **single** [`FrozenLpm`] lookup: the bogon set and
+//! the routed table are merged into one prefix map whose entries carry
+//! either the matched bogon range or an index into a flat `RouteInfo`
+//! arena, so one memory walk answers "which rule fires and with what
+//! evidence".
+//!
+//! ## Why the merge is exact
+//!
+//! Entries are the union of routed prefixes and bogon ranges, with one
+//! twist: a routed prefix covered by some bogon range is stored as a
+//! `Bogon` entry carrying the most specific covering range. For any
+//! address the merged longest-prefix match then reproduces the
+//! sequential pipeline:
+//!
+//! * **Bogon entry wins** ⇒ the address lies inside a bogon range
+//!   (either the entry *is* a range, or it is a routed prefix entirely
+//!   inside one), and the carried range is exactly
+//!   `bogons.lookup(addr)`: any bogon containing the address either is
+//!   more specific than the winner (impossible — it is itself an entry
+//!   and would have won) or covers the winner, so the most specific
+//!   such range is the winner's recorded covering range.
+//! * **Routed entry wins** ⇒ no bogon contains the address (a more
+//!   specific one would have won; a less specific one would cover the
+//!   entry, which would then be stored as `Bogon`), and the entry is
+//!   the longest routed match (a longer routed match would have won
+//!   unless it was bogon-covered — but then its covering bogon contains
+//!   the address, contradicting the first point).
+//! * **No match** ⇒ neither list contains the address: Unrouted.
+//!
+//! The differential property tests in `tests/compiled_diff.rs` pin this
+//! argument to the reference two-walk implementation on ≥10⁵ flows.
+//!
+//! ## Epoch swap
+//!
+//! RIB refreshes must not stop the world: [`EpochSwap`] is an
+//! `ArcSwap`-style publication cell (std only — a mutex-guarded `Arc`
+//! plus an epoch counter; the mutex is held only for the pointer clone,
+//! never during classification). The streaming runner loads a guard
+//! **per chunk**, so a rebuilt classifier published mid-run takes
+//! effect at the next chunk boundary and the old epoch is retired when
+//! the last in-flight chunk drops its `Arc`. [`EpochClassifier`] adds
+//! the [`RibFreshness`]-driven trigger: `refresh_due` compares the
+//! newest collector snapshot against the epoch's build input, and
+//! `refresh` rebuilds off-thread and publishes atomically.
+
+use crate::freshness::RibFreshness;
+use crate::pipeline::Classifier;
+use spoofwatch_bgp::{RouteInfo, RoutedTable};
+use spoofwatch_net::Ipv4Prefix;
+use spoofwatch_trie::{FrozenLpm, PrefixSet, PrefixTrie};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One slot of the merged prefix map. `Copy` and 8 bytes, so the frozen
+/// leaf array stays dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CompiledEntry {
+    /// The prefix resolves to the bogon rule; `range` is the most
+    /// specific bogon range covering it (for a bogon member prefix,
+    /// itself).
+    Bogon {
+        /// The reserved range to report as evidence.
+        range: Ipv4Prefix,
+    },
+    /// The prefix is routed (and not bogon-covered); the payload
+    /// indexes the `RouteInfo` arena.
+    Routed {
+        /// Index into [`CompiledClassifier`]'s info arena.
+        info: u32,
+    },
+}
+
+/// The outcome of one fused lookup: which sequential rule fires for
+/// this source address, with the evidence the provenance path needs.
+#[derive(Debug, Clone, Copy)]
+pub enum CompiledLookup<'a> {
+    /// The address lies in a reserved range — the pipeline's first rule.
+    Bogon {
+        /// The most specific bogon range containing the address.
+        range: Ipv4Prefix,
+    },
+    /// The address is neither bogon nor covered by any routed prefix.
+    Unrouted,
+    /// The address has a longest routed match outside bogon space.
+    Routed {
+        /// The matched (most specific) routed prefix.
+        prefix: Ipv4Prefix,
+        /// Its origin/on-path data.
+        info: &'a RouteInfo,
+    },
+}
+
+/// The bogon set, routed table, and per-prefix route info fused into a
+/// single frozen longest-prefix-match table — the classify hot path's
+/// one memory walk. Immutable; rebuild via [`CompiledClassifier::compile`]
+/// and publish through an [`EpochSwap`].
+#[derive(Debug)]
+pub struct CompiledClassifier {
+    lpm: FrozenLpm<CompiledEntry>,
+    infos: Vec<RouteInfo>,
+}
+
+impl CompiledClassifier {
+    /// Merge `bogons` and `table` into one compiled lookup structure.
+    pub fn compile(bogons: &PrefixSet, table: &RoutedTable) -> CompiledClassifier {
+        let mut infos = Vec::with_capacity(table.num_prefixes());
+        let mut merged: PrefixTrie<CompiledEntry> = PrefixTrie::new();
+        for (prefix, info) in table.iter() {
+            // A routed prefix entirely inside a bogon range can never
+            // produce a routed verdict (the bogon rule fires first), so
+            // it is stored pre-resolved — see the module docs for why
+            // the covering range is exactly what a two-walk lookup
+            // would report.
+            let entry = match bogons.covering(&prefix) {
+                Some(range) => CompiledEntry::Bogon { range },
+                None => {
+                    let idx = infos.len() as u32;
+                    infos.push(info.clone());
+                    CompiledEntry::Routed { info: idx }
+                }
+            };
+            merged.insert(prefix, entry);
+        }
+        for range in bogons.iter() {
+            merged.insert(range, CompiledEntry::Bogon { range });
+        }
+        CompiledClassifier {
+            lpm: merged.freeze(),
+            infos,
+        }
+    }
+
+    /// The fused lookup: one frozen-table walk decides which sequential
+    /// rule fires for `addr` and returns its evidence.
+    #[inline]
+    pub fn lookup(&self, addr: u32) -> CompiledLookup<'_> {
+        match self.lpm.lookup(addr) {
+            None => CompiledLookup::Unrouted,
+            Some((_, CompiledEntry::Bogon { range })) => CompiledLookup::Bogon { range: *range },
+            Some((prefix, CompiledEntry::Routed { info })) => CompiledLookup::Routed {
+                prefix,
+                info: &self.infos[*info as usize],
+            },
+        }
+    }
+
+    /// Entries in the merged table (routed prefixes + bogon ranges).
+    pub fn len(&self) -> usize {
+        self.lpm.len()
+    }
+
+    /// Whether the merged table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lpm.is_empty()
+    }
+
+    /// Nominal heap footprint of the compiled structures in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.lpm.memory_bytes() + self.infos.capacity() * std::mem::size_of::<RouteInfo>()
+    }
+}
+
+/// An `ArcSwap`-style publication cell in plain std: readers clone the
+/// current `Arc` under a briefly-held mutex (per *chunk*, not per
+/// flow), writers replace it atomically and bump the epoch. Old values
+/// live exactly until the last outstanding guard drops — no
+/// stop-the-world, no torn reads.
+#[derive(Debug)]
+pub struct EpochSwap<T> {
+    current: Mutex<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochSwap<T> {
+    /// A cell holding `initial` at epoch 0.
+    pub fn new(initial: T) -> EpochSwap<T> {
+        EpochSwap {
+            current: Mutex::new(Arc::new(initial)),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// A guard on the current value. Holders keep their epoch alive
+    /// until the guard drops; publications never invalidate it.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(
+            &self
+                .current
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()),
+        )
+    }
+
+    /// Publish `next` as the new current value, returning the new epoch
+    /// number. In-flight guards on the old value are unaffected; the
+    /// old value is dropped when the last of them is.
+    pub fn publish(&self, next: T) -> u64 {
+        let next = Arc::new(next);
+        {
+            let mut cur = self
+                .current
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            *cur = next;
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// How many publications have happened (0 for the initial value).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+/// A classifier published through an [`EpochSwap`], with the
+/// freshness-driven rebuild protocol: when [`RibFreshness`] reports a
+/// collector snapshot newer than the inputs of the current epoch,
+/// [`EpochClassifier::refresh`] rebuilds **off-thread** and publishes
+/// atomically while readers keep classifying against the old epoch.
+pub struct EpochClassifier {
+    swap: Arc<EpochSwap<Classifier>>,
+    /// Timestamp (study time, the `RibFreshness` clock) of the newest
+    /// RIB snapshot incorporated into the current-or-building epoch.
+    built_at: AtomicU64,
+    rebuild: Mutex<Option<JoinHandle<u64>>>,
+}
+
+impl EpochClassifier {
+    /// Wrap `initial`, recording `built_at` as the snapshot time of the
+    /// data it was built from.
+    pub fn new(initial: Classifier, built_at: u64) -> EpochClassifier {
+        EpochClassifier {
+            swap: Arc::new(EpochSwap::new(initial)),
+            built_at: AtomicU64::new(built_at),
+            rebuild: Mutex::new(None),
+        }
+    }
+
+    /// The underlying swap cell — hand this to
+    /// [`StudyRunner::new_epoch`](crate::runner::StudyRunner::new_epoch)
+    /// so the runner picks up publications at chunk boundaries.
+    pub fn swap(&self) -> &EpochSwap<Classifier> {
+        &self.swap
+    }
+
+    /// A guard on the current classifier epoch.
+    pub fn current(&self) -> Arc<Classifier> {
+        self.swap.load()
+    }
+
+    /// The current epoch number (publications so far).
+    pub fn epoch(&self) -> u64 {
+        self.swap.epoch()
+    }
+
+    /// Snapshot time of the newest RIB data incorporated into the
+    /// current (or currently building) epoch.
+    pub fn built_at(&self) -> u64 {
+        self.built_at.load(Ordering::SeqCst)
+    }
+
+    /// Whether `freshness` has seen a collector snapshot newer than the
+    /// data this epoch was built from — i.e. a rebuild would actually
+    /// incorporate new routing data.
+    pub fn refresh_due(&self, freshness: &RibFreshness, now: u64) -> bool {
+        freshness
+            .best_age(now)
+            .is_some_and(|age| now.saturating_sub(age) > self.built_at())
+    }
+
+    /// Kick off an off-thread rebuild: `build` runs on a fresh thread
+    /// and its result is published into the swap cell when done.
+    /// Returns `false` (and does nothing) if a rebuild is already in
+    /// flight — refresh triggers are level-based, so a slow build
+    /// coalesces later triggers instead of stacking threads.
+    /// `snapshot_ts` is recorded as the new `built_at` immediately, so
+    /// `refresh_due` stops firing for data the in-flight build already
+    /// covers.
+    pub fn refresh<F>(&self, snapshot_ts: u64, build: F) -> bool
+    where
+        F: FnOnce() -> Classifier + Send + 'static,
+    {
+        let mut guard = self
+            .rebuild
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if guard.as_ref().is_some_and(|h| !h.is_finished()) {
+            return false;
+        }
+        if let Some(done) = guard.take() {
+            let _ = done.join(); // reap the finished predecessor
+        }
+        self.built_at.store(snapshot_ts, Ordering::SeqCst);
+        let swap = Arc::clone(&self.swap);
+        *guard = Some(std::thread::spawn(move || {
+            let next = build();
+            let epoch = swap.publish(next);
+            let reg = spoofwatch_obs::global();
+            reg.counter(
+                "spoofwatch_classifier_rebuilds_total",
+                "Classifier epochs rebuilt and published by the refresh protocol",
+                &[],
+            )
+            .inc();
+            reg.gauge(
+                "spoofwatch_classifier_epoch",
+                "Current classifier epoch (publications since process start)",
+                &[],
+            )
+            .set(i64::try_from(epoch).unwrap_or(i64::MAX));
+            epoch
+        }));
+        true
+    }
+
+    /// Block until the in-flight rebuild (if any) has published,
+    /// returning the epoch it produced. Test and shutdown hook; the
+    /// streaming path never needs to wait.
+    pub fn wait_for_rebuild(&self) -> Option<u64> {
+        let handle = self
+            .rebuild
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take()?;
+        handle.join().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_swap_publish_and_load() {
+        let swap = EpochSwap::new(1u32);
+        assert_eq!(swap.epoch(), 0);
+        let old = swap.load();
+        assert_eq!(swap.publish(2), 1);
+        assert_eq!(swap.publish(3), 2);
+        assert_eq!(*old, 1, "in-flight guard keeps its epoch");
+        assert_eq!(*swap.load(), 3);
+        assert_eq!(swap.epoch(), 2);
+    }
+
+    #[test]
+    fn epoch_swap_concurrent_readers_never_tear() {
+        let swap = Arc::new(EpochSwap::new(0u64));
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let swap = Arc::clone(&swap);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let v = *swap.load();
+                        assert!(v >= last, "value regressed: {v} < {last}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for v in 1..=100 {
+            swap.publish(v);
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader");
+        }
+        assert_eq!(*swap.load(), 100);
+    }
+}

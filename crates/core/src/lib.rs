@@ -28,6 +28,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod acl;
+pub mod compiled;
 pub mod fphunt;
 pub mod freshness;
 mod pipeline;
@@ -37,8 +38,9 @@ pub mod runner;
 pub mod stats;
 pub mod stray;
 
+pub use compiled::{CompiledClassifier, CompiledLookup, EpochClassifier, EpochSwap};
 pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, RibFreshness};
-pub use pipeline::Classifier;
+pub use pipeline::{planned_classify_workers, Classifier, PARALLEL_CUTOFF};
 pub use provenance::{
     DecisionRecord, DisagreementMatrix, MatchedRule, MethodVariant, PairMatrix, ProvenanceSampler,
     VerdictVector, METHOD_VARIANTS, VARIANT_PAIRS,

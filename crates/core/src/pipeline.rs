@@ -1,5 +1,6 @@
 //! The classification pipeline (paper Figure 3).
 
+use crate::compiled::{CompiledClassifier, CompiledLookup};
 use crate::provenance::{
     DecisionRecord, DisagreementMatrix, MatchedRule, MethodVariant, ProvenanceSampler,
     VerdictVector, METHOD_VARIANTS,
@@ -9,7 +10,73 @@ use spoofwatch_asgraph::{augment_with_orgs, As2Org, ReachCones};
 use spoofwatch_bgp::{Announcement, RouteInfo, RoutedTable};
 use spoofwatch_internet::bogon;
 use spoofwatch_net::{FlowRecord, InferenceMethod, Ipv4Prefix, OrgMode, TrafficClass};
+use spoofwatch_obs::{Clock, MetricsRegistry, RealClock};
 use spoofwatch_trie::PrefixSet;
+use std::sync::OnceLock;
+
+/// Batches smaller than this classify inline on the calling thread:
+/// at ~100 ns per fused lookup a 4096-flow batch costs well under a
+/// millisecond, which is cheaper than spawning even one worker.
+pub const PARALLEL_CUTOFF: usize = 4096;
+
+/// How many workers a classify batch of `flows` records will use given
+/// `threads` available cores. Pure so tests and benches can assert the
+/// no-spawn contract without instrumenting the thread runtime: the
+/// answer is `1` (run inline, zero spawns) whenever parallelism is
+/// unavailable or the batch is below [`PARALLEL_CUTOFF`].
+pub fn planned_classify_workers(flows: usize, threads: usize) -> usize {
+    if threads <= 1 || flows < PARALLEL_CUTOFF {
+        1
+    } else {
+        threads.min(flows)
+    }
+}
+
+/// Run a set of batch-classify jobs, inline when there is only one and
+/// on scoped worker threads otherwise — with honest panic semantics:
+/// every panicking job increments `spoofwatch_classify_worker_panics_total`
+/// on `reg`, and the **original payload** of the first panic is
+/// re-raised once all sibling jobs have finished, so the caller's
+/// quarantine machinery (the runner's `catch_unwind` taxonomy) sees the
+/// real failure instead of a synthetic "worker panicked" string.
+fn run_worker_jobs(reg: &MetricsRegistry, jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    let payloads: Vec<_> = if jobs.len() <= 1 {
+        jobs.into_iter()
+            .filter_map(|job| catch_unwind(AssertUnwindSafe(job)).err())
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|job| s.spawn(move || catch_unwind(AssertUnwindSafe(job)).err()))
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| match h.join() {
+                    Ok(caught) => caught,
+                    // The catch_unwind inside the worker makes this
+                    // unreachable in practice, but fold it in rather
+                    // than expect() it away.
+                    Err(payload) => Some(payload),
+                })
+                .collect()
+        })
+    };
+    if payloads.is_empty() {
+        return;
+    }
+    // The counter is registered lazily so the metric namespace only
+    // carries it once a panic has actually happened.
+    reg.counter(
+        "spoofwatch_classify_worker_panics_total",
+        "Classify worker jobs that panicked (payload re-raised to the caller)",
+        &[],
+    )
+    .add(payloads.len() as u64);
+    let mut payloads = payloads;
+    resume_unwind(payloads.swap_remove(0));
+}
 
 /// The four precomputed cone variants, held as named fields so the hot
 /// path's lookup is infallible by construction: every (cone method, org
@@ -50,6 +117,10 @@ impl ConeSet {
 pub struct Classifier {
     bogons: PrefixSet,
     table: RoutedTable,
+    /// The bogon set and routed table fused into one frozen LPM — the
+    /// hot path's single memory walk. The tries above stay
+    /// authoritative; this is recompiled from them on every build.
+    compiled: CompiledClassifier,
     cones: ConeSet,
     relationships: Relationships,
 }
@@ -76,9 +147,12 @@ impl Classifier {
         augment_with_orgs(&mut cc_org_edges, orgs);
         let cc_org = ReachCones::compute(&cc_org_edges, &origin_units);
 
+        let bogons = bogon::bogon_set();
+        let compiled = CompiledClassifier::compile(&bogons, &table);
         Classifier {
-            bogons: bogon::bogon_set(),
+            bogons,
             table,
+            compiled,
             cones: ConeSet {
                 full_plain,
                 full_org,
@@ -92,6 +166,12 @@ impl Classifier {
     /// The merged routed table.
     pub fn table(&self) -> &RoutedTable {
         &self.table
+    }
+
+    /// The compiled (frozen, fused) lookup structure behind the hot
+    /// path — exposed for benchmarks and memory accounting.
+    pub fn compiled(&self) -> &CompiledClassifier {
+        &self.compiled
     }
 
     /// The inferred relationship set behind the Customer Cone.
@@ -120,14 +200,42 @@ impl Classifier {
         method: InferenceMethod,
         org: OrgMode,
     ) -> TrafficClass {
+        let info = match self.compiled.lookup(flow.src) {
+            CompiledLookup::Bogon { .. } => return TrafficClass::Bogon,
+            CompiledLookup::Unrouted => return TrafficClass::Unrouted,
+            CompiledLookup::Routed { info, .. } => info,
+        };
+        // `ConeSet::get` is total: `None` means Naive, anything else
+        // resolves to a precomputed cone — no panic path.
+        let valid = match self.cones.get(method, org) {
+            None => info.has_on_path(flow.member),
+            Some(cones) => cones.is_valid_source_any(flow.member, &info.origins),
+        };
+        if valid {
+            TrafficClass::Valid
+        } else {
+            TrafficClass::Invalid
+        }
+    }
+
+    /// The reference two-trie-walk implementation of
+    /// [`Classifier::classify_with`]: bogon set, then routed table,
+    /// then cone check, exactly as the paper's Figure 3 sequences them.
+    /// The production path goes through the compiled single-walk
+    /// lookup; this one exists so differential tests and the `lpm`
+    /// benchmark can pin the two against each other.
+    pub fn classify_with_tries(
+        &self,
+        flow: &FlowRecord,
+        method: InferenceMethod,
+        org: OrgMode,
+    ) -> TrafficClass {
         if self.bogons.contains_addr(flow.src) {
             return TrafficClass::Bogon;
         }
         let Some((_prefix, info)) = self.table.lookup(flow.src) else {
             return TrafficClass::Unrouted;
         };
-        // `ConeSet::get` is total: `None` means Naive, anything else
-        // resolves to a precomputed cone — no panic path.
         let valid = match self.cones.get(method, org) {
             None => info.has_on_path(flow.member),
             Some(cones) => cones.is_valid_source_any(flow.member, &info.origins),
@@ -174,16 +282,21 @@ impl Classifier {
             class,
             rule,
         };
-        if let Some(range) = self.bogons.lookup(flow.src) {
-            return record(TrafficClass::Bogon, MatchedRule::Bogon { range });
-        }
-        let Some((prefix, info)) = self.table.lookup(flow.src) else {
-            return record(
-                TrafficClass::Unrouted,
-                MatchedRule::Unrouted {
-                    bucket: Ipv4Prefix::new_truncating(flow.src, 8),
-                },
-            );
+        let (prefix, info) = match self.compiled.lookup(flow.src) {
+            // The compiled entry carries the most specific covering
+            // bogon range — identical to what `bogons.lookup` reports.
+            CompiledLookup::Bogon { range } => {
+                return record(TrafficClass::Bogon, MatchedRule::Bogon { range });
+            }
+            CompiledLookup::Unrouted => {
+                return record(
+                    TrafficClass::Unrouted,
+                    MatchedRule::Unrouted {
+                        bucket: Ipv4Prefix::new_truncating(flow.src, 8),
+                    },
+                );
+            }
+            CompiledLookup::Routed { prefix, info } => (prefix, info),
         };
         let verdicts =
             VerdictVector::from_verdicts(METHOD_VARIANTS.map(|v| self.valid_under(flow, info, v)));
@@ -199,11 +312,10 @@ impl Classifier {
     /// equals `classify_with(flow, METHOD_VARIANTS[i].method,
     /// METHOD_VARIANTS[i].org)`.
     pub fn classify_variants(&self, flow: &FlowRecord) -> [TrafficClass; 5] {
-        if self.bogons.contains_addr(flow.src) {
-            return [TrafficClass::Bogon; 5];
-        }
-        let Some((_prefix, info)) = self.table.lookup(flow.src) else {
-            return [TrafficClass::Unrouted; 5];
+        let info = match self.compiled.lookup(flow.src) {
+            CompiledLookup::Bogon { .. } => return [TrafficClass::Bogon; 5],
+            CompiledLookup::Unrouted => return [TrafficClass::Unrouted; 5],
+            CompiledLookup::Routed { info, .. } => info,
         };
         METHOD_VARIANTS.map(|v| {
             if self.valid_under(flow, info, v) {
@@ -221,27 +333,28 @@ impl Classifier {
     pub fn method_disagreement(&self, flows: &[FlowRecord]) -> DisagreementMatrix {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4)
-            .min(flows.len().max(1));
-        let chunk = flows.len().div_ceil(threads).max(1);
-        let mut matrix = DisagreementMatrix::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = flows
-                .chunks(chunk)
-                .map(|in_chunk| {
-                    s.spawn(move || {
-                        let mut m = DisagreementMatrix::new();
-                        for f in in_chunk {
-                            m.record(&self.classify_variants(f));
-                        }
-                        m
-                    })
+            .unwrap_or(4);
+        let workers = planned_classify_workers(flows.len(), threads);
+        let chunk = flows.len().div_ceil(workers).max(1);
+        let n_chunks = flows.len().div_ceil(chunk);
+        let mut partials: Vec<DisagreementMatrix> =
+            (0..n_chunks).map(|_| DisagreementMatrix::new()).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = partials
+            .iter_mut()
+            .zip(flows.chunks(chunk))
+            .map(|(m, in_chunk)| -> Box<dyn FnOnce() + Send + '_> {
+                Box::new(move || {
+                    for f in in_chunk {
+                        m.record(&self.classify_variants(f));
+                    }
                 })
-                .collect();
-            for h in handles {
-                matrix.merge(&h.join().expect("disagreement worker panicked"));
-            }
-        });
+            })
+            .collect();
+        run_worker_jobs(spoofwatch_obs::global(), jobs);
+        let mut matrix = DisagreementMatrix::new();
+        for m in &partials {
+            matrix.merge(m);
+        }
         matrix
     }
 
@@ -266,32 +379,66 @@ impl Classifier {
         out
     }
 
-    /// Classify a batch in parallel (order-preserving).
+    /// Classify a batch (order-preserving): inline on the calling
+    /// thread below [`PARALLEL_CUTOFF`] flows, in parallel above it.
     pub fn classify_trace(
         &self,
         flows: &[FlowRecord],
         method: InferenceMethod,
         org: OrgMode,
     ) -> Vec<TrafficClass> {
-        let reg = spoofwatch_obs::global();
-        let t0 = reg.is_enabled().then(std::time::Instant::now);
+        static CLOCK: OnceLock<RealClock> = OnceLock::new();
+        self.classify_trace_instrumented(
+            flows,
+            method,
+            org,
+            spoofwatch_obs::global(),
+            CLOCK.get_or_init(RealClock::new),
+        )
+    }
+
+    /// [`Classifier::classify_trace`] with explicit observability
+    /// plumbing: batch latency and per-class counters are recorded on
+    /// `reg` using `clock` for the duration measurement. Production
+    /// passes the global registry and a real clock; tests pass a local
+    /// registry and a [`spoofwatch_obs::ManualClock`] so the recorded
+    /// histogram values are exact, not merely positive.
+    pub fn classify_trace_instrumented(
+        &self,
+        flows: &[FlowRecord],
+        method: InferenceMethod,
+        org: OrgMode,
+        reg: &MetricsRegistry,
+        clock: &dyn Clock,
+    ) -> Vec<TrafficClass> {
+        let t0 = reg.is_enabled().then(|| clock.now_ns());
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(4)
-            .min(flows.len().max(1));
-        let chunk = flows.len().div_ceil(threads).max(1);
+            .unwrap_or(4);
+        let workers = planned_classify_workers(flows.len(), threads);
         let mut out = vec![TrafficClass::Valid; flows.len()];
-        std::thread::scope(|s| {
-            for (in_chunk, out_chunk) in flows.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (f, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *o = self.classify_with(f, method, org);
-                    }
-                });
+        if workers <= 1 {
+            // Small batch: the spawn cost would dwarf the lookups.
+            for (f, o) in flows.iter().zip(out.iter_mut()) {
+                *o = self.classify_with(f, method, org);
             }
-        });
+        } else {
+            let chunk = flows.len().div_ceil(workers).max(1);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = flows
+                .chunks(chunk)
+                .zip(out.chunks_mut(chunk))
+                .map(|(in_chunk, out_chunk)| -> Box<dyn FnOnce() + Send + '_> {
+                    Box::new(move || {
+                        for (f, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                            *o = self.classify_with(f, method, org);
+                        }
+                    })
+                })
+                .collect();
+            run_worker_jobs(reg, jobs);
+        }
         if let Some(t0) = t0 {
-            let elapsed = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let elapsed = clock.since_ns(t0);
             reg.histogram(
                 "spoofwatch_classify_batch_duration_ns",
                 "Wall-clock latency of one classify_trace batch",
@@ -690,6 +837,144 @@ mod tests {
             member: e.member,
             ..flow("0.0.0.1", 0)
         }
+    }
+
+    /// The panic payload as text, whether the compiler materialized it
+    /// as a `String` or const-folded it to a `&'static str`.
+    fn payload_text(err: &(dyn std::any::Any + Send)) -> &str {
+        err.downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&'static str>().copied())
+            .expect("panic payload is textual")
+    }
+
+    #[test]
+    fn worker_jobs_preserve_panic_payload_inline() {
+        let reg = spoofwatch_obs::MetricsRegistry::new();
+        let jobs: Vec<Box<dyn FnOnce() + Send>> =
+            vec![Box::new(|| panic!("chunk 7 poisoned: {}", 0xdead))];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_worker_jobs(&reg, jobs);
+        }))
+        .expect_err("panic must propagate");
+        assert_eq!(
+            payload_text(&*err),
+            "chunk 7 poisoned: 57005",
+            "the ORIGINAL payload must survive, not a synthetic join message"
+        );
+        assert_eq!(
+            reg.snapshot()
+                .counter("spoofwatch_classify_worker_panics_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn worker_jobs_preserve_first_payload_and_finish_siblings() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let reg = spoofwatch_obs::MetricsRegistry::new();
+        let survivor = AtomicU64::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| panic!("first payload")),
+            Box::new(|| {
+                survivor.store(42, Ordering::SeqCst);
+            }),
+            Box::new(|| panic!("second payload")),
+        ];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_worker_jobs(&reg, jobs);
+        }))
+        .expect_err("panic must propagate");
+        assert_eq!(
+            payload_text(&*err),
+            "first payload",
+            "first job's payload wins"
+        );
+        assert_eq!(
+            survivor.load(Ordering::SeqCst),
+            42,
+            "non-panicking siblings run to completion before the re-raise"
+        );
+        assert_eq!(
+            reg.snapshot()
+                .counter("spoofwatch_classify_worker_panics_total", &[]),
+            Some(2),
+            "every panicking job is counted"
+        );
+    }
+
+    #[test]
+    fn worker_jobs_quiet_path_registers_no_panic_counter() {
+        let reg = spoofwatch_obs::MetricsRegistry::new();
+        run_worker_jobs(&reg, vec![Box::new(|| {}), Box::new(|| {})]);
+        assert_eq!(
+            reg.snapshot()
+                .counter("spoofwatch_classify_worker_panics_total", &[]),
+            None,
+            "the counter only exists once a panic has happened"
+        );
+    }
+
+    #[test]
+    fn small_batches_classify_inline() {
+        // The no-spawn contract: any batch under the cutoff plans one
+        // worker — the inline path — no matter how many cores exist.
+        for threads in [1, 2, 8, 128] {
+            assert_eq!(planned_classify_workers(64, threads), 1, "{threads} threads");
+            assert_eq!(planned_classify_workers(PARALLEL_CUTOFF - 1, threads), 1);
+        }
+        // At or above the cutoff, parallelism kicks in (given cores).
+        assert_eq!(planned_classify_workers(PARALLEL_CUTOFF, 8), 8);
+        assert_eq!(planned_classify_workers(PARALLEL_CUTOFF, 1), 1);
+        assert_eq!(planned_classify_workers(0, 8), 1);
+        // And the inline path gives identical answers.
+        let c = classifier();
+        let flows: Vec<FlowRecord> = mixed_flows().into_iter().take(64).collect();
+        let inline = c.classify_trace(&flows, InferenceMethod::FullCone, OrgMode::Plain);
+        let serial: Vec<_> = flows
+            .iter()
+            .map(|f| c.classify_with(f, InferenceMethod::FullCone, OrgMode::Plain))
+            .collect();
+        assert_eq!(inline, serial);
+    }
+
+    #[test]
+    fn batch_latency_histogram_is_exact_under_manual_clock() {
+        use spoofwatch_obs::ManualClock;
+        use std::time::Duration;
+        let c = classifier();
+        let flows = mixed_flows();
+        let reg = spoofwatch_obs::MetricsRegistry::new();
+        let step = Duration::from_micros(7);
+        let clock = ManualClock::with_autotick(step);
+        let out = c.classify_trace_instrumented(
+            &flows,
+            InferenceMethod::FullCone,
+            OrgMode::Plain,
+            &reg,
+            &clock,
+        );
+        assert_eq!(
+            out,
+            c.classify_trace(&flows, InferenceMethod::FullCone, OrgMode::Plain)
+        );
+        let snap = reg.snapshot();
+        let h = snap
+            .histogram(
+                "spoofwatch_classify_batch_duration_ns",
+                &[("method", "full_cone")],
+            )
+            .expect("batch duration histogram recorded");
+        assert_eq!(h.count, 1);
+        assert_eq!(
+            h.sum, 7_000,
+            "autotick clock: elapsed is exactly one tick, {} observed",
+            h.sum
+        );
+        assert_eq!(
+            snap.counter_sum("spoofwatch_classified_flows_total"),
+            flows.len() as u64
+        );
     }
 
     use proptest::prelude::*;

@@ -39,6 +39,7 @@ pub use obs::{RunnerObs, MEMBER_LABEL_BUDGET};
 pub(crate) use obs::class_label as obs_class_label;
 pub use rollup::{read_ring, RollupConfig, WindowAccum};
 
+use crate::compiled::EpochSwap;
 use crate::pipeline::Classifier;
 use crate::provenance::{DisagreementMatrix, MethodVariant};
 use rollup::{RollupWriter, WindowCommit};
@@ -451,10 +452,33 @@ impl RunState {
 /// store holds a valid checkpoint for the same config and trace, the
 /// run continues from it.
 pub struct StudyRunner<'a> {
-    classifier: &'a Classifier,
+    classifier: ClassifierSource<'a>,
     cfg: RunnerConfig,
     obs: RunnerObs,
     rollup: Option<RollupConfig>,
+}
+
+/// Where the runner's classify closures get their classifier from: a
+/// fixed borrow for the common case, or an [`EpochSwap`] cell whose
+/// guard is taken **once per chunk** — so a classifier published
+/// mid-run takes effect at the next chunk boundary, and the retiring
+/// epoch stays alive exactly until its last in-flight chunk completes.
+#[derive(Clone, Copy)]
+enum ClassifierSource<'a> {
+    Fixed(&'a Classifier),
+    Epoch(&'a EpochSwap<Classifier>),
+}
+
+impl ClassifierSource<'_> {
+    /// Run `f` against the current classifier. For the epoch variant
+    /// the guard (an `Arc` clone) lives for the duration of `f` — one
+    /// chunk's worth of classification.
+    fn with<R>(self, f: impl FnOnce(&Classifier) -> R) -> R {
+        match self {
+            ClassifierSource::Fixed(c) => f(c),
+            ClassifierSource::Epoch(swap) => f(&swap.load()),
+        }
+    }
 }
 
 impl<'a> StudyRunner<'a> {
@@ -462,7 +486,19 @@ impl<'a> StudyRunner<'a> {
     /// observability (inert metrics/tracing handles, real clock).
     pub fn new(classifier: &'a Classifier, cfg: RunnerConfig) -> Self {
         StudyRunner {
-            classifier,
+            classifier: ClassifierSource::Fixed(classifier),
+            cfg,
+            obs: RunnerObs::disabled(),
+            rollup: None,
+        }
+    }
+
+    /// A runner that resolves its classifier through an [`EpochSwap`]
+    /// at every chunk, so RIB-refresh rebuilds published while the
+    /// study streams take effect mid-run without stopping it.
+    pub fn new_epoch(swap: &'a EpochSwap<Classifier>, cfg: RunnerConfig) -> Self {
+        StudyRunner {
+            classifier: ClassifierSource::Epoch(swap),
             cfg,
             obs: RunnerObs::disabled(),
             rollup: None,
@@ -513,27 +549,31 @@ impl<'a> StudyRunner<'a> {
         source: &mut S,
         store: &CheckpointStore,
     ) -> Result<RunReport, RunnerError> {
-        let classifier = self.classifier;
+        let source_of = self.classifier;
         let (method, org) = (self.cfg.method, self.cfg.org);
         if self.cfg.track_disagreement {
             let primary = MethodVariant::index_of(method, org);
             self.run_inner(source, store, move |flows: &[FlowRecord]| {
-                let mut matrix = DisagreementMatrix::new();
-                let mut classes = Vec::with_capacity(flows.len());
-                for f in flows {
-                    let variants = classifier.classify_variants(f);
-                    matrix.record(&variants);
-                    classes.push(variants[primary]);
-                }
-                (classes, Some(matrix))
+                source_of.with(|classifier| {
+                    let mut matrix = DisagreementMatrix::new();
+                    let mut classes = Vec::with_capacity(flows.len());
+                    for f in flows {
+                        let variants = classifier.classify_variants(f);
+                        matrix.record(&variants);
+                        classes.push(variants[primary]);
+                    }
+                    (classes, Some(matrix))
+                })
             })
         } else {
             self.run_inner(source, store, move |flows: &[FlowRecord]| {
-                let classes = flows
-                    .iter()
-                    .map(|f| classifier.classify_with(f, method, org))
-                    .collect();
-                (classes, None)
+                source_of.with(|classifier| {
+                    let classes = flows
+                        .iter()
+                        .map(|f| classifier.classify_with(f, method, org))
+                        .collect();
+                    (classes, None)
+                })
             })
         }
     }

@@ -72,12 +72,27 @@ impl Clock for RealClock {
 #[derive(Debug, Default)]
 pub struct ManualClock {
     ns: AtomicU64,
+    /// Nanoseconds each `now_ns` read advances time by (0 = reads are
+    /// pure observations, the default).
+    tick_ns: u64,
 }
 
 impl ManualClock {
     /// A manual clock starting at time zero.
     pub fn new() -> ManualClock {
         ManualClock::default()
+    }
+
+    /// A manual clock where every `now_ns` *read* advances time by
+    /// `step` before reporting it. Code that measures a duration with
+    /// two reads (`t1 - t0`) therefore observes exactly `step`
+    /// regardless of real elapsed time — which makes latency
+    /// instrumentation assertable to the nanosecond in tests.
+    pub fn with_autotick(step: Duration) -> ManualClock {
+        ManualClock {
+            ns: AtomicU64::new(0),
+            tick_ns: u64::try_from(step.as_nanos()).unwrap_or(u64::MAX),
+        }
     }
 
     /// Move time forward by `d`.
@@ -89,7 +104,10 @@ impl ManualClock {
 
 impl Clock for ManualClock {
     fn now_ns(&self) -> u64 {
-        self.ns.load(Ordering::SeqCst)
+        // With autotick off (tick_ns == 0) this is a plain load.
+        self.ns
+            .fetch_add(self.tick_ns, Ordering::SeqCst)
+            .saturating_add(self.tick_ns)
     }
 
     fn sleep(&self, d: Duration) {
@@ -127,6 +145,17 @@ mod tests {
         c.sleep(Duration::from_millis(250));
         assert_eq!(c.now_ns(), 1_250_000_000, "sleep advances instantly");
         assert_eq!(c.since_ns(1_000_000_000), 250_000_000);
+    }
+
+    #[test]
+    fn manual_clock_autotick_makes_durations_exact() {
+        let c = ManualClock::with_autotick(Duration::from_micros(5));
+        let t0 = c.now_ns();
+        assert_eq!(t0, 5_000);
+        assert_eq!(c.since_ns(t0), 5_000, "each read steps exactly once");
+        // Explicit advances compose with the per-read tick.
+        c.advance(Duration::from_millis(1));
+        assert_eq!(c.now_ns(), 1_015_000);
     }
 
     #[test]

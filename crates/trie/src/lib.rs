@@ -22,12 +22,22 @@
 //! The trie is an arena of nodes addressed by `u32` indices with an
 //! explicit free list, so removal does not shift live nodes and the
 //! structure is cheap to clone and send across threads.
+//!
+//! For the classification hot path there is a third, read-only type:
+//!
+//! * [`FrozenLpm<T>`] — a DIR-24-8-style stride table compiled from a
+//!   trie or set ([`PrefixTrie::freeze`] / [`PrefixSet::freeze`]) that
+//!   answers any longest-prefix match in at most two dependent memory
+//!   loads. The trie stays authoritative; the frozen table is rebuilt
+//!   and swapped in whenever the source data changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod frozen;
 mod set;
 mod trie;
 
+pub use frozen::FrozenLpm;
 pub use set::PrefixSet;
 pub use trie::PrefixTrie;

@@ -72,10 +72,19 @@ impl PrefixSet {
 
     /// Whether some single member prefix covers all of `prefix`.
     pub fn covers(&self, prefix: &Ipv4Prefix) -> bool {
+        self.covering(prefix).is_some()
+    }
+
+    /// The most specific member prefix covering all of `prefix`, if any.
+    pub fn covering(&self, prefix: &Ipv4Prefix) -> Option<Ipv4Prefix> {
+        // `matches` walks least specific first, so the last covering
+        // match is the most specific one.
         self.trie
             .matches(prefix.bits())
-            .iter()
-            .any(|(p, _)| p.covers(prefix))
+            .into_iter()
+            .filter(|(p, _)| p.covers(prefix))
+            .map(|(p, _)| p)
+            .next_back()
     }
 
     /// Insert every member of `other`.
@@ -285,6 +294,17 @@ mod tests {
         assert!(s.covers(&p("10.1.0.0/16")));
         // The union covers 10/8 but no single member does.
         assert!(!s.covers(&p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn covering_returns_most_specific() {
+        let s = set(&["10.0.0.0/8", "10.0.0.0/16", "10.128.0.0/9"]);
+        assert_eq!(s.covering(&p("10.0.1.0/24")), Some(p("10.0.0.0/16")));
+        assert_eq!(s.covering(&p("10.64.0.0/16")), Some(p("10.0.0.0/8")));
+        assert_eq!(s.covering(&p("10.0.0.0/16")), Some(p("10.0.0.0/16")));
+        assert_eq!(s.covering(&p("10.0.0.0/15")), Some(p("10.0.0.0/8")));
+        assert_eq!(s.covering(&p("11.0.0.0/24")), None);
+        assert_eq!(s.covering(&p("10.0.0.0/7")), None);
     }
 
     #[test]

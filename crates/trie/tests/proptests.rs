@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use spoofwatch_net::Ipv4Prefix;
-use spoofwatch_trie::{PrefixSet, PrefixTrie};
-use std::collections::HashMap;
+use spoofwatch_trie::{FrozenLpm, PrefixSet, PrefixTrie};
+use std::collections::{BTreeMap, HashMap};
 
 /// Arbitrary canonical prefix, biased toward a small universe so nesting
 /// and sibling collisions actually happen.
@@ -198,5 +198,187 @@ proptest! {
             prop_assert!(w[0] < w[1], "not strictly ascending: {} vs {}", w[0], w[1]);
         }
         prop_assert_eq!(got.len(), trie.len());
+    }
+
+    /// Free-list reuse under interleaved insert/remove: structural
+    /// invariants (including the arena-leak check, which counts free
+    /// slots) must hold after *every* operation, not just at the end,
+    /// and the final map must match a BTreeMap oracle — including LPM.
+    #[test]
+    fn op_sequence_holds_invariants_throughout(
+        ops in prop::collection::vec(
+            (arb_tight_prefix(), 0u32..100, prop::bool::ANY),
+            1..150,
+        ),
+        probes in prop::collection::vec(0x0A00_0000u32..=0x0AFF_FFFF, 1..20),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut oracle: BTreeMap<Ipv4Prefix, u32> = BTreeMap::new();
+        for (step, (p, v, is_insert)) in ops.iter().enumerate() {
+            if *is_insert {
+                prop_assert_eq!(trie.insert(*p, *v), oracle.insert(*p, *v), "step {}", step);
+            } else {
+                prop_assert_eq!(trie.remove(p), oracle.remove(p), "step {}", step);
+            }
+            if let Err(e) = trie.check_invariants() {
+                prop_assert!(false, "invariants broken at step {step} ({p}): {e}");
+            }
+        }
+        prop_assert_eq!(trie.len(), oracle.len());
+        for (p, v) in &oracle {
+            prop_assert_eq!(trie.get(p), Some(v));
+        }
+        for addr in probes {
+            let want = oracle
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, *v));
+            prop_assert_eq!(trie.lookup(addr).map(|(p, v)| (p, *v)), want);
+        }
+    }
+
+    /// Differential: `FrozenLpm` compiled from a trie built by an
+    /// arbitrary insert/remove sequence must return the exact same
+    /// `(prefix, value)` as `PrefixTrie::lookup` for every probe —
+    /// random addresses plus the boundary addresses of every prefix
+    /// that ever appeared in the sequence.
+    #[test]
+    fn frozen_matches_trie_after_ops(
+        ops in prop::collection::vec(
+            (arb_deep_prefix(), 0u32..1000, prop::bool::ANY),
+            1..80,
+        ),
+        probes in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (p, v, is_insert) in &ops {
+            if *is_insert {
+                trie.insert(*p, *v);
+            } else {
+                trie.remove(p);
+            }
+        }
+        let frozen = trie.freeze();
+        prop_assert_eq!(frozen.len(), trie.len());
+        let mut addrs: Vec<u32> = probes;
+        for (p, _, _) in &ops {
+            addrs.extend([
+                p.first(),
+                p.last(),
+                p.first().wrapping_sub(1),
+                p.last().wrapping_add(1),
+            ]);
+        }
+        for addr in addrs {
+            prop_assert_eq!(
+                frozen.lookup(addr).map(|(p, v)| (p, *v)),
+                trie.lookup(addr).map(|(p, v)| (p, *v)),
+                "addr {:#010x}",
+                addr
+            );
+        }
+    }
+
+    /// Membership answers of a frozen `PrefixSet` match the live set.
+    #[test]
+    fn frozen_set_matches_membership(
+        prefixes in prop::collection::vec(arb_deep_prefix(), 1..40),
+        probes in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let set: PrefixSet = prefixes.iter().collect();
+        let frozen = set.freeze();
+        for addr in probes {
+            prop_assert_eq!(
+                frozen.contains_addr(addr),
+                set.contains_addr(addr),
+                "addr {:#010x}",
+                addr
+            );
+            prop_assert_eq!(
+                frozen.lookup(addr).map(|(p, _)| p),
+                set.lookup(addr),
+                "addr {:#010x}",
+                addr
+            );
+        }
+    }
+}
+
+/// A very small universe (64 aligned blocks × lengths 8..=14) so that
+/// removes collide with earlier inserts often enough to exercise node
+/// splicing and free-list reuse, with occasional deep prefixes mixed in.
+fn arb_tight_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (0u32..64, 8u8..=14, 0u8..=4).prop_map(|(block, len, deep)| {
+        if deep == 0 {
+            // A sprinkle of /24–/32 under one block to stress splits.
+            Ipv4Prefix::new_truncating(0x0A00_0000 | (block << 8) | (block & 0xFF), 24 + (len % 9))
+        } else {
+            Ipv4Prefix::new_truncating(0x0A00_0000 | (block << 18), len)
+        }
+    })
+}
+
+/// Full-range prefixes with lengths 8..=32: exercises spill chunks and
+/// leaf-pushing in the frozen table without the multi-megaslot paints a
+/// /0 would cost per case (short lengths are covered deterministically
+/// by `frozen_boundary_ladder`).
+fn arb_deep_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 8u8..=32).prop_map(|(bits, len)| Ipv4Prefix::new_truncating(bits, len))
+}
+
+/// Deterministic boundary sweep: a nested ladder of all 33 prefix
+/// lengths /0–/32 (default route through host route) down one path,
+/// plus sibling host routes at bucket edges. The frozen table must
+/// agree with the trie at every prefix's first/last address and the
+/// addresses just outside them.
+#[test]
+fn frozen_boundary_ladder() {
+    let base = 0xC0A8_01FFu32; // 192.168.1.255: all-ones tail flips bits at every len
+    let mut trie = PrefixTrie::new();
+    for len in 0..=32u8 {
+        trie.insert(Ipv4Prefix::new_truncating(base, len), len as u32);
+    }
+    // Edge companions: host routes at the ends of the address space.
+    trie.insert(Ipv4Prefix::host(0x0000_0000), 100);
+    trie.insert(Ipv4Prefix::host(0xFFFF_FFFF), 101);
+    trie.check_invariants().unwrap();
+    let frozen = trie.freeze();
+    assert_eq!(frozen.len(), trie.len());
+
+    let mut addrs = vec![0u32, 1, u32::MAX, u32::MAX - 1, base];
+    for (p, _) in trie.iter() {
+        addrs.extend([
+            p.first(),
+            p.last(),
+            p.first().wrapping_sub(1),
+            p.last().wrapping_add(1),
+        ]);
+    }
+    for addr in addrs {
+        assert_eq!(
+            frozen.lookup(addr).map(|(p, v)| (p, *v)),
+            trie.lookup(addr).map(|(p, v)| (p, *v)),
+            "addr {addr:#010x}"
+        );
+    }
+}
+
+/// The default route alone must answer every address, and removing it
+/// (rebuild) must miss every address — the /0 paint covers the whole
+/// level-1 array.
+#[test]
+fn frozen_default_route_only() {
+    let mut trie = PrefixTrie::new();
+    trie.insert(Ipv4Prefix::DEFAULT, 7u32);
+    let frozen = trie.freeze();
+    for addr in [0u32, 1, 0x0A00_0001, 0x7FFF_FFFF, 0x8000_0000, u32::MAX] {
+        assert_eq!(frozen.lookup(addr).unwrap(), (Ipv4Prefix::DEFAULT, &7));
+    }
+    trie.remove(&Ipv4Prefix::DEFAULT);
+    let empty: FrozenLpm<u32> = trie.freeze();
+    assert!(empty.is_empty());
+    for addr in [0u32, 0x0A00_0001, u32::MAX] {
+        assert!(empty.lookup(addr).is_none());
     }
 }
