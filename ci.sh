@@ -61,4 +61,19 @@ test -s BENCH_lpm.json || { echo "BENCH_lpm.json baseline missing"; exit 1; }
 grep -q '"bench":"lpm"' BENCH_lpm.json \
     || { echo "BENCH_lpm.json baseline malformed"; exit 1; }
 
+echo "==> sharded study smoke test (bit-identity, chaos recovery, shard-loss accounting)"
+cargo test -q -p spoofwatch-core --test shard_study
+# The example proves a 3-shard UDS run bit-identical to single-node,
+# then kills a shard past its retry budget and checks the degraded
+# accounting invariant and report caveats. It exits nonzero on any
+# mismatch.
+cargo run -q --release --example sharded_study > /dev/null
+# The shard bench asserts clean runs at 1/2/4 shards, shard-count-
+# independent merges, and a bounded shard-layer tax, and refreshes the
+# tracked BENCH_shard.json baseline.
+CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench shard > /dev/null
+test -s BENCH_shard.json || { echo "BENCH_shard.json baseline missing"; exit 1; }
+grep -q '"bench":"shard"' BENCH_shard.json \
+    || { echo "BENCH_shard.json baseline malformed"; exit 1; }
+
 echo "==> CI green"

@@ -5,7 +5,7 @@
 use crate::{addrstruct, attack, ccdf, evaluate, portmix, scatter, sizes, timeseries, venn};
 use spoofwatch_core::{
     Classifier, Confidence, DecisionRecord, DegradedStats, DisagreementMatrix, MemberBreakdown,
-    RunnerHealth, Table1,
+    RunnerHealth, ShardStudyReport, Table1,
 };
 use spoofwatch_net::InferenceMethod;
 use spoofwatch_internet::Internet;
@@ -83,6 +83,9 @@ pub struct StudyReport {
     /// Sampled decision-provenance exemplars, when the study classified
     /// with a live [`spoofwatch_core::ProvenanceSampler`].
     pub provenance: Option<Vec<DecisionRecord>>,
+    /// Sharded-study outcome, when the study ran distributed across
+    /// shard workers.
+    pub shards: Option<ShardStudyReport>,
 }
 
 impl StudyReport {
@@ -115,6 +118,7 @@ impl StudyReport {
             telemetry: None,
             disagreement: None,
             provenance: None,
+            shards: None,
         }
     }
 
@@ -153,6 +157,15 @@ impl StudyReport {
     /// that way" section.
     pub fn with_provenance(mut self, exemplars: Vec<DecisionRecord>) -> Self {
         self.provenance = Some(exemplars);
+        self
+    }
+
+    /// Attach a sharded-study outcome so [`render`](Self::render)
+    /// includes a distribution section — per-shard control-plane health,
+    /// the loss-extended accounting invariant, and degradation caveats
+    /// when a shard was lost past its retry budget.
+    pub fn with_shards(mut self, report: ShardStudyReport) -> Self {
+        self.shards = Some(report);
         self
     }
 
@@ -361,6 +374,43 @@ impl StudyReport {
             ));
             if !m.reconciles() {
                 out.push_str("\n*Caveat: disagreement cells do not tile the batch.*\n");
+            }
+        }
+
+        if let Some(shards) = &self.shards {
+            out.push_str("\n## Distribution & shard health\n\n");
+            out.push_str(&format!(
+                "- plan: {} shard(s), partition salt {:#x}\n",
+                shards.plan.shards, shards.plan.salt,
+            ));
+            for s in &shards.shards {
+                let state = if s.lost {
+                    "LOST"
+                } else if s.completed {
+                    "completed"
+                } else {
+                    "incomplete"
+                };
+                out.push_str(&format!(
+                    "- shard {}: {state}, {} chunks committed, {} death(s), \
+                     {} heartbeat miss(es), {} wire fault(s)\n",
+                    s.shard_id, s.committed_chunks, s.deaths, s.heartbeat_misses, s.wire_faults,
+                ));
+            }
+            out.push_str(&format!(
+                "- records: {} offered, {} processed, {} shed, {} quarantined, {} lost\n",
+                shards.records.offered,
+                shards.records.processed,
+                shards.records.shed,
+                shards.records.quarantined,
+                shards.records.lost,
+            ));
+            out.push_str(&format!(
+                "- accounting reconciles (offered == processed + shed + quarantined + lost): {}\n",
+                if shards.reconciles() { "yes" } else { "NO" },
+            ));
+            for caveat in shards.caveats() {
+                out.push_str(&format!("\n*Caveat: {caveat}.*\n"));
             }
         }
 
@@ -616,5 +666,78 @@ mod tests {
         assert!(text.contains("format=ipfix kind=bad_record: 3"));
         assert!(text.contains("queue depth at snapshot: 0"));
         assert!(text.contains("routing-table feed grade: degraded"));
+    }
+
+    #[test]
+    fn shard_section_renders_degradation_caveats() {
+        use spoofwatch_core::{LossAccounting, ShardPlan, ShardStatus, ShardStudyReport};
+        let net = Internet::generate(InternetConfig::tiny(88));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(8));
+        let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+        let classes = classifier.classify_trace(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+        );
+        let report = StudyReport::compute(&net, &trace, &classifier, &classes, None);
+        assert!(!report.render().contains("Distribution & shard health"));
+
+        let shard_report = ShardStudyReport {
+            plan: ShardPlan::new(3, 0xfeed),
+            breakdown: MemberBreakdown {
+                per_member: Default::default(),
+            },
+            ingest: Default::default(),
+            disagreement: None,
+            windows: Vec::new(),
+            records: LossAccounting {
+                offered: 100,
+                processed: 60,
+                shed: 0,
+                quarantined: 0,
+                lost: 40,
+            },
+            chunks: LossAccounting {
+                offered: 30,
+                processed: 20,
+                shed: 0,
+                quarantined: 0,
+                lost: 10,
+            },
+            shards: vec![
+                ShardStatus {
+                    shard_id: 0,
+                    completed: true,
+                    committed_chunks: 10,
+                    ..ShardStatus::default()
+                },
+                ShardStatus {
+                    shard_id: 1,
+                    completed: true,
+                    committed_chunks: 10,
+                    deaths: 1,
+                    heartbeat_misses: 1,
+                    ..ShardStatus::default()
+                },
+                ShardStatus {
+                    shard_id: 2,
+                    lost: true,
+                    deaths: 4,
+                    ..ShardStatus::default()
+                },
+            ],
+        };
+        assert!(shard_report.degraded());
+        assert!(shard_report.reconciles());
+        let text = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+            .with_shards(shard_report)
+            .render();
+        assert!(text.contains("## Distribution & shard health"));
+        assert!(text.contains("plan: 3 shard(s)"));
+        assert!(text.contains("shard 2: LOST"));
+        assert!(text.contains("100 offered, 60 processed, 0 shed, 0 quarantined, 40 lost"));
+        assert!(text.contains("offered == processed + shed + quarantined + lost): yes"));
+        assert!(text.contains("*Caveat: shard 2/3 was lost after 4 death(s)"));
+        assert!(text.contains("results are PARTIAL: 40 of 100 records lost"));
     }
 }

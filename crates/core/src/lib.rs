@@ -45,6 +45,11 @@ pub use provenance::{
     DecisionRecord, DisagreementMatrix, MatchedRule, MethodVariant, PairMatrix, ProvenanceSampler,
     VerdictVector, METHOD_VARIANTS, VARIANT_PAIRS,
 };
+pub use runner::shard::{
+    merge_windows, serve_shard, DeathPoint, LossAccounting, ShardConfig, ShardCoordinator,
+    ShardError, ShardPlan, ShardStatus, ShardStudyReport, ShardWorkerConfig, ShardWorkerError,
+    SHARD_WIRE_MAGIC,
+};
 pub use runner::{
     read_ring, Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore, ChunkSource,
     FlowAccounting, IngestTotals, RollupConfig, RunReport, RunnerConfig, RunnerError, RunnerHealth,

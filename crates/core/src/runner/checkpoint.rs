@@ -19,7 +19,7 @@ use super::rollup::WindowAccum;
 use super::{FlowAccounting, IngestTotals};
 use crate::provenance::DisagreementMatrix;
 use crate::stats::ClassCounters;
-use spoofwatch_net::{crc32, Asn, TrafficClass};
+use spoofwatch_net::{wire, Asn, TrafficClass};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
@@ -27,21 +27,14 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"SWCP";
-const VERSION: u16 = 1;
-/// magic + version + payload_len.
-const HEADER_LEN: usize = 10;
 
 /// Wrap `payload` in the shared length-framed, CRC-protected envelope
-/// (`magic | version | payload_len | payload | crc32`). Checkpoints and
-/// rollup windows use the same frame with different magics.
+/// (`magic | version | payload_len | payload | crc32`). Checkpoints,
+/// rollup windows, and (since the wire codec was promoted to
+/// `spoofwatch_net::wire`) shard-link messages all use the same frame
+/// with different magics.
 pub(super) fn frame_encode(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 4);
-    out.extend_from_slice(magic);
-    out.extend_from_slice(&VERSION.to_be_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    out.extend_from_slice(payload);
-    out.extend_from_slice(&crc32(payload).to_be_bytes());
-    out
+    wire::frame_encode(magic, payload)
 }
 
 /// Unwrap and verify a framed envelope, returning the payload slice.
@@ -51,31 +44,25 @@ pub(super) fn frame_decode<'a>(
     magic: &[u8; 4],
     data: &'a [u8],
 ) -> Result<&'a [u8], CheckpointError> {
-    if data.len() < HEADER_LEN + 4 {
-        return Err(CheckpointError::TooShort);
+    wire::frame_decode(magic, data).map_err(CheckpointError::from)
+}
+
+impl From<wire::FrameError> for CheckpointError {
+    fn from(e: wire::FrameError) -> Self {
+        match e {
+            wire::FrameError::TooShort => CheckpointError::TooShort,
+            wire::FrameError::BadMagic => CheckpointError::BadMagic,
+            wire::FrameError::BadVersion(v) => CheckpointError::BadVersion(v),
+            wire::FrameError::LengthMismatch {
+                declared,
+                available,
+            } => CheckpointError::LengthMismatch {
+                declared,
+                available,
+            },
+            wire::FrameError::BadCrc => CheckpointError::BadCrc,
+        }
     }
-    if &data[..4] != magic {
-        return Err(CheckpointError::BadMagic);
-    }
-    let version = u16::from_be_bytes([data[4], data[5]]);
-    if version != VERSION {
-        return Err(CheckpointError::BadVersion(version));
-    }
-    let declared = u32::from_be_bytes([data[6], data[7], data[8], data[9]]) as u64;
-    let available = (data.len() - HEADER_LEN - 4) as u64;
-    if declared != available {
-        return Err(CheckpointError::LengthMismatch {
-            declared,
-            available,
-        });
-    }
-    let payload = &data[HEADER_LEN..HEADER_LEN + declared as usize];
-    let crc_bytes = &data[HEADER_LEN + declared as usize..];
-    let want = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
-    if crc32(payload) != want {
-        return Err(CheckpointError::BadCrc);
-    }
-    Ok(payload)
 }
 
 /// The runner's deterministic state at a committed chunk boundary.
@@ -543,7 +530,7 @@ mod tests {
         assert_eq!(decoded.rollup_accum, None);
         // A flag byte with unknown bits is rejected, not ignored.
         let mut payload = Vec::new();
-        payload.extend_from_slice(&bytes[HEADER_LEN..bytes.len() - 4]);
+        payload.extend_from_slice(&bytes[wire::HEADER_LEN..bytes.len() - 4]);
         payload.push(0b100);
         let framed = frame_encode(MAGIC, &payload);
         assert_eq!(

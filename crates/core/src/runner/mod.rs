@@ -33,6 +33,7 @@
 mod checkpoint;
 mod obs;
 pub mod rollup;
+pub mod shard;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointSlot, CheckpointStore};
 pub use obs::{RunnerObs, MEMBER_LABEL_BUDGET};
@@ -456,6 +457,7 @@ pub struct StudyRunner<'a> {
     cfg: RunnerConfig,
     obs: RunnerObs,
     rollup: Option<RollupConfig>,
+    abort: Option<Arc<AtomicBool>>,
 }
 
 /// Where the runner's classify closures get their classifier from: a
@@ -490,6 +492,7 @@ impl<'a> StudyRunner<'a> {
             cfg,
             obs: RunnerObs::disabled(),
             rollup: None,
+            abort: None,
         }
     }
 
@@ -502,6 +505,7 @@ impl<'a> StudyRunner<'a> {
             cfg,
             obs: RunnerObs::disabled(),
             rollup: None,
+            abort: None,
         }
     }
 
@@ -516,6 +520,17 @@ impl<'a> StudyRunner<'a> {
     /// the run progresses (see [`rollup`]).
     pub fn with_rollups(mut self, cfg: RollupConfig) -> Self {
         self.rollup = Some(cfg);
+        self
+    }
+
+    /// A cooperative abort flag: when set mid-run, the runner stops at
+    /// the next chunk boundary and returns [`RunnerError::Interrupted`]
+    /// — committed state stays checkpointed and resumable, and no
+    /// terminal checkpoint or final rollup flush is written. Shard
+    /// workers set this when their transport dies so a severed link is
+    /// never mistaken for a clean end of stream.
+    pub fn with_abort(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.abort = Some(flag);
         self
     }
 
@@ -687,9 +702,11 @@ impl<'a> StudyRunner<'a> {
                 let mut pending: BTreeMap<u64, PendingMeta> = BTreeMap::new();
                 let mut arrived: BTreeMap<u64, Outcome> = BTreeMap::new();
 
-                let interrupt_due = |state: &RunState| {
+                let abort = self.abort.clone();
+                let interrupt_due = move |state: &RunState| {
                     cfg.interrupt_after_chunks
                         .is_some_and(|n| state.committed_chunks >= n)
+                        || abort.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
                 };
                 if interrupt_due(&state) {
                     return Ok(true);
@@ -752,6 +769,12 @@ impl<'a> StudyRunner<'a> {
                     if interrupt_due(&state) {
                         return Ok(true);
                     }
+                }
+
+                // An abort racing end-of-stream must not finalize: the
+                // severed source may have been cut mid-trace.
+                if interrupt_due(&state) {
+                    return Ok(true);
                 }
 
                 // Completed: close the final partial rollup window, then
@@ -1115,12 +1138,24 @@ fn watchdog_loop(
     let clock: &dyn Clock = obs.clock.as_ref();
     let tracer: &Tracer = obs.tracer.as_ref();
     let tick = Duration::from_millis((timeout_ms / 4).max(1));
+    // The tick governs the stall-check schedule, but the sleep itself
+    // happens in short slices polling `done`: `run()` joins this thread
+    // via `thread::scope`, and a single uninterruptible tick sleep
+    // (7.5 s at the default 30 s timeout) would stall every completed
+    // run by up to one tick.
+    let slice = tick.min(Duration::from_millis(25));
     let timeout_ns = timeout_ms.saturating_mul(1_000_000);
     let mut last_seen = committed.load(Ordering::Relaxed);
     let mut last_change_ns = clock.now_ns();
     let mut flagged = false;
     while !done.load(Ordering::Relaxed) {
-        clock.sleep(tick);
+        let tick_start = clock.now_ns();
+        while clock.since_ns(tick_start) < tick.as_nanos() as u64 {
+            clock.sleep(slice);
+            if done.load(Ordering::Relaxed) {
+                return;
+            }
+        }
         let now = committed.load(Ordering::Relaxed);
         if now != last_seen {
             last_seen = now;

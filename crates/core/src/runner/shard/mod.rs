@@ -1,0 +1,1547 @@
+//! Sharded multi-node study: splitter, shard workers, and fan-in
+//! aggregation with exact accounting.
+//!
+//! A [`ShardCoordinator`] owns the trace bytes and hash-partitions every
+//! decoded chunk's flows on the member/flow key across `N` shard
+//! workers ([`ShardPlan`]). Each worker runs the existing supervised
+//! [`StudyRunner`] over its partition — with its own checkpoint store
+//! and rollup ring — and the coordinator merges the terminal
+//! checkpoints, rollup windows, and ingest health into a
+//! [`ShardStudyReport`] that is **bit-identical** to a single-node run
+//! over the same trace.
+//!
+//! ## Why the merge is deterministic
+//!
+//! Every shard receives a sub-chunk for *every* trace chunk — same
+//! sequence number and byte span, only the flows it owns (possibly
+//! none). Chunk sequences therefore stay contiguous per shard, worker
+//! checkpoint cursors are trace cursors, and rollup windows align
+//! across shards chunk-for-chunk. Decode health is attributed to
+//! exactly one owner shard per chunk (`seq % shards`), so summed ingest
+//! totals equal the single-node totals. Merging is then pure integer
+//! arithmetic: per-member counters, class flows, ingest scalars, and
+//! disagreement matrices *sum* across shards; window geometry and
+//! chunk-outcome accounting are *equal* across shards and asserted so.
+//!
+//! ## Failure model
+//!
+//! The control plane assumes a hostile link and mortal workers:
+//!
+//! * every message rides a CRC-framed wire envelope; torn or corrupt
+//!   frames are dropped and recovered by resynchronization (the worker
+//!   detects the sequence gap and requests retransmission — go-back-N
+//!   from its own cursor);
+//! * workers heartbeat; the coordinator declares a silent shard dead
+//!   after [`ShardConfig::liveness_timeout_ms`] and respawns it with
+//!   seeded-jitter bounded exponential backoff (mirroring
+//!   `RibFreshness`);
+//! * a respawned worker resumes idempotently from its last checkpoint —
+//!   re-dispatched work re-commits nothing it already committed;
+//! * a shard that dies more than [`ShardConfig::retry_budget`] times is
+//!   declared **lost**: the study still completes, the lost partition
+//!   is counted under the extended invariant
+//!   `offered == processed + shed + quarantined + lost`
+//!   (record- and chunk-level, via one deterministic re-pass over the
+//!   trace), and the loss is surfaced as report caveats plus a
+//!   flight-recorder dump.
+//!
+//! A worker binds its checkpoint identity to the *shard plan* as well
+//! as the config and trace ([`ShardPlan::bind`]): resuming a re-sharded
+//! study is rejected loudly (`Fatal` on the wire, error at the
+//! coordinator) instead of silently merging mismatched partitions.
+
+mod proto;
+
+use super::checkpoint::CheckpointStore;
+use super::rollup::{read_ring, RollupConfig, WindowAccum};
+use super::{
+    fnv, ChunkSource, FlowAccounting, IngestTotals, RunnerConfig, RunnerError, RunnerObs,
+    StudyRunner,
+};
+use crate::pipeline::Classifier;
+use crate::provenance::DisagreementMatrix;
+use crate::stats::MemberBreakdown;
+use proto::{Msg, ReportMsg, WireChunk, WireHealth, FATAL_IDENTITY, FATAL_INTERNAL, PROTO_VERSION};
+use spoofwatch_ixp::chunked::{ChunkedIpfixReader, FlowChunk};
+use spoofwatch_net::wire::{ShardEndpoint, ShardRx, ShardTransport, ShardTx};
+use spoofwatch_net::FlowRecord;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Frame magic every shard-link transport must be built with.
+pub const SHARD_WIRE_MAGIC: [u8; 4] = proto::SHARD_MAGIC;
+
+/// How the trace is partitioned: `shards` workers, flows assigned by a
+/// salted hash of the member/flow key. The plan is part of the study's
+/// checkpoint identity — see [`ShardPlan::bind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of shard workers (at least 1).
+    pub shards: u32,
+    /// Salt mixed into the partition hash, so re-running with a
+    /// different salt re-partitions deterministically.
+    pub salt: u64,
+}
+
+impl ShardPlan {
+    /// A plan over `shards` workers (clamped to at least 1).
+    pub fn new(shards: u32, salt: u64) -> ShardPlan {
+        ShardPlan {
+            shards: shards.max(1),
+            salt,
+        }
+    }
+
+    /// Which shard owns `flow`: an FNV hash of the member and flow
+    /// 5-tuple, salted, modulo the shard count. Partitioning on the
+    /// member/flow key keeps each member's traffic (the unit the paper
+    /// classifies by) on one shard per flow key.
+    pub fn shard_of(&self, flow: &FlowRecord) -> u32 {
+        let key = fnv(&[
+            self.salt,
+            flow.member.0 as u64,
+            flow.src as u64,
+            flow.dst as u64,
+            flow.proto.number() as u64,
+            ((flow.sport as u64) << 16) | flow.dport as u64,
+        ]);
+        (key % self.shards as u64) as u32
+    }
+
+    /// The fingerprint a shard worker binds its checkpoints to: the
+    /// trace fingerprint mixed with the shard plan and the worker's own
+    /// shard id. Because this feeds the runner's config hash, resuming
+    /// a worker checkpoint under a different shard count, salt, or
+    /// shard id fails the identity check — a re-sharded study is
+    /// rejected loudly instead of merging mismatched partitions.
+    pub fn bind(&self, source_fingerprint: u64, shard_id: u32) -> u64 {
+        fnv(&[
+            source_fingerprint,
+            self.shards as u64,
+            self.salt,
+            shard_id as u64,
+        ])
+    }
+}
+
+/// Accounting with a loss lane: the shard-study extension of
+/// [`FlowAccounting`]. Units owned by a shard that was lost past its
+/// retry budget are counted `lost`, keeping the books balanced when the
+/// study degrades.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
+pub struct LossAccounting {
+    /// Units the trace offered across all shards.
+    pub offered: u64,
+    /// Units classified successfully.
+    pub processed: u64,
+    /// Units dropped by load shedding.
+    pub shed: u64,
+    /// Units quarantined after worker panics.
+    pub quarantined: u64,
+    /// Units on shards lost past the retry budget.
+    pub lost: u64,
+}
+
+impl LossAccounting {
+    /// `processed + shed + quarantined + lost == offered`.
+    pub fn reconciles(&self) -> bool {
+        self.processed + self.shed + self.quarantined + self.lost == self.offered
+    }
+
+    /// Fold in one completed shard's loss-free accounting.
+    pub fn absorb(&mut self, fa: &FlowAccounting) {
+        self.offered += fa.offered;
+        self.processed += fa.processed;
+        self.shed += fa.shed;
+        self.quarantined += fa.quarantined;
+    }
+}
+
+/// Coordinator-side policy knobs.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// The partition plan.
+    pub plan: ShardPlan,
+    /// Records per trace chunk (must match the single-node run being
+    /// reproduced for bit-identity).
+    pub chunk_records: usize,
+    /// Silence (no frame from a shard) after which the coordinator
+    /// declares it dead, in milliseconds.
+    pub liveness_timeout_ms: u64,
+    /// How long the connection router waits for a `Hello` frame.
+    pub handshake_timeout_ms: u64,
+    /// Base reconnect backoff, milliseconds (doubles per consecutive
+    /// death, jittered, capped at `backoff_max_ms`).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_max_ms: u64,
+    /// How many times a dead shard is respawned before it is declared
+    /// lost. Zero means the first death is final.
+    pub retry_budget: u32,
+    /// Sliding send window: chunks in flight past the worker's last
+    /// acknowledged position (carried on heartbeats). Bounds how much a
+    /// torn frame costs in retransmission and keeps the coordinator
+    /// from ever blocking on a full link. Minimum 1.
+    pub window: u64,
+    /// Seed for backoff jitter (deterministic per shard and attempt).
+    pub seed: u64,
+}
+
+impl ShardConfig {
+    /// Defaults sized for same-host shards: 2 s liveness, 1 s
+    /// handshake, 50 ms → 1 s backoff, 3 respawns.
+    pub fn new(plan: ShardPlan, chunk_records: usize) -> ShardConfig {
+        ShardConfig {
+            plan,
+            chunk_records,
+            liveness_timeout_ms: 2_000,
+            handshake_timeout_ms: 1_000,
+            backoff_base_ms: 50,
+            backoff_max_ms: 1_000,
+            retry_budget: 3,
+            window: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-shard control-plane outcome, kept in the study report.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
+pub struct ShardStatus {
+    /// The shard's id in the plan.
+    pub shard_id: u32,
+    /// Whether the shard delivered its terminal report.
+    pub completed: bool,
+    /// Whether the shard was declared lost past the retry budget.
+    pub lost: bool,
+    /// Deaths observed (each one costs a respawn attempt).
+    pub deaths: u32,
+    /// Liveness timeouts that declared the shard dead.
+    pub heartbeat_misses: u64,
+    /// Frame-level faults observed on the shard's links.
+    pub wire_faults: u64,
+    /// Chunks the shard had committed when it reported (0 if lost).
+    pub committed_chunks: u64,
+}
+
+/// The merged result of a sharded study.
+#[derive(Debug, Clone)]
+pub struct ShardStudyReport {
+    /// The plan the study ran under.
+    pub plan: ShardPlan,
+    /// Per-member, per-class accounting merged across completed shards.
+    pub breakdown: MemberBreakdown,
+    /// Decode-health totals merged across completed shards.
+    pub ingest: IngestTotals,
+    /// Merged method-disagreement matrix, when workers tracked it.
+    pub disagreement: Option<DisagreementMatrix>,
+    /// Merged rollup windows (geometry asserted equal across shards,
+    /// contents summed).
+    pub windows: Vec<WindowAccum>,
+    /// Record-level accounting with the loss lane.
+    pub records: LossAccounting,
+    /// Sub-chunk-level accounting: one unit per (chunk, shard) pair.
+    pub chunks: LossAccounting,
+    /// Per-shard control-plane outcomes.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl ShardStudyReport {
+    /// Shards lost past the retry budget.
+    pub fn lost_shards(&self) -> u32 {
+        self.shards.iter().filter(|s| s.lost).count() as u32
+    }
+
+    /// Whether the study completed degraded (at least one lost shard).
+    pub fn degraded(&self) -> bool {
+        self.lost_shards() > 0
+    }
+
+    /// Whether both accounting levels reconcile under the extended
+    /// invariant.
+    pub fn reconciles(&self) -> bool {
+        self.records.reconciles() && self.chunks.reconciles()
+    }
+
+    /// Human-readable caveats for the study report (empty for a clean,
+    /// loss-free run).
+    pub fn caveats(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in self.shards.iter().filter(|s| s.lost) {
+            out.push(format!(
+                "shard {}/{} was lost after {} death(s); its partition is counted as lost, not processed",
+                s.shard_id, self.plan.shards, s.deaths
+            ));
+        }
+        if self.degraded() {
+            out.push(format!(
+                "results are PARTIAL: {} of {} records lost; merged breakdown, ingest totals, and rollup windows cover surviving shards only",
+                self.records.lost, self.records.offered
+            ));
+        }
+        out
+    }
+}
+
+/// Why a sharded study failed outright (degradation is not an error —
+/// a lost shard still yields a report).
+#[derive(Debug)]
+pub enum ShardError {
+    /// Transport or filesystem failure at the coordinator.
+    Io(io::Error),
+    /// A worker refused the study identity — typically a checkpoint
+    /// from a different shard plan (re-sharded resume).
+    PlanRejected {
+        /// The refusing shard.
+        shard_id: u32,
+        /// The worker's diagnostic.
+        detail: String,
+    },
+    /// Completed shards disagree on window geometry or chunk outcomes —
+    /// the merge cannot be trusted.
+    MergeMismatch {
+        /// The window where the disagreement surfaced.
+        window_index: u64,
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard study I/O error: {e}"),
+            ShardError::PlanRejected { shard_id, detail } => {
+                write!(f, "shard {shard_id} rejected the study identity: {detail}")
+            }
+            ShardError::MergeMismatch {
+                window_index,
+                detail,
+            } => write!(f, "shard merge mismatch at window {window_index}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<io::Error> for ShardError {
+    fn from(e: io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+/// Jittered bounded exponential backoff delay for respawn `attempt`
+/// (1-based) of `shard_id`: `base * 2^(attempt-1)` capped at `max`,
+/// with deterministic seeded jitter pulling it down by up to half.
+fn backoff_delay_ms(seed: u64, shard_id: u32, attempt: u32, base_ms: u64, max_ms: u64) -> u64 {
+    let base_ms = base_ms.max(1);
+    let exp = attempt.saturating_sub(1).min(16);
+    let raw = base_ms
+        .saturating_mul(1u64 << exp)
+        .min(max_ms.max(base_ms));
+    let jitter = fnv(&[seed, shard_id as u64, attempt as u64]) % (raw / 2 + 1);
+    raw - jitter
+}
+
+/// Build shard `shard_id`'s view of `chunk`: same sequence number and
+/// byte span, only the flows the plan assigns to it, and the chunk's
+/// decode health iff this shard is the chunk's health owner
+/// (`seq % shards`) — so summed ingest accounting across shards equals
+/// the single-node accounting exactly.
+fn sub_chunk(chunk: &FlowChunk, plan: &ShardPlan, shard_id: u32) -> WireChunk {
+    let flows: Vec<FlowRecord> = chunk
+        .flows
+        .iter()
+        .filter(|f| plan.shard_of(f) == shard_id)
+        .copied()
+        .collect();
+    let health = if chunk.seq % plan.shards as u64 == shard_id as u64 {
+        WireHealth::from_health(&chunk.health)
+    } else {
+        WireHealth::zero()
+    };
+    WireChunk {
+        seq: chunk.seq,
+        byte_start: chunk.byte_start,
+        byte_end: chunk.byte_end,
+        health,
+        flows,
+    }
+}
+
+/// Merge per-shard rollup rings: window geometry (`window_index`,
+/// `start_chunk`, `chunks`) and chunk-outcome accounting must be equal
+/// across shards — every shard commits every chunk sequence — and
+/// everything else (class flows, record accounting, ingest, fault
+/// taxonomy, disagreement) sums. Every shard must contribute every
+/// window.
+pub fn merge_windows(rings: &[Vec<WindowAccum>]) -> Result<Vec<WindowAccum>, ShardError> {
+    if rings.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut merged: BTreeMap<u64, (WindowAccum, usize)> = BTreeMap::new();
+    for ring in rings {
+        for w in ring {
+            match merged.get_mut(&w.window_index) {
+                None => {
+                    merged.insert(w.window_index, (w.clone(), 1));
+                }
+                Some((m, n)) => {
+                    if m.start_chunk != w.start_chunk || m.chunks != w.chunks {
+                        return Err(ShardError::MergeMismatch {
+                            window_index: w.window_index,
+                            detail: format!(
+                                "geometry: ({}, {}) vs ({}, {})",
+                                m.start_chunk, m.chunks, w.start_chunk, w.chunks
+                            ),
+                        });
+                    }
+                    if m.chunk_outcomes != w.chunk_outcomes {
+                        return Err(ShardError::MergeMismatch {
+                            window_index: w.window_index,
+                            detail: "chunk outcomes disagree across shards".into(),
+                        });
+                    }
+                    for (into, v) in m.class_flows.iter_mut().zip(w.class_flows) {
+                        *into += v;
+                    }
+                    m.records.offered += w.records.offered;
+                    m.records.processed += w.records.processed;
+                    m.records.shed += w.records.shed;
+                    m.records.quarantined += w.records.quarantined;
+                    m.ingest.input_bytes += w.ingest.input_bytes;
+                    m.ingest.ok_records += w.ingest.ok_records;
+                    m.ingest.ok_bytes += w.ingest.ok_bytes;
+                    m.ingest.quarantined_bytes += w.ingest.quarantined_bytes;
+                    m.ingest.resyncs += w.ingest.resyncs;
+                    for (into, v) in m.fault_counts.iter_mut().zip(w.fault_counts) {
+                        *into += v;
+                    }
+                    match (&mut m.disagreement, &w.disagreement) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        (None, None) => {}
+                        _ => {
+                            return Err(ShardError::MergeMismatch {
+                                window_index: w.window_index,
+                                detail: "disagreement tracking disagrees across shards".into(),
+                            })
+                        }
+                    }
+                    *n += 1;
+                }
+            }
+        }
+    }
+    let total = rings.len();
+    for (idx, (_, n)) in &merged {
+        if *n != total {
+            return Err(ShardError::MergeMismatch {
+                window_index: *idx,
+                detail: format!("window present on {n} of {total} shards"),
+            });
+        }
+    }
+    Ok(merged.into_values().map(|(w, _)| w).collect())
+}
+
+/// Per-shard coordinator metric handles (labelled by shard id).
+struct ShardGauges {
+    lag: spoofwatch_obs::Gauge,
+    chunks_sent: spoofwatch_obs::Counter,
+    reconnects: spoofwatch_obs::Counter,
+    heartbeat_misses: spoofwatch_obs::Counter,
+    wire_faults: spoofwatch_obs::Counter,
+    protocol_faults: spoofwatch_obs::Counter,
+    lost: spoofwatch_obs::Counter,
+}
+
+impl ShardGauges {
+    fn new(obs: &RunnerObs, shard_id: u32) -> ShardGauges {
+        let reg = &obs.metrics;
+        let id = shard_id.to_string();
+        let l: &[(&str, &str)] = &[("shard", &id)];
+        ShardGauges {
+            lag: reg.gauge(
+                "spoofwatch_shard_lag_chunks",
+                "Chunks sent to the shard but not yet acknowledged by heartbeat",
+                l,
+            ),
+            chunks_sent: reg.counter(
+                "spoofwatch_shard_chunks_sent_total",
+                "Sub-chunks dispatched to the shard (including retransmissions)",
+                l,
+            ),
+            reconnects: reg.counter(
+                "spoofwatch_shard_reconnects_total",
+                "Times the shard died and a respawn was attempted",
+                l,
+            ),
+            heartbeat_misses: reg.counter(
+                "spoofwatch_shard_heartbeat_misses_total",
+                "Liveness timeouts that declared the shard dead",
+                l,
+            ),
+            wire_faults: reg.counter(
+                "spoofwatch_shard_wire_faults_total",
+                "Frame-level faults (resync episodes) on the shard's links",
+                l,
+            ),
+            protocol_faults: reg.counter(
+                "spoofwatch_shard_protocol_faults_total",
+                "CRC-valid frames whose message payload failed to decode",
+                l,
+            ),
+            lost: reg.counter(
+                "spoofwatch_shard_lost_total",
+                "Shards declared lost past the retry budget",
+                l,
+            ),
+        }
+    }
+}
+
+enum ConnOutcome {
+    Done(Box<ReportMsg>),
+    Dead,
+    Fatal(ShardError),
+}
+
+enum ShardOutcome {
+    Completed(Box<ReportMsg>, ShardStatus),
+    Lost(ShardStatus),
+    Failed(ShardError),
+}
+
+/// The fan-out/fan-in coordinator: owns the trace, streams partitioned
+/// chunks to shard workers over any [`ShardEndpoint`], supervises their
+/// liveness, and merges their terminal reports.
+pub struct ShardCoordinator<'a> {
+    bytes: &'a [u8],
+    cfg: ShardConfig,
+    obs: RunnerObs,
+}
+
+impl<'a> ShardCoordinator<'a> {
+    /// A coordinator over the encoded trace `bytes`.
+    pub fn new(bytes: &'a [u8], cfg: ShardConfig) -> Self {
+        ShardCoordinator {
+            bytes,
+            cfg,
+            obs: RunnerObs::disabled(),
+        }
+    }
+
+    /// Attach an observability bundle (per-shard gauges/counters and
+    /// flight-recorder events are emitted through it).
+    pub fn with_obs(mut self, obs: RunnerObs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Run the sharded study. `spawn` is invoked (from supervisor
+    /// threads) every time shard `k` should be (re)started — the
+    /// embedder launches a worker however it likes (thread, process,
+    /// remote host); the worker then connects to `endpoint` and drives
+    /// [`serve_shard`]. Returns the merged report; a shard lost past
+    /// the retry budget degrades the report instead of failing the
+    /// study.
+    pub fn run(
+        &self,
+        endpoint: &dyn ShardEndpoint,
+        spawn: &(dyn Fn(u32) + Sync),
+    ) -> Result<ShardStudyReport, ShardError> {
+        let shards = self.cfg.plan.shards as usize;
+        let source_fp = ChunkedIpfixReader::new(self.bytes, self.cfg.chunk_records).fingerprint();
+        let mut conn_txs = Vec::with_capacity(shards);
+        let mut conn_rxs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<ShardTransport>();
+            conn_txs.push(tx);
+            conn_rxs.push(rx);
+        }
+        let done = AtomicBool::new(false);
+        self.obs.tracer.event(
+            "shard_study_start",
+            &[
+                ("shards", (shards as u64).into()),
+                ("salt", self.cfg.plan.salt.into()),
+            ],
+        );
+
+        let outcomes: Vec<ShardOutcome> = thread::scope(|s| {
+            let done_ref = &done;
+            let handshake = Duration::from_millis(self.cfg.handshake_timeout_ms.max(1));
+            s.spawn(move || route_connections(endpoint, conn_txs, done_ref, handshake));
+            let handles: Vec<_> = conn_rxs
+                .into_iter()
+                .enumerate()
+                .map(|(k, rx)| {
+                    s.spawn(move || self.supervise(k as u32, rx, spawn, source_fp))
+                })
+                .collect();
+            let outcomes = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(o) => o,
+                    Err(_) => ShardOutcome::Failed(ShardError::Io(io::Error::other(
+                        "shard supervisor panicked",
+                    ))),
+                })
+                .collect();
+            done.store(true, Ordering::Relaxed);
+            outcomes
+        });
+
+        self.aggregate(outcomes)
+    }
+
+    /// One shard's supervisor: spawn, wait for a connection, serve it,
+    /// and on death back off and respawn until the retry budget runs
+    /// out.
+    fn supervise(
+        &self,
+        shard_id: u32,
+        conn_rx: Receiver<ShardTransport>,
+        spawn: &(dyn Fn(u32) + Sync),
+        source_fp: u64,
+    ) -> ShardOutcome {
+        let g = ShardGauges::new(&self.obs, shard_id);
+        let mut status = ShardStatus {
+            shard_id,
+            ..ShardStatus::default()
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            if attempt > 0 {
+                let delay = backoff_delay_ms(
+                    self.cfg.seed,
+                    shard_id,
+                    attempt,
+                    self.cfg.backoff_base_ms,
+                    self.cfg.backoff_max_ms,
+                );
+                self.obs.tracer.event(
+                    "shard_reconnect_backoff",
+                    &[
+                        ("shard", (shard_id as u64).into()),
+                        ("attempt", (attempt as u64).into()),
+                        ("delay_ms", delay.into()),
+                    ],
+                );
+                g.reconnects.inc();
+                self.obs.clock.sleep(Duration::from_millis(delay));
+            }
+            spawn(shard_id);
+            let wait = Duration::from_millis(
+                self.cfg.liveness_timeout_ms + self.cfg.handshake_timeout_ms,
+            );
+            let mut conn = match conn_rx.recv_timeout(wait) {
+                Ok(c) => c,
+                Err(_) => {
+                    status.deaths += 1;
+                    if attempt >= self.cfg.retry_budget {
+                        return self.declare_lost(status, &g);
+                    }
+                    attempt += 1;
+                    continue;
+                }
+            };
+            self.obs.tracer.event(
+                "shard_connected",
+                &[
+                    ("shard", (shard_id as u64).into()),
+                    ("attempt", (attempt as u64).into()),
+                ],
+            );
+            let outcome = self.serve_conn(shard_id, &mut conn, source_fp, &mut status, &g);
+            let faults = conn.wire_faults();
+            status.wire_faults += faults;
+            g.wire_faults.add(faults);
+            match outcome {
+                ConnOutcome::Done(report) => {
+                    status.completed = true;
+                    self.obs.tracer.event(
+                        "shard_report",
+                        &[
+                            ("shard", (shard_id as u64).into()),
+                            ("committed_chunks", status.committed_chunks.into()),
+                        ],
+                    );
+                    return ShardOutcome::Completed(report, status);
+                }
+                ConnOutcome::Fatal(e) => return ShardOutcome::Failed(e),
+                ConnOutcome::Dead => {
+                    status.deaths += 1;
+                    self.obs.tracer.event(
+                        "shard_dead",
+                        &[
+                            ("shard", (shard_id as u64).into()),
+                            ("deaths", (status.deaths as u64).into()),
+                        ],
+                    );
+                    if attempt >= self.cfg.retry_budget {
+                        return self.declare_lost(status, &g);
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn declare_lost(&self, mut status: ShardStatus, g: &ShardGauges) -> ShardOutcome {
+        status.lost = true;
+        g.lost.inc();
+        self.obs.tracer.event(
+            "shard_lost",
+            &[
+                ("shard", (status.shard_id as u64).into()),
+                ("deaths", (status.deaths as u64).into()),
+            ],
+        );
+        self.obs
+            .tracer
+            .trigger_dump(&format!("shard {} lost past retry budget", status.shard_id));
+        ShardOutcome::Lost(status)
+    }
+
+    /// Serve one live connection until it reports, dies, or proves
+    /// fatally misconfigured.
+    fn serve_conn(
+        &self,
+        shard_id: u32,
+        conn: &mut ShardTransport,
+        source_fp: u64,
+        status: &mut ShardStatus,
+        g: &ShardGauges,
+    ) -> ConnOutcome {
+        let plan = self.cfg.plan;
+        let welcome = Msg::Welcome {
+            fingerprint: plan.bind(source_fp, shard_id),
+            shards: plan.shards,
+            salt: plan.salt,
+        };
+        if conn.send(&welcome.encode()).is_err() {
+            return ConnOutcome::Dead;
+        }
+        let clock = &self.obs.clock;
+        let window = self.cfg.window.max(1);
+        let mut reader: Option<ChunkedIpfixReader<'_>> = None;
+        let mut next_seq: u64 = 0;
+        // The worker's acknowledged position: the next sequence it
+        // expects, carried on every heartbeat and on resume requests.
+        // The send window is measured against it, so a torn frame
+        // costs at most `window` retransmitted chunks and the
+        // coordinator never runs far enough ahead to block on a full
+        // link.
+        let mut acked_seq: u64 = 0;
+        let mut last_frame_ns = clock.now_ns();
+        let liveness_ns = self.cfg.liveness_timeout_ms.saturating_mul(1_000_000);
+        loop {
+            let window_open =
+                reader.is_some() && next_seq.saturating_sub(acked_seq) < window;
+            // With the window open, poll without blocking and keep
+            // streaming; otherwise (idle, draining, or waiting for
+            // acknowledgments) block in short slices.
+            let timeout = if window_open {
+                Duration::ZERO
+            } else {
+                Duration::from_millis(self.cfg.liveness_timeout_ms.clamp(1, 25))
+            };
+            match conn.recv(timeout) {
+                Ok(Some(payload)) => {
+                    last_frame_ns = clock.now_ns();
+                    match Msg::decode(&payload) {
+                        Some(Msg::Resume { byte_cursor, seq }) => {
+                            let mut r =
+                                ChunkedIpfixReader::new(self.bytes, self.cfg.chunk_records);
+                            r.seek(byte_cursor, seq);
+                            next_seq = seq;
+                            acked_seq = seq;
+                            reader = Some(r);
+                            self.obs.tracer.event(
+                                "shard_resumed",
+                                &[
+                                    ("shard", (shard_id as u64).into()),
+                                    ("seq", seq.into()),
+                                    ("byte_cursor", byte_cursor.into()),
+                                ],
+                            );
+                        }
+                        Some(Msg::Heartbeat { next_seq: acked }) => {
+                            acked_seq = acked_seq.max(acked);
+                            g.lag.set(next_seq.saturating_sub(acked_seq) as i64);
+                        }
+                        Some(Msg::Report(report)) => {
+                            status.committed_chunks = report.checkpoint.committed_chunks;
+                            return ConnOutcome::Done(report);
+                        }
+                        Some(Msg::Fatal { code, detail }) => {
+                            if code == FATAL_IDENTITY {
+                                return ConnOutcome::Fatal(ShardError::PlanRejected {
+                                    shard_id,
+                                    detail,
+                                });
+                            }
+                            return ConnOutcome::Dead;
+                        }
+                        Some(_) => {}
+                        None => g.protocol_faults.inc(),
+                    }
+                }
+                Ok(None) => {
+                    if clock.since_ns(last_frame_ns) > liveness_ns {
+                        status.heartbeat_misses += 1;
+                        g.heartbeat_misses.inc();
+                        return ConnOutcome::Dead;
+                    }
+                }
+                Err(_) => return ConnOutcome::Dead,
+            }
+            if next_seq.saturating_sub(acked_seq) >= window {
+                continue;
+            }
+            if let Some(r) = reader.as_mut() {
+                match r.next_chunk() {
+                    Some(chunk) => {
+                        let seq = chunk.seq;
+                        let wc = sub_chunk(&chunk, &plan, shard_id);
+                        if conn.send(&Msg::Chunk(wc).encode()).is_err() {
+                            return ConnOutcome::Dead;
+                        }
+                        next_seq = seq + 1;
+                        g.chunks_sent.inc();
+                    }
+                    None => {
+                        if conn.send(&Msg::Finish { next_seq }.encode()).is_err() {
+                            return ConnOutcome::Dead;
+                        }
+                        reader = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge shard outcomes into the study report, accounting lost
+    /// partitions via one deterministic re-pass over the trace.
+    fn aggregate(&self, outcomes: Vec<ShardOutcome>) -> Result<ShardStudyReport, ShardError> {
+        let mut completed: Vec<ReportMsg> = Vec::new();
+        let mut shards: Vec<ShardStatus> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                ShardOutcome::Completed(report, status) => {
+                    shards.push(status);
+                    completed.push(*report);
+                }
+                ShardOutcome::Lost(status) => shards.push(status),
+                ShardOutcome::Failed(e) => return Err(e),
+            }
+        }
+        shards.sort_by_key(|s| s.shard_id);
+
+        let mut breakdown = MemberBreakdown {
+            per_member: BTreeMap::new(),
+        };
+        let mut ingest = IngestTotals::default();
+        let mut disagreement: Option<DisagreementMatrix> = None;
+        let mut records = LossAccounting::default();
+        let mut chunks = LossAccounting::default();
+        for report in &completed {
+            let cp = &report.checkpoint;
+            for (asn, rows) in &cp.per_member {
+                let into = breakdown.per_member.entry(*asn).or_default();
+                for (dst, src) in into.iter_mut().zip(rows.iter()) {
+                    dst.flows += src.flows;
+                    dst.packets += src.packets;
+                    dst.bytes += src.bytes;
+                }
+            }
+            ingest.input_bytes += cp.ingest.input_bytes;
+            ingest.ok_records += cp.ingest.ok_records;
+            ingest.ok_bytes += cp.ingest.ok_bytes;
+            ingest.quarantined_bytes += cp.ingest.quarantined_bytes;
+            ingest.resyncs += cp.ingest.resyncs;
+            records.absorb(&cp.records);
+            chunks.absorb(&cp.chunks);
+            match (&mut disagreement, &cp.disagreement) {
+                (Some(a), Some(b)) => a.merge(b),
+                (None, Some(b)) => disagreement = Some(b.clone()),
+                _ => {}
+            }
+        }
+
+        // Lost partitions: one deterministic re-pass over the trace
+        // counts exactly what each lost shard was offered, so the
+        // extended invariant holds at record and sub-chunk level.
+        let lost_ids: Vec<u32> = shards.iter().filter(|s| s.lost).map(|s| s.shard_id).collect();
+        if !lost_ids.is_empty() {
+            let mut reader = ChunkedIpfixReader::new(self.bytes, self.cfg.chunk_records);
+            while let Some(chunk) = reader.next_chunk() {
+                for f in &chunk.flows {
+                    if lost_ids.contains(&self.cfg.plan.shard_of(f)) {
+                        records.offered += 1;
+                        records.lost += 1;
+                    }
+                }
+                chunks.offered += lost_ids.len() as u64;
+                chunks.lost += lost_ids.len() as u64;
+            }
+        }
+
+        let windows = merge_windows(
+            &completed
+                .iter()
+                .map(|r| r.windows.clone())
+                .collect::<Vec<_>>(),
+        )?;
+
+        self.obs.tracer.event(
+            "shard_study_end",
+            &[
+                ("completed", (completed.len() as u64).into()),
+                ("lost", (lost_ids.len() as u64).into()),
+                ("records_processed", records.processed.into()),
+                ("records_lost", records.lost.into()),
+            ],
+        );
+        Ok(ShardStudyReport {
+            plan: self.cfg.plan,
+            breakdown,
+            ingest,
+            disagreement,
+            windows,
+            records,
+            chunks,
+            shards,
+        })
+    }
+}
+
+/// Accept inbound connections, read each one's `Hello`, and hand it to
+/// the right shard supervisor. Connections with no valid `Hello`
+/// within the handshake timeout are dropped.
+fn route_connections(
+    endpoint: &dyn ShardEndpoint,
+    conn_txs: Vec<mpsc::Sender<ShardTransport>>,
+    done: &AtomicBool,
+    handshake: Duration,
+) {
+    while !done.load(Ordering::Relaxed) {
+        match endpoint.accept(Duration::from_millis(25)) {
+            Ok(Some(mut conn)) => {
+                let hello = loop {
+                    match conn.recv(handshake) {
+                        Ok(Some(payload)) => match Msg::decode(&payload) {
+                            Some(Msg::Hello {
+                                proto_version,
+                                shard_id,
+                            }) => break Some((proto_version, shard_id)),
+                            // Tolerate noise ahead of the Hello.
+                            Some(_) | None => continue,
+                        },
+                        Ok(None) | Err(_) => break None,
+                    }
+                };
+                if let Some((version, shard_id)) = hello {
+                    if version == PROTO_VERSION && (shard_id as usize) < conn_txs.len() {
+                        let _ = conn_txs[shard_id as usize].send(conn);
+                    }
+                }
+            }
+            Ok(None) => {}
+            Err(_) => return, // endpoint closed
+        }
+    }
+}
+
+/// Where a chaos-test worker should die, exercising every protocol
+/// state: before identifying, after the handshake, mid-stream after
+/// `n` committed chunks, or after completing but before reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathPoint {
+    /// Drop the connection without sending `Hello`.
+    BeforeHello,
+    /// Complete the handshake, then drop.
+    AfterHello,
+    /// Process until `n` chunks are committed, then drop mid-stream.
+    AfterChunks(u64),
+    /// Complete the run (terminal checkpoint written) but die before
+    /// sending the report.
+    BeforeReport,
+}
+
+/// Worker-side policy knobs.
+#[derive(Debug, Clone)]
+pub struct ShardWorkerConfig {
+    /// This worker's shard id in the plan.
+    pub shard_id: u32,
+    /// The runner policy for the worker's partition. For bit-identical
+    /// merges every worker must use the same method/org/seed as the
+    /// single-node reference run. Leave `interrupt_after_chunks` unset;
+    /// the shard layer owns interruption.
+    pub runner: RunnerConfig,
+    /// Rollup ring config for this worker, if the study writes rollups.
+    pub rollup: Option<RollupConfig>,
+    /// Worker-side observability (also provides the heartbeat clock).
+    pub obs: RunnerObs,
+    /// Heartbeat period, milliseconds.
+    pub heartbeat_ms: u64,
+    /// How long to wait for `Welcome` after sending `Hello`.
+    pub handshake_timeout_ms: u64,
+    /// Silence on the data plane after which the worker re-requests
+    /// its stream position (retransmission), milliseconds.
+    pub chunk_timeout_ms: u64,
+    /// Chaos-test hook: die at a given protocol state.
+    pub die_at: Option<DeathPoint>,
+}
+
+impl ShardWorkerConfig {
+    /// Defaults sized for same-host shards.
+    pub fn new(shard_id: u32, runner: RunnerConfig) -> ShardWorkerConfig {
+        ShardWorkerConfig {
+            shard_id,
+            runner,
+            rollup: None,
+            obs: RunnerObs::disabled(),
+            heartbeat_ms: 100,
+            handshake_timeout_ms: 2_000,
+            chunk_timeout_ms: 500,
+            die_at: None,
+        }
+    }
+}
+
+/// Why a shard worker stopped serving.
+#[derive(Debug)]
+pub enum ShardWorkerError {
+    /// No valid `Welcome` within the handshake timeout.
+    Handshake(String),
+    /// The link to the coordinator died mid-run; progress up to the
+    /// last checkpoint survives for the respawned worker.
+    Disconnected,
+    /// The configured [`DeathPoint`] fired (chaos testing).
+    Died(&'static str),
+    /// The runner failed (a `ConfigMismatch` here means the checkpoint
+    /// was bound to a different study identity — e.g. a re-sharded
+    /// plan — and has been reported to the coordinator as fatal).
+    Runner(RunnerError),
+    /// Local I/O failure (checkpoint store or rollup ring).
+    Io(io::Error),
+}
+
+impl fmt::Display for ShardWorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardWorkerError::Handshake(d) => write!(f, "shard handshake failed: {d}"),
+            ShardWorkerError::Disconnected => f.write_str("coordinator link died"),
+            ShardWorkerError::Died(at) => write!(f, "death point fired: {at}"),
+            ShardWorkerError::Runner(e) => write!(f, "shard runner failed: {e}"),
+            ShardWorkerError::Io(e) => write!(f, "shard worker I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardWorkerError {}
+
+impl From<io::Error> for ShardWorkerError {
+    fn from(e: io::Error) -> Self {
+        ShardWorkerError::Io(e)
+    }
+}
+
+/// State shared between the worker's main thread (chunk source) and its
+/// heartbeat thread. All control-plane *sends* mid-run go through the
+/// heartbeat thread so the main thread never blocks on a full outbound
+/// link — which is what rules out a send-send deadlock between
+/// coordinator and worker.
+struct LinkShared {
+    /// Pending go-back-N request: (byte_cursor, seq) to resume from.
+    resume: Mutex<Option<(u64, u64)>>,
+    /// Next chunk sequence the runner expects — the acknowledgment
+    /// every heartbeat carries, pacing the coordinator's send window.
+    next_seq: AtomicU64,
+    /// Set when any send on the link fails.
+    link_down: AtomicBool,
+    /// Set when the run is over and the heartbeat should stop.
+    stop: AtomicBool,
+}
+
+fn heartbeat_loop(
+    tx: &Mutex<Box<dyn ShardTx>>,
+    shared: &LinkShared,
+    period: Duration,
+    clock: &dyn spoofwatch_obs::Clock,
+) {
+    // Heartbeats carry the acknowledgment that reopens the
+    // coordinator's send window, so ack latency gates throughput. The
+    // loop sleeps in short slices and beats *early* whenever progress
+    // advanced or a resume request is pending; the configured period is
+    // only the idle fallback that keeps liveness ticking on a quiet
+    // link.
+    let slice = period.min(Duration::from_millis(2));
+    let mut last_sent_seq = u64::MAX;
+    let mut last_beat_ns = None;
+    while !shared.stop.load(Ordering::Relaxed) {
+        let pending = {
+            let mut cell = shared
+                .resume
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            cell.take()
+        };
+        let next_seq = shared.next_seq.load(Ordering::Relaxed);
+        let period_due = last_beat_ns
+            .is_none_or(|t| clock.since_ns(t) >= period.as_nanos() as u64);
+        if pending.is_none() && next_seq == last_sent_seq && !period_due {
+            clock.sleep(slice);
+            continue;
+        }
+        let mut dead = false;
+        if let Some((byte_cursor, seq)) = pending {
+            let msg = Msg::Resume { byte_cursor, seq };
+            dead = send_locked(tx, &msg).is_err();
+        }
+        if !dead {
+            let msg = Msg::Heartbeat { next_seq };
+            dead = send_locked(tx, &msg).is_err();
+        }
+        if dead {
+            shared.link_down.store(true, Ordering::Relaxed);
+            return;
+        }
+        last_sent_seq = next_seq;
+        last_beat_ns = Some(clock.now_ns());
+        clock.sleep(slice);
+    }
+}
+
+fn send_locked(tx: &Mutex<Box<dyn ShardTx>>, msg: &Msg) -> io::Result<()> {
+    let mut guard = tx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    guard.send(&msg.encode())
+}
+
+/// The worker-side [`ChunkSource`]: receives partitioned chunks over
+/// the wire, enforces in-order delivery, and converts every anomaly —
+/// gaps from dropped/corrupt frames, reordering, duplicates, silence —
+/// into an idempotent go-back-N resume request from its own cursor.
+struct TransportChunkSource<'t> {
+    rx: &'t mut Box<dyn ShardRx>,
+    shared: &'t LinkShared,
+    abort: Arc<AtomicBool>,
+    fingerprint: u64,
+    next_seq: u64,
+    cursor: u64,
+    finished: bool,
+    dead: bool,
+    chunk_timeout: Duration,
+    last_request: Option<Instant>,
+}
+
+impl TransportChunkSource<'_> {
+    /// Queue a resume request for the heartbeat thread to transmit.
+    /// Unforced requests are throttled to one per chunk timeout so a
+    /// burst of out-of-order frames triggers one retransmission, not a
+    /// storm.
+    fn request_resume(&mut self, force: bool) {
+        let due = force
+            || self
+                .last_request
+                .is_none_or(|at| at.elapsed() >= self.chunk_timeout);
+        if !due {
+            return;
+        }
+        self.last_request = Some(Instant::now());
+        let mut cell = self
+            .shared
+            .resume
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        *cell = Some((self.cursor, self.next_seq));
+    }
+
+    fn fail(&mut self) -> Option<FlowChunk> {
+        self.dead = true;
+        self.abort.store(true, Ordering::Relaxed);
+        None
+    }
+}
+
+impl ChunkSource for TransportChunkSource<'_> {
+    fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn seek(&mut self, byte_cursor: u64, seq: u64) {
+        self.cursor = byte_cursor;
+        self.next_seq = seq;
+        self.finished = false;
+        self.shared.next_seq.store(seq, Ordering::Relaxed);
+        self.request_resume(true);
+    }
+
+    fn next_chunk(&mut self) -> Option<FlowChunk> {
+        if self.finished || self.dead {
+            return None;
+        }
+        loop {
+            if self.shared.link_down.load(Ordering::Relaxed) {
+                return self.fail();
+            }
+            match self.rx.recv(self.chunk_timeout) {
+                Ok(Some(payload)) => match Msg::decode(&payload) {
+                    Some(Msg::Chunk(wc)) => {
+                        if wc.seq == self.next_seq {
+                            self.cursor = wc.byte_end;
+                            self.next_seq += 1;
+                            self.shared.next_seq.store(self.next_seq, Ordering::Relaxed);
+                            return Some(FlowChunk {
+                                seq: wc.seq,
+                                byte_start: wc.byte_start,
+                                byte_end: wc.byte_end,
+                                flows: wc.flows,
+                                health: wc.health.into_health(),
+                            });
+                        } else if wc.seq > self.next_seq {
+                            // A frame was dropped or corrupted: ask to
+                            // go back to our cursor.
+                            self.request_resume(false);
+                        }
+                        // wc.seq < next_seq: duplicate from a
+                        // retransmission overlap — drop silently.
+                    }
+                    Some(Msg::Finish { next_seq }) => {
+                        if next_seq == self.next_seq {
+                            self.finished = true;
+                            return None;
+                        }
+                        // The stream ended upstream but we missed
+                        // frames: resume instead of finishing short.
+                        self.request_resume(false);
+                    }
+                    Some(_) => {} // duplicate Welcome etc.
+                    None => {
+                        // CRC-valid but structurally damaged payload.
+                        self.request_resume(false);
+                    }
+                },
+                Ok(None) => {
+                    // Data-plane silence: re-request our position (the
+                    // coordinator may have lost our Resume, or a Finish
+                    // was dropped).
+                    self.request_resume(false);
+                }
+                Err(_) => return self.fail(),
+            }
+        }
+    }
+}
+
+/// Run one shard worker over an established transport: handshake,
+/// stream the partition through a supervised [`StudyRunner`] resuming
+/// from `store`, and deliver the terminal report. Returns `Ok(())`
+/// exactly when the report was handed to the coordinator.
+///
+/// The embedder owns worker placement (thread, process, host) and is
+/// expected to call this again — with the same `store` and rollup dir —
+/// every time the coordinator respawns the shard; resumption is
+/// idempotent from the last checkpoint.
+pub fn serve_shard(
+    classifier: &Classifier,
+    cfg: &ShardWorkerConfig,
+    store: &CheckpointStore,
+    transport: ShardTransport,
+) -> Result<(), ShardWorkerError> {
+    if cfg.die_at == Some(DeathPoint::BeforeHello) {
+        return Err(ShardWorkerError::Died("before_hello"));
+    }
+    let (tx_half, mut rx_half) = transport.split();
+    let tx = Mutex::new(tx_half);
+    let hello = Msg::Hello {
+        proto_version: PROTO_VERSION,
+        shard_id: cfg.shard_id,
+    };
+    send_locked(&tx, &hello).map_err(|_| ShardWorkerError::Disconnected)?;
+
+    // Wait for Welcome.
+    let handshake = Duration::from_millis(cfg.handshake_timeout_ms.max(1));
+    let deadline = Instant::now() + handshake;
+    let fingerprint = loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ShardWorkerError::Handshake("welcome timed out".into()));
+        }
+        match rx_half.recv(remaining) {
+            Ok(Some(payload)) => match Msg::decode(&payload) {
+                Some(Msg::Welcome { fingerprint, .. }) => break fingerprint,
+                _ => continue,
+            },
+            Ok(None) => continue,
+            Err(_) => return Err(ShardWorkerError::Disconnected),
+        }
+    };
+    if cfg.die_at == Some(DeathPoint::AfterHello) {
+        return Err(ShardWorkerError::Died("after_hello"));
+    }
+
+    let mut runner_cfg = cfg.runner.clone();
+    if let Some(DeathPoint::AfterChunks(n)) = cfg.die_at {
+        runner_cfg.interrupt_after_chunks = Some(n);
+    }
+    let abort = Arc::new(AtomicBool::new(false));
+    let mut runner = StudyRunner::new(classifier, runner_cfg)
+        .with_obs(cfg.obs.clone())
+        .with_abort(Arc::clone(&abort));
+    if let Some(rollup) = &cfg.rollup {
+        runner = runner.with_rollups(rollup.clone());
+    }
+
+    let shared = LinkShared {
+        resume: Mutex::new(None),
+        next_seq: AtomicU64::new(0),
+        link_down: AtomicBool::new(false),
+        stop: AtomicBool::new(false),
+    };
+    let heartbeat = Duration::from_millis(cfg.heartbeat_ms.max(1));
+    let clock = Arc::clone(&cfg.obs.clock);
+    let (result, link_dead) = thread::scope(|s| {
+        let tx_ref = &tx;
+        let shared_ref = &shared;
+        let clock_ref = &clock;
+        s.spawn(move || heartbeat_loop(tx_ref, shared_ref, heartbeat, clock_ref.as_ref()));
+        let mut source = TransportChunkSource {
+            rx: &mut rx_half,
+            shared: &shared,
+            abort: Arc::clone(&abort),
+            fingerprint,
+            next_seq: 0,
+            cursor: 0,
+            finished: false,
+            dead: false,
+            chunk_timeout: Duration::from_millis(cfg.chunk_timeout_ms.max(1)),
+            last_request: None,
+        };
+        let result = runner.run(&mut source, store);
+        shared.stop.store(true, Ordering::Relaxed);
+        (result, source.dead)
+    });
+
+    match result {
+        Ok(_) => {
+            if link_dead {
+                return Err(ShardWorkerError::Disconnected);
+            }
+            if cfg.die_at == Some(DeathPoint::BeforeReport) {
+                return Err(ShardWorkerError::Died("before_report"));
+            }
+            let (loaded, _faults) = store.load_latest();
+            let Some((checkpoint, _slot)) = loaded else {
+                return Err(ShardWorkerError::Io(io::Error::other(
+                    "terminal checkpoint missing after completed run",
+                )));
+            };
+            let windows = match &cfg.rollup {
+                Some(rollup) => read_ring(&rollup.dir)?.0,
+                None => Vec::new(),
+            };
+            let report = Msg::Report(Box::new(ReportMsg {
+                shard_id: cfg.shard_id,
+                checkpoint,
+                windows,
+            }));
+            send_locked(&tx, &report).map_err(|_| ShardWorkerError::Disconnected)?;
+            Ok(())
+        }
+        Err(RunnerError::Interrupted { .. }) => {
+            if link_dead {
+                Err(ShardWorkerError::Disconnected)
+            } else {
+                Err(ShardWorkerError::Died("after_chunks"))
+            }
+        }
+        Err(e) => {
+            let code = if matches!(e, RunnerError::ConfigMismatch { .. }) {
+                FATAL_IDENTITY
+            } else {
+                FATAL_INTERNAL
+            };
+            let _ = send_locked(
+                &tx,
+                &Msg::Fatal {
+                    code,
+                    detail: e.to_string(),
+                },
+            );
+            Err(ShardWorkerError::Runner(e))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_net::{Asn, IngestHealth, Proto};
+
+    fn flow(i: u32) -> FlowRecord {
+        FlowRecord {
+            ts: i,
+            src: i.wrapping_mul(2654435761),
+            dst: i.wrapping_mul(40503),
+            proto: Proto::from_number((i % 5) as u8),
+            sport: (i * 31) as u16,
+            dport: (i * 17) as u16,
+            packets: 1,
+            bytes: 60,
+            pkt_size: 60,
+            member: Asn(64_500 + i % 7),
+        }
+    }
+
+    #[test]
+    fn plan_partitions_every_flow_exactly_once() {
+        let plan = ShardPlan::new(4, 7);
+        let flows: Vec<FlowRecord> = (0..500).map(flow).collect();
+        let mut counts = [0u64; 4];
+        for f in &flows {
+            let s = plan.shard_of(f);
+            assert!(s < 4);
+            counts[s as usize] += 1;
+        }
+        // Deterministic and reasonably balanced.
+        assert_eq!(counts.iter().sum::<u64>(), 500);
+        assert!(counts.iter().all(|&c| c > 50), "lopsided: {counts:?}");
+        for f in &flows {
+            assert_eq!(plan.shard_of(f), plan.shard_of(f));
+        }
+    }
+
+    #[test]
+    fn different_salt_repartitions() {
+        let a = ShardPlan::new(4, 1);
+        let b = ShardPlan::new(4, 2);
+        let flows: Vec<FlowRecord> = (0..200).map(flow).collect();
+        assert!(flows.iter().any(|f| a.shard_of(f) != b.shard_of(f)));
+    }
+
+    #[test]
+    fn bind_separates_plan_and_shard_identity() {
+        let fp = 0x1234_5678;
+        let plan = ShardPlan::new(3, 9);
+        assert_ne!(plan.bind(fp, 0), plan.bind(fp, 1));
+        assert_ne!(plan.bind(fp, 0), ShardPlan::new(4, 9).bind(fp, 0));
+        assert_ne!(plan.bind(fp, 0), ShardPlan::new(3, 10).bind(fp, 0));
+        assert_eq!(plan.bind(fp, 2), ShardPlan::new(3, 9).bind(fp, 2));
+    }
+
+    #[test]
+    fn loss_accounting_reconciles() {
+        let mut acc = LossAccounting::default();
+        acc.absorb(&FlowAccounting {
+            offered: 10,
+            processed: 8,
+            shed: 1,
+            quarantined: 1,
+        });
+        assert!(acc.reconciles());
+        acc.offered += 5;
+        assert!(!acc.reconciles());
+        acc.lost += 5;
+        assert!(acc.reconciles());
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        for attempt in 1..10u32 {
+            let d1 = backoff_delay_ms(1, 2, attempt, 50, 1_000);
+            let d2 = backoff_delay_ms(1, 2, attempt, 50, 1_000);
+            assert_eq!(d1, d2);
+            let raw = (50u64 << (attempt - 1).min(16)).min(1_000);
+            assert!(d1 >= raw / 2 && d1 <= raw, "attempt {attempt}: {d1}");
+        }
+        // Jitter actually varies across shards.
+        let delays: std::collections::HashSet<u64> =
+            (0..8).map(|s| backoff_delay_ms(42, s, 5, 50, 10_000)).collect();
+        assert!(delays.len() > 1);
+    }
+
+    #[test]
+    fn sub_chunk_assigns_health_to_exactly_one_owner() {
+        let plan = ShardPlan::new(3, 0);
+        let mut health = IngestHealth::new(4096);
+        health.ok_records = 50;
+        health.ok_bytes = 4000;
+        health.quarantined_bytes = 96;
+        health.resyncs = 1;
+        health.fault_counts = [0, 1, 0, 0, 0];
+        let chunk = FlowChunk {
+            seq: 7,
+            byte_start: 0,
+            byte_end: 4096,
+            flows: (0..50).map(flow).collect(),
+            health,
+        };
+        let subs: Vec<WireChunk> = (0..3).map(|s| sub_chunk(&chunk, &plan, s)).collect();
+        // Flows partition exactly.
+        assert_eq!(
+            subs.iter().map(|s| s.flows.len()).sum::<usize>(),
+            chunk.flows.len()
+        );
+        // Health lands on shard seq % shards == 1 only.
+        assert_eq!(subs[1].health.input_len, 4096);
+        assert_eq!(subs[0].health, WireHealth::zero());
+        assert_eq!(subs[2].health, WireHealth::zero());
+        // Geometry is preserved on every sub-chunk.
+        for s in &subs {
+            assert_eq!((s.seq, s.byte_start, s.byte_end), (7, 0, 4096));
+        }
+    }
+
+    #[test]
+    fn merge_windows_sums_content_and_asserts_geometry() {
+        let mk = |records: u64, class0: u64| {
+            let mut w = WindowAccum::start(0, 0);
+            w.chunks = 4;
+            w.chunk_outcomes = FlowAccounting {
+                offered: 4,
+                processed: 4,
+                shed: 0,
+                quarantined: 0,
+            };
+            w.records = FlowAccounting {
+                offered: records,
+                processed: records,
+                shed: 0,
+                quarantined: 0,
+            };
+            w.class_flows = [class0, 0, 0, 0];
+            w
+        };
+        let merged = merge_windows(&[vec![mk(10, 3)], vec![mk(20, 5)]]).unwrap();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].records.offered, 30);
+        assert_eq!(merged[0].class_flows[0], 8);
+        // Geometry asserted equal, not summed.
+        assert_eq!(merged[0].chunks, 4);
+        assert_eq!(merged[0].chunk_outcomes.offered, 4);
+
+        let mut bad = mk(5, 1);
+        bad.chunks = 3;
+        assert!(matches!(
+            merge_windows(&[vec![mk(10, 3)], vec![bad]]),
+            Err(ShardError::MergeMismatch { .. })
+        ));
+
+        // A window missing on one shard is a mismatch.
+        let mut w1 = mk(10, 3);
+        w1.window_index = 1;
+        assert!(matches!(
+            merge_windows(&[vec![mk(10, 3), w1], vec![mk(20, 5)]]),
+            Err(ShardError::MergeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,549 @@
+//! The shard-link message codec.
+//!
+//! Every message rides inside one `spoofwatch_net::wire` frame (magic
+//! `SWSD`), so torn and corrupt messages are caught by the frame CRC
+//! before they reach this layer; what arrives here is an intact payload
+//! whose first byte is the message type. Decoding is still total — a
+//! CRC-valid payload with nonsense structure yields `None`, which the
+//! control plane counts as a protocol fault and recovers from via
+//! retransmission, never a panic.
+//!
+//! All integers are big-endian, matching the checkpoint and rollup
+//! codecs.
+
+use super::super::checkpoint::Checkpoint;
+use super::super::rollup::WindowAccum;
+use spoofwatch_net::{Asn, FlowRecord, IngestHealth, Proto};
+
+/// Frame magic for shard-link messages.
+pub(crate) const SHARD_MAGIC: [u8; 4] = *b"SWSD";
+/// Shard protocol version, negotiated in `Hello`.
+pub(crate) const PROTO_VERSION: u16 = 1;
+
+/// `Fatal` code: the worker refused the study identity (checkpoint
+/// bound to a different config, trace, or shard plan).
+pub(crate) const FATAL_IDENTITY: u16 = 1;
+/// `Fatal` code: unrecoverable worker-side error.
+pub(crate) const FATAL_INTERNAL: u16 = 2;
+
+const MSG_HELLO: u8 = 1;
+const MSG_WELCOME: u8 = 2;
+const MSG_RESUME: u8 = 3;
+const MSG_CHUNK: u8 = 4;
+const MSG_FINISH: u8 = 5;
+const MSG_HEARTBEAT: u8 = 6;
+const MSG_REPORT: u8 = 7;
+const MSG_FATAL: u8 = 8;
+
+/// The scalar subset of [`IngestHealth`] that travels with a chunk.
+/// Itemized quarantine events stay on the coordinator; the runner only
+/// consumes the scalars.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WireHealth {
+    pub input_len: u64,
+    pub ok_records: u64,
+    pub ok_bytes: u64,
+    pub resyncs: u64,
+    pub quarantined_bytes: u64,
+    pub fault_counts: [u64; 5],
+    pub unrecoverable: bool,
+}
+
+impl WireHealth {
+    pub fn from_health(h: &IngestHealth) -> WireHealth {
+        WireHealth {
+            input_len: h.input_len,
+            ok_records: h.ok_records,
+            ok_bytes: h.ok_bytes,
+            resyncs: h.resyncs,
+            quarantined_bytes: h.quarantined_bytes,
+            fault_counts: h.fault_counts,
+            unrecoverable: h.unrecoverable,
+        }
+    }
+
+    /// An all-zero health block for the shards that do not own a
+    /// chunk's decode accounting.
+    pub fn zero() -> WireHealth {
+        WireHealth {
+            input_len: 0,
+            ok_records: 0,
+            ok_bytes: 0,
+            resyncs: 0,
+            quarantined_bytes: 0,
+            fault_counts: [0; 5],
+            unrecoverable: false,
+        }
+    }
+
+    pub fn into_health(self) -> IngestHealth {
+        IngestHealth {
+            input_len: self.input_len,
+            ok_records: self.ok_records,
+            ok_bytes: self.ok_bytes,
+            resyncs: self.resyncs,
+            quarantined_bytes: self.quarantined_bytes,
+            events: Vec::new(),
+            events_dropped: 0,
+            fault_counts: self.fault_counts,
+            unrecoverable: self.unrecoverable,
+        }
+    }
+}
+
+/// One shard's view of one trace chunk: the original sequence number
+/// and byte span (so worker checkpoints stay in trace coordinates) with
+/// only the flows this shard owns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct WireChunk {
+    pub seq: u64,
+    pub byte_start: u64,
+    pub byte_end: u64,
+    pub health: WireHealth,
+    pub flows: Vec<FlowRecord>,
+}
+
+/// A completed shard's result: its terminal checkpoint (encoded with
+/// the checkpoint codec, which already carries the per-member
+/// breakdown, both accounting levels, ingest totals, and the
+/// disagreement matrix) plus its rollup window ring.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ReportMsg {
+    pub shard_id: u32,
+    pub checkpoint: Checkpoint,
+    pub windows: Vec<WindowAccum>,
+}
+
+/// Every message either side of a shard link can send.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Msg {
+    /// Worker → coordinator: identify after connecting.
+    Hello { proto_version: u16, shard_id: u32 },
+    /// Coordinator → worker: accept, carrying the plan-bound source
+    /// fingerprint the worker's checkpoint identity must match.
+    Welcome {
+        fingerprint: u64,
+        shards: u32,
+        salt: u64,
+    },
+    /// Worker → coordinator: start (or restart) streaming from this
+    /// trace position — sent at run start from the worker's checkpoint,
+    /// and again whenever a gap or timeout demands retransmission.
+    Resume { byte_cursor: u64, seq: u64 },
+    /// Coordinator → worker: one partitioned chunk.
+    Chunk(WireChunk),
+    /// Coordinator → worker: the stream is exhausted; `next_seq` is one
+    /// past the last chunk, so a worker that missed frames can detect
+    /// the gap and ask to resume instead of finishing short.
+    Finish { next_seq: u64 },
+    /// Worker → coordinator: liveness beacon carrying the next chunk
+    /// sequence the worker expects — the acknowledgment that paces the
+    /// coordinator's sliding send window.
+    Heartbeat { next_seq: u64 },
+    /// Worker → coordinator: terminal result.
+    Report(Box<ReportMsg>),
+    /// Worker → coordinator: unrecoverable failure (`FATAL_*` code).
+    Fatal { code: u16, detail: String },
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_be_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            u64::from_be_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_flow(out: &mut Vec<u8>, f: &FlowRecord) {
+    put_u32(out, f.ts);
+    put_u32(out, f.src);
+    put_u32(out, f.dst);
+    out.push(f.proto.number());
+    put_u16(out, f.sport);
+    put_u16(out, f.dport);
+    put_u32(out, f.packets);
+    put_u64(out, f.bytes);
+    put_u16(out, f.pkt_size);
+    put_u32(out, f.member.0);
+}
+
+fn get_flow(r: &mut Reader<'_>) -> Option<FlowRecord> {
+    Some(FlowRecord {
+        ts: r.u32()?,
+        src: r.u32()?,
+        dst: r.u32()?,
+        proto: Proto::from_number(r.u8()?),
+        sport: r.u16()?,
+        dport: r.u16()?,
+        packets: r.u32()?,
+        bytes: r.u64()?,
+        pkt_size: r.u16()?,
+        member: Asn(r.u32()?),
+    })
+}
+
+fn put_health(out: &mut Vec<u8>, h: &WireHealth) {
+    put_u64(out, h.input_len);
+    put_u64(out, h.ok_records);
+    put_u64(out, h.ok_bytes);
+    put_u64(out, h.resyncs);
+    put_u64(out, h.quarantined_bytes);
+    for c in h.fault_counts {
+        put_u64(out, c);
+    }
+    out.push(h.unrecoverable as u8);
+}
+
+fn get_health(r: &mut Reader<'_>) -> Option<WireHealth> {
+    let input_len = r.u64()?;
+    let ok_records = r.u64()?;
+    let ok_bytes = r.u64()?;
+    let resyncs = r.u64()?;
+    let quarantined_bytes = r.u64()?;
+    let mut fault_counts = [0u64; 5];
+    for c in &mut fault_counts {
+        *c = r.u64()?;
+    }
+    let unrecoverable = match r.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some(WireHealth {
+        input_len,
+        ok_records,
+        ok_bytes,
+        resyncs,
+        quarantined_bytes,
+        fault_counts,
+        unrecoverable,
+    })
+}
+
+impl Msg {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Msg::Hello {
+                proto_version,
+                shard_id,
+            } => {
+                out.push(MSG_HELLO);
+                put_u16(&mut out, *proto_version);
+                put_u32(&mut out, *shard_id);
+            }
+            Msg::Welcome {
+                fingerprint,
+                shards,
+                salt,
+            } => {
+                out.push(MSG_WELCOME);
+                put_u64(&mut out, *fingerprint);
+                put_u32(&mut out, *shards);
+                put_u64(&mut out, *salt);
+            }
+            Msg::Resume { byte_cursor, seq } => {
+                out.push(MSG_RESUME);
+                put_u64(&mut out, *byte_cursor);
+                put_u64(&mut out, *seq);
+            }
+            Msg::Chunk(wc) => {
+                out.push(MSG_CHUNK);
+                put_u64(&mut out, wc.seq);
+                put_u64(&mut out, wc.byte_start);
+                put_u64(&mut out, wc.byte_end);
+                put_health(&mut out, &wc.health);
+                put_u32(&mut out, wc.flows.len() as u32);
+                for f in &wc.flows {
+                    put_flow(&mut out, f);
+                }
+            }
+            Msg::Finish { next_seq } => {
+                out.push(MSG_FINISH);
+                put_u64(&mut out, *next_seq);
+            }
+            Msg::Heartbeat { next_seq } => {
+                out.push(MSG_HEARTBEAT);
+                put_u64(&mut out, *next_seq);
+            }
+            Msg::Report(r) => {
+                out.push(MSG_REPORT);
+                put_u32(&mut out, r.shard_id);
+                let cp = r.checkpoint.encode();
+                put_u32(&mut out, cp.len() as u32);
+                out.extend_from_slice(&cp);
+                put_u32(&mut out, r.windows.len() as u32);
+                for w in &r.windows {
+                    w.encode_into(&mut out);
+                }
+            }
+            Msg::Fatal { code, detail } => {
+                out.push(MSG_FATAL);
+                put_u16(&mut out, *code);
+                let bytes = detail.as_bytes();
+                put_u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload; `None` on any structural damage.
+    pub fn decode(payload: &[u8]) -> Option<Msg> {
+        let mut r = Reader::new(payload);
+        let msg = match r.u8()? {
+            MSG_HELLO => Msg::Hello {
+                proto_version: r.u16()?,
+                shard_id: r.u32()?,
+            },
+            MSG_WELCOME => Msg::Welcome {
+                fingerprint: r.u64()?,
+                shards: r.u32()?,
+                salt: r.u64()?,
+            },
+            MSG_RESUME => Msg::Resume {
+                byte_cursor: r.u64()?,
+                seq: r.u64()?,
+            },
+            MSG_CHUNK => {
+                let seq = r.u64()?;
+                let byte_start = r.u64()?;
+                let byte_end = r.u64()?;
+                let health = get_health(&mut r)?;
+                let n = r.u32()? as usize;
+                // Cap pre-allocation against nonsense counts.
+                let mut flows = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    flows.push(get_flow(&mut r)?);
+                }
+                Msg::Chunk(WireChunk {
+                    seq,
+                    byte_start,
+                    byte_end,
+                    health,
+                    flows,
+                })
+            }
+            MSG_FINISH => Msg::Finish { next_seq: r.u64()? },
+            MSG_HEARTBEAT => Msg::Heartbeat {
+                next_seq: r.u64()?,
+            },
+            MSG_REPORT => {
+                let shard_id = r.u32()?;
+                let cp_len = r.u32()? as usize;
+                let cp_bytes = r.take(cp_len)?;
+                let checkpoint = Checkpoint::decode(cp_bytes).ok()?;
+                let n = r.u32()? as usize;
+                let mut windows = Vec::with_capacity(n.min(1 << 12));
+                let mut pos = r.pos;
+                for _ in 0..n {
+                    windows.push(WindowAccum::decode_from(r.buf, &mut pos)?);
+                }
+                r.pos = pos;
+                Msg::Report(Box::new(ReportMsg {
+                    shard_id,
+                    checkpoint,
+                    windows,
+                }))
+            }
+            MSG_FATAL => {
+                let code = r.u16()?;
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                Msg::Fatal {
+                    code,
+                    detail: String::from_utf8_lossy(bytes).into_owned(),
+                }
+            }
+            _ => return None,
+        };
+        if !r.done() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::super::{FlowAccounting, IngestTotals};
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_flow(i: u32) -> FlowRecord {
+        FlowRecord {
+            ts: i,
+            src: 0x0A00_0000 + i,
+            dst: 0xC0A8_0000 + i,
+            proto: Proto::from_number((i % 7) as u8),
+            sport: (i * 13) as u16,
+            dport: (i * 7) as u16,
+            packets: i + 1,
+            bytes: (i as u64 + 1) * 60,
+            pkt_size: 60,
+            member: Asn(64_500 + i),
+        }
+    }
+
+    fn roundtrip(msg: Msg) {
+        let encoded = msg.encode();
+        assert_eq!(Msg::decode(&encoded), Some(msg));
+    }
+
+    #[test]
+    fn control_messages_roundtrip() {
+        roundtrip(Msg::Hello {
+            proto_version: PROTO_VERSION,
+            shard_id: 3,
+        });
+        roundtrip(Msg::Welcome {
+            fingerprint: 0xDEAD_BEEF_0BAD_F00D,
+            shards: 4,
+            salt: 99,
+        });
+        roundtrip(Msg::Resume {
+            byte_cursor: 1_000_000,
+            seq: 42,
+        });
+        roundtrip(Msg::Finish { next_seq: 77 });
+        roundtrip(Msg::Heartbeat {
+            next_seq: 12,
+        });
+        roundtrip(Msg::Fatal {
+            code: FATAL_IDENTITY,
+            detail: "resharded study rejected".into(),
+        });
+    }
+
+    #[test]
+    fn chunk_roundtrips_with_flows_and_health() {
+        let mut health = WireHealth::zero();
+        health.input_len = 4096;
+        health.ok_records = 40;
+        health.ok_bytes = 4000;
+        health.resyncs = 2;
+        health.quarantined_bytes = 96;
+        health.fault_counts = [1, 0, 2, 0, 1];
+        roundtrip(Msg::Chunk(WireChunk {
+            seq: 9,
+            byte_start: 36_864,
+            byte_end: 40_960,
+            health,
+            flows: (0..50).map(sample_flow).collect(),
+        }));
+        // Empty sub-chunks (a shard owning none of the chunk's flows)
+        // must also survive.
+        roundtrip(Msg::Chunk(WireChunk {
+            seq: 10,
+            byte_start: 40_960,
+            byte_end: 45_056,
+            health: WireHealth::zero(),
+            flows: Vec::new(),
+        }));
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let mut per_member = BTreeMap::new();
+        per_member.insert(Asn(64_500), Default::default());
+        let checkpoint = Checkpoint {
+            config_hash: 0x1234,
+            committed_chunks: 7,
+            byte_cursor: 7000,
+            records: FlowAccounting {
+                offered: 70,
+                processed: 70,
+                shed: 0,
+                quarantined: 0,
+            },
+            chunks: FlowAccounting {
+                offered: 7,
+                processed: 7,
+                shed: 0,
+                quarantined: 0,
+            },
+            ingest: IngestTotals::default(),
+            per_member,
+            disagreement: None,
+            rollup_accum: None,
+        };
+        let mut w = WindowAccum::start(0, 0);
+        w.chunks = 4;
+        w.class_flows = [10, 2, 3, 25];
+        roundtrip(Msg::Report(Box::new(ReportMsg {
+            shard_id: 1,
+            checkpoint,
+            windows: vec![w],
+        })));
+    }
+
+    #[test]
+    fn decode_is_total_on_garbage() {
+        assert_eq!(Msg::decode(&[]), None);
+        assert_eq!(Msg::decode(&[0xFF]), None);
+        assert_eq!(Msg::decode(&[MSG_HELLO, 0x00]), None);
+        // Trailing junk after a valid message is rejected.
+        let mut ok = Msg::Finish { next_seq: 1 }.encode();
+        ok.push(0);
+        assert_eq!(Msg::decode(&ok), None);
+        // Truncations of every message never panic.
+        let full = Msg::Chunk(WireChunk {
+            seq: 1,
+            byte_start: 0,
+            byte_end: 100,
+            health: WireHealth::zero(),
+            flows: vec![sample_flow(1)],
+        })
+        .encode();
+        for cut in 0..full.len() {
+            let _ = Msg::decode(&full[..cut]);
+        }
+    }
+}

@@ -208,6 +208,179 @@ impl FaultInjector {
     }
 }
 
+/// One corruption applied to a *framed stream* by [`WireFaultInjector`],
+/// for chaos-test diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFault {
+    /// One bit inside frame `frame` was flipped.
+    FrameBitFlip {
+        /// Index of the damaged frame.
+        frame: usize,
+    },
+    /// Frame `frame` lost its last `torn` bytes (a torn tail).
+    FrameTorn {
+        /// Index of the damaged frame.
+        frame: usize,
+        /// Bytes cut from its end.
+        torn: usize,
+    },
+    /// Frame `frame` was transmitted twice.
+    FrameDuplicated {
+        /// Index of the duplicated frame.
+        frame: usize,
+    },
+    /// Frames `a` and `b` swapped places on the wire.
+    FramesReordered {
+        /// First swapped frame.
+        a: usize,
+        /// Second swapped frame.
+        b: usize,
+    },
+    /// Frame `frame` vanished entirely (a mid-stream drop).
+    FrameDropped {
+        /// Index of the dropped frame.
+        frame: usize,
+    },
+    /// `len` garbage bytes appeared between frames, before frame
+    /// `before`.
+    GarbageInserted {
+        /// Frame index the garbage precedes (`== frames.len()` for
+        /// trailing garbage).
+        before: usize,
+        /// Garbage length.
+        len: usize,
+    },
+}
+
+/// Streaming/wire mode of the fault injector: seeded corruption of a
+/// *sequence of frames* in flight, modelling what a hostile or flaky
+/// byte stream does between two shard processes — arbitrary-boundary
+/// segmentation, torn tails, bit flips, duplicated / reordered /
+/// dropped frames, and inter-frame garbage.
+///
+/// It operates on whole frames (each a `Vec<u8>` as produced by
+/// `wire::frame_encode`) so chaos tests can corrupt deterministically
+/// per frame index; [`WireFaultInjector::segment`] then re-cuts the
+/// concatenated bytes at arbitrary boundaries to exercise stream
+/// reassembly.
+#[derive(Debug)]
+pub struct WireFaultInjector {
+    rng: StdRng,
+}
+
+impl WireFaultInjector {
+    /// A new wire injector with a deterministic stream for `seed`.
+    pub fn new(seed: u64) -> Self {
+        WireFaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Split `stream` into randomly sized segments (each 1 to
+    /// `max_segment` bytes) that tile it exactly — the arbitrary
+    /// delivery boundaries a TCP-like byte stream produces.
+    pub fn segment(&mut self, stream: &[u8], max_segment: usize) -> Vec<Vec<u8>> {
+        let max_segment = max_segment.max(1);
+        let mut out = Vec::new();
+        let mut at = 0;
+        while at < stream.len() {
+            let take = self
+                .rng
+                .random_range(1..=max_segment)
+                .min(stream.len() - at);
+            out.push(stream[at..at + take].to_vec());
+            at += take;
+        }
+        out
+    }
+
+    /// Flip one random bit inside a random frame.
+    pub fn flip_in_frame(&mut self, frames: &mut [Vec<u8>]) -> Option<WireFault> {
+        let candidates: Vec<usize> = (0..frames.len()).filter(|&i| !frames[i].is_empty()).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let frame = candidates[self.rng.random_range(0..candidates.len())];
+        let offset = self.rng.random_range(0..frames[frame].len());
+        let bit = self.rng.random_range(0u8..8);
+        frames[frame][offset] ^= 1 << bit;
+        Some(WireFault::FrameBitFlip { frame })
+    }
+
+    /// Tear the tail off a random frame (at least one byte survives so
+    /// the damage is mid-frame, not a clean drop).
+    pub fn tear_frame(&mut self, frames: &mut [Vec<u8>]) -> Option<WireFault> {
+        let candidates: Vec<usize> = (0..frames.len()).filter(|&i| frames[i].len() > 1).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let frame = candidates[self.rng.random_range(0..candidates.len())];
+        let torn = self.rng.random_range(1..frames[frame].len());
+        let keep = frames[frame].len() - torn;
+        frames[frame].truncate(keep);
+        Some(WireFault::FrameTorn { frame, torn })
+    }
+
+    /// Transmit a random frame twice.
+    pub fn duplicate_frame(&mut self, frames: &mut Vec<Vec<u8>>) -> Option<WireFault> {
+        if frames.is_empty() {
+            return None;
+        }
+        let frame = self.rng.random_range(0..frames.len());
+        let copy = frames[frame].clone();
+        frames.insert(frame, copy);
+        Some(WireFault::FrameDuplicated { frame })
+    }
+
+    /// Swap two distinct random frames.
+    pub fn reorder_frames(&mut self, frames: &mut [Vec<u8>]) -> Option<WireFault> {
+        if frames.len() < 2 {
+            return None;
+        }
+        let a = self.rng.random_range(0..frames.len() - 1);
+        let b = self.rng.random_range(a + 1..frames.len());
+        frames.swap(a, b);
+        Some(WireFault::FramesReordered { a, b })
+    }
+
+    /// Drop a random frame entirely.
+    pub fn drop_frame(&mut self, frames: &mut Vec<Vec<u8>>) -> Option<WireFault> {
+        if frames.is_empty() {
+            return None;
+        }
+        let frame = self.rng.random_range(0..frames.len());
+        frames.remove(frame);
+        Some(WireFault::FrameDropped { frame })
+    }
+
+    /// Insert up to `max_len` garbage bytes between two frames (as its
+    /// own "frame" so segmentation interleaves it with real bytes).
+    pub fn insert_wire_garbage(
+        &mut self,
+        frames: &mut Vec<Vec<u8>>,
+        max_len: usize,
+    ) -> Option<WireFault> {
+        let max_len = max_len.max(1);
+        let before = self.rng.random_range(0..=frames.len());
+        let len = self.rng.random_range(1..=max_len);
+        let garbage: Vec<u8> = (0..len).map(|_| self.rng.random::<u8>()).collect();
+        frames.insert(before, garbage);
+        Some(WireFault::GarbageInserted { before, len })
+    }
+
+    /// Apply one uniformly chosen wire fault.
+    pub fn any_wire_fault(&mut self, frames: &mut Vec<Vec<u8>>) -> Option<WireFault> {
+        match self.rng.random_range(0..6u32) {
+            0 => self.flip_in_frame(frames),
+            1 => self.tear_frame(frames),
+            2 => self.duplicate_frame(frames),
+            3 => self.reorder_frames(frames),
+            4 => self.drop_frame(frames),
+            _ => self.insert_wire_garbage(frames, 32),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +487,88 @@ mod tests {
         // insert_garbage still works: it appends after the prefix.
         assert!(inj.insert_garbage(&mut tiny, 3).is_some());
         assert_eq!(tiny.len(), 11);
+    }
+
+    fn frames() -> Vec<Vec<u8>> {
+        (0..5u8)
+            .map(|i| (0..10 + i as usize * 3).map(|j| i.wrapping_mul(40) ^ j as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn wire_injector_is_deterministic() {
+        let mut a = frames();
+        let mut b = frames();
+        let fa = WireFaultInjector::new(11).any_wire_fault(&mut a);
+        let fb = WireFaultInjector::new(11).any_wire_fault(&mut b);
+        assert_eq!(fa, fb);
+        assert_eq!(a, b);
+        assert_ne!(a, frames());
+    }
+
+    #[test]
+    fn segmentation_tiles_the_stream_exactly() {
+        let stream: Vec<u8> = (0..997u32).map(|i| (i % 256) as u8).collect();
+        for seed in 0..20 {
+            let segs = WireFaultInjector::new(seed).segment(&stream, 37);
+            assert!(segs.iter().all(|s| !s.is_empty() && s.len() <= 37));
+            let glued: Vec<u8> = segs.concat();
+            assert_eq!(glued, stream, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tear_frame_shortens_exactly_one_frame() {
+        let clean = frames();
+        let mut data = clean.clone();
+        let fault = WireFaultInjector::new(3).tear_frame(&mut data).unwrap();
+        let WireFault::FrameTorn { frame, torn } = fault else {
+            panic!("wrong fault kind");
+        };
+        assert_eq!(data.len(), clean.len());
+        assert_eq!(data[frame].len(), clean[frame].len() - torn);
+        assert!(!data[frame].is_empty());
+        for i in 0..clean.len() {
+            if i != frame {
+                assert_eq!(data[i], clean[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_drop_change_frame_count() {
+        let mut data = frames();
+        let n = data.len();
+        WireFaultInjector::new(4).duplicate_frame(&mut data).unwrap();
+        assert_eq!(data.len(), n + 1);
+        WireFaultInjector::new(5).drop_frame(&mut data).unwrap();
+        assert_eq!(data.len(), n);
+    }
+
+    #[test]
+    fn reorder_swaps_two_frames() {
+        let clean = frames();
+        let mut data = clean.clone();
+        let fault = WireFaultInjector::new(6).reorder_frames(&mut data).unwrap();
+        let WireFault::FramesReordered { a, b } = fault else {
+            panic!("wrong fault kind");
+        };
+        assert_ne!(a, b);
+        assert_eq!(data[a], clean[b]);
+        assert_eq!(data[b], clean[a]);
+    }
+
+    #[test]
+    fn wire_ops_degrade_gracefully_on_empty_input() {
+        let mut inj = WireFaultInjector::new(7);
+        let mut empty: Vec<Vec<u8>> = Vec::new();
+        assert_eq!(inj.flip_in_frame(&mut empty), None);
+        assert_eq!(inj.tear_frame(&mut empty), None);
+        assert_eq!(inj.duplicate_frame(&mut empty), None);
+        assert_eq!(inj.reorder_frames(&mut empty), None);
+        assert_eq!(inj.drop_frame(&mut empty), None);
+        // Garbage insertion works even with no frames.
+        assert!(inj.insert_wire_garbage(&mut empty, 8).is_some());
+        assert_eq!(empty.len(), 1);
     }
 }

@@ -34,16 +34,23 @@ pub mod faults;
 pub mod flow;
 pub mod ingest;
 pub mod prefix;
+pub mod wire;
 
 pub use addr::{fmt_addr, parse_addr};
 pub use crc32::crc32;
 pub use asn::Asn;
 pub use class::{InferenceMethod, OrgMode, TrafficClass};
 pub use error::NetError;
-pub use faults::{AppliedFault, FaultInjector};
+pub use faults::{AppliedFault, FaultInjector, WireFault, WireFaultInjector};
 pub use flow::{FlowRecord, Proto};
 pub use ingest::{FaultKind, IngestEvent, IngestHealth, IngestStatus};
 pub use prefix::Ipv4Prefix;
+pub use wire::{
+    frame_decode, frame_encode, FrameError, FrameReader, InProcHub, ShardEndpoint, ShardRx,
+    ShardTransport, ShardTx, TcpEndpoint,
+};
+#[cfg(unix)]
+pub use wire::UdsEndpoint;
 
 /// Number of 1/256-of-a-/24 units in one /24 (i.e. one unit per address
 /// block of size 1). See [`prefix::Ipv4Prefix::slash24_units`].
