@@ -76,4 +76,23 @@ test -s BENCH_shard.json || { echo "BENCH_shard.json baseline missing"; exit 1; 
 grep -q '"bench":"shard"' BENCH_shard.json \
     || { echo "BENCH_shard.json baseline malformed"; exit 1; }
 
+echo "==> live-soak smoke test (chaos soak above capacity, graceful drain, overload recovery)"
+# The seeded chaos soak streams through a corrupting link into an
+# underprovisioned consumer with kill+resume mid-stream; it asserts the
+# exact accounting invariant at record and chunk level, a bounded
+# buffer, at least one Shed->Normal recovery, and a clean drain.
+cargo test -q -p spoofwatch-core --test live_study live_chaos_soak
+# The example proves a line-rate live session bit-identical to file
+# replay, forces the ladder through Shed and back, demonstrates a
+# graceful Stop drain, and renders the report's live-session block. It
+# exits nonzero on any mismatch.
+cargo run -q --release --example live_study > /dev/null
+# The live bench asserts a bounded live-layer tax over file replay and
+# exact reconciliation under overload, and refreshes the tracked
+# BENCH_live.json baseline.
+CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench live > /dev/null
+test -s BENCH_live.json || { echo "BENCH_live.json baseline missing"; exit 1; }
+grep -q '"bench":"live"' BENCH_live.json \
+    || { echo "BENCH_live.json baseline malformed"; exit 1; }
+
 echo "==> CI green"

@@ -4,8 +4,8 @@
 
 use crate::{addrstruct, attack, ccdf, evaluate, portmix, scatter, sizes, timeseries, venn};
 use spoofwatch_core::{
-    Classifier, Confidence, DecisionRecord, DegradedStats, DisagreementMatrix, MemberBreakdown,
-    RunnerHealth, ShardStudyReport, Table1,
+    Classifier, Confidence, DecisionRecord, DegradedStats, DisagreementMatrix, LiveSession,
+    MemberBreakdown, RunnerHealth, ShardStudyReport, Table1,
 };
 use spoofwatch_net::InferenceMethod;
 use spoofwatch_internet::Internet;
@@ -86,6 +86,9 @@ pub struct StudyReport {
     /// Sharded-study outcome, when the study ran distributed across
     /// shard workers.
     pub shards: Option<ShardStudyReport>,
+    /// Live-session telemetry, when the study ingested a socket-fed
+    /// stream under [`spoofwatch_core::serve_live`].
+    pub live: Option<LiveSession>,
 }
 
 impl StudyReport {
@@ -119,6 +122,7 @@ impl StudyReport {
             disagreement: None,
             provenance: None,
             shards: None,
+            live: None,
         }
     }
 
@@ -166,6 +170,15 @@ impl StudyReport {
     /// when a shard was lost past its retry budget.
     pub fn with_shards(mut self, report: ShardStudyReport) -> Self {
         self.shards = Some(report);
+        self
+    }
+
+    /// Attach live-session telemetry so [`render`](Self::render) includes
+    /// a live-ingest section — achieved rate, overload-ladder residence
+    /// times, credit/resume traffic, and the session-delta accounting
+    /// with live shedding folded in.
+    pub fn with_live(mut self, session: LiveSession) -> Self {
+        self.live = Some(session);
         self
     }
 
@@ -410,6 +423,78 @@ impl StudyReport {
                 if shards.reconciles() { "yes" } else { "NO" },
             ));
             for caveat in shards.caveats() {
+                out.push_str(&format!("\n*Caveat: {caveat}.*\n"));
+            }
+        }
+
+        if let Some(live) = &self.live {
+            out.push_str("\n## Live session\n\n");
+            out.push_str(&format!(
+                "- stream: {} records/chunk, target {}, admission window {} chunk(s)\n",
+                live.chunk_records,
+                if live.target_rps == 0 {
+                    "line rate".to_string()
+                } else {
+                    format!("{} records/s", live.target_rps)
+                },
+                live.window,
+            ));
+            out.push_str(&format!(
+                "- achieved {:.0} records/s over {:.2}s ({})\n",
+                live.achieved_records_per_sec,
+                live.duration_ns as f64 / 1e9,
+                match (live.stop_requested, live.producer_lost) {
+                    (_, true) => "producer lost; drained what was admitted",
+                    (true, false) => "graceful drain on stop request",
+                    (false, false) => "stream ran to completion",
+                },
+            ));
+            let total_ns: u64 = live.time_in_state_ns.iter().sum();
+            let pct = |ns: u64| {
+                if total_ns == 0 {
+                    0.0
+                } else {
+                    ns as f64 * 100.0 / total_ns as f64
+                }
+            };
+            out.push_str(&format!(
+                "- overload ladder: {:.1}% normal, {:.1}% pressure, {:.1}% shed, \
+                 {:.1}% refuse ({} transition(s), {} shed recovery(ies))\n",
+                pct(live.time_in_state_ns[0]),
+                pct(live.time_in_state_ns[1]),
+                pct(live.time_in_state_ns[2]),
+                pct(live.time_in_state_ns[3]),
+                live.transitions,
+                live.shed_recoveries,
+            ));
+            out.push_str(&format!(
+                "- flow control: {} credit grant(s), {} resume request(s), peak buffer \
+                 {} of {} chunk(s)\n",
+                live.credits_granted, live.resumes_sent, live.max_buffered_chunks, live.window,
+            ));
+            out.push_str(&format!(
+                "- link: {} wire fault(s), {} protocol fault(s), {} producer stall(s), \
+                 {} consumer stall(s)\n",
+                live.wire_faults, live.protocol_faults, live.producer_stalls,
+                live.consumer_stalls,
+            ));
+            if let Some(seq) = live.resumed_at_chunk {
+                out.push_str(&format!("- resumed from checkpoint at chunk {seq}\n"));
+            }
+            out.push_str(&format!(
+                "- session records: {} offered, {} processed, {} shed ({} at the live \
+                 buffer), {} quarantined\n",
+                live.records.offered,
+                live.records.processed,
+                live.records.shed,
+                live.live_shed_records,
+                live.records.quarantined,
+            ));
+            out.push_str(&format!(
+                "- accounting reconciles (offered == processed + shed + quarantined): {}\n",
+                if live.reconciles() { "yes" } else { "NO" },
+            ));
+            for caveat in live.caveats() {
                 out.push_str(&format!("\n*Caveat: {caveat}.*\n"));
             }
         }
@@ -739,5 +824,77 @@ mod tests {
         assert!(text.contains("offered == processed + shed + quarantined + lost): yes"));
         assert!(text.contains("*Caveat: shard 2/3 was lost after 4 death(s)"));
         assert!(text.contains("results are PARTIAL: 40 of 100 records lost"));
+    }
+
+    #[test]
+    fn live_section_renders_session_telemetry_and_caveats() {
+        use spoofwatch_core::{FlowAccounting, OverloadState};
+        let net = Internet::generate(InternetConfig::tiny(88));
+        let trace = Trace::generate(&net, &TrafficConfig::tiny(8));
+        let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+        let classes = classifier.classify_trace(
+            &trace.flows,
+            InferenceMethod::FullCone,
+            OrgMode::OrgAdjusted,
+        );
+        let report = StudyReport::compute(&net, &trace, &classifier, &classes, None);
+        assert!(!report.render().contains("## Live session"));
+
+        let session = LiveSession {
+            window: 8,
+            chunk_records: 50,
+            target_rps: 20_000,
+            duration_ns: 2_500_000_000,
+            achieved_records_per_sec: 12_000.0,
+            final_state: OverloadState::Normal,
+            time_in_state_ns: [2_000_000_000, 300_000_000, 150_000_000, 50_000_000],
+            transitions: 6,
+            shed_recoveries: 2,
+            records: FlowAccounting {
+                offered: 30_000,
+                processed: 28_000,
+                shed: 1_900,
+                quarantined: 100,
+            },
+            chunks: FlowAccounting {
+                offered: 600,
+                processed: 600,
+                shed: 0,
+                quarantined: 0,
+            },
+            live_shed_records: 1_900,
+            max_buffered_chunks: 8,
+            credits_granted: 610,
+            resumes_sent: 3,
+            wire_faults: 7,
+            protocol_faults: 2,
+            producer_stalls: 1,
+            consumer_stalls: 0,
+            resumed_at_chunk: Some(120),
+            producer_lost: false,
+            stop_requested: true,
+        };
+        assert!(session.reconciles());
+        let text = StudyReport::compute(&net, &trace, &classifier, &classes, None)
+            .with_live(session)
+            .render();
+        assert!(text.contains("## Live session"));
+        assert!(text.contains("50 records/chunk, target 20000 records/s"));
+        assert!(text.contains("achieved 12000 records/s over 2.50s"));
+        assert!(text.contains("graceful drain on stop request"));
+        assert!(text.contains("80.0% normal"));
+        assert!(text.contains("6 transition(s), 2 shed recovery(ies)"));
+        assert!(text.contains("610 credit grant(s), 3 resume request(s)"));
+        assert!(text.contains("peak buffer 8 of 8 chunk(s)"));
+        assert!(text.contains("7 wire fault(s), 2 protocol fault(s)"));
+        assert!(text.contains("resumed from checkpoint at chunk 120"));
+        assert!(text.contains(
+            "30000 offered, 28000 processed, 1900 shed (1900 at the live buffer), \
+             100 quarantined"
+        ));
+        assert!(text.contains("offered == processed + shed + quarantined): yes"));
+        assert!(text.contains("*Caveat: 1900 records were shed"));
+        assert!(text.contains("*Caveat: stall watchdogs fired (1 producer, 0 consumer)"));
+        assert!(text.contains("*Caveat: the link absorbed 7 wire faults"));
     }
 }

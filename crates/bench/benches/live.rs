@@ -1,0 +1,265 @@
+//! Live ingest overhead: end-to-end throughput of a line-rate live
+//! session over the in-process transport versus plain file replay on
+//! the same trace, plus the ladder-evaluation microbench that gates the
+//! consumer's admission path.
+//!
+//! Two contracts are *asserted*: a clean line-rate session must be
+//! bit-identical to file replay with zero shedding and exact
+//! reconciliation, and the live-layer tax — the full cost of the wire
+//! codec, frame CRCs, credit grants, and the admission buffer — must
+//! stay within 4x of the plain in-process `StudyRunner`. (The tax is
+//! per-chunk wire work — frame encode, CRC, reassembly, decode — plus
+//! poll-paced credit grants; it reads near 3x on a small synthetic
+//! trace where chunks are cheap, and shrinks as per-chunk classify
+//! work grows.)
+//!
+//! An overloaded session (tight window, slow consumer) is also run and
+//! recorded, not asserted beyond its invariants: shedding is booked
+//! exactly (`offered == processed + shed + quarantined`) and the
+//! buffer high-water mark never exceeds the window.
+//!
+//! The measured numbers are written to `BENCH_live.json` at the repo
+//! root as the tracked baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use spoofwatch_core::{
+    CheckpointStore, Classifier, LiveLadder, LiveServerConfig, LiveStudy, OverloadState,
+    RunnerConfig, LIVE_WIRE_MAGIC,
+};
+use spoofwatch_internet::{Internet, InternetConfig};
+use spoofwatch_ixp::{ipfix, LiveProducerConfig, LiveScenario, Trace, TrafficConfig};
+use spoofwatch_net::wire::ShardTransport;
+use spoofwatch_net::{InferenceMethod, OrgMode};
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CHUNK_RECORDS: usize = 100;
+
+fn runner_config() -> RunnerConfig {
+    RunnerConfig {
+        workers: 2,
+        checkpoint_every: 8,
+        track_disagreement: true,
+        ..RunnerConfig::default()
+    }
+}
+
+/// One timed live session over an in-process pair. `slow_ms` injects a
+/// per-chunk classify delay to force the ladder under a tight window.
+fn live_run(
+    bytes: &Arc<Vec<u8>>,
+    classifier: &Classifier,
+    scratch: &Path,
+    tag: &str,
+    window: usize,
+    ladder: LiveLadder,
+    slow_ms: Option<u64>,
+) -> (LiveStudy, f64) {
+    let (consumer, producer) = ShardTransport::channel_pair(LIVE_WIRE_MAGIC, 64);
+    let scenario = LiveScenario::from_ipfix(bytes.to_vec(), CHUNK_RECORDS);
+    let producer_thread = std::thread::spawn(move || {
+        let mut transport = producer;
+        spoofwatch_ixp::run_live_producer(&mut transport, &scenario, &LiveProducerConfig::default())
+    });
+
+    let store = CheckpointStore::open(scratch.join(format!("{tag}-ckpt"))).expect("open store");
+    let mut cfg = LiveServerConfig::new(runner_config());
+    cfg.window = window;
+    cfg.ladder = Some(ladder);
+
+    let t0 = Instant::now();
+    let study = match slow_ms {
+        None => spoofwatch_core::serve_live(classifier, &cfg, &store, consumer),
+        Some(ms) => {
+            spoofwatch_core::serve_live_with(classifier, &cfg, &store, consumer, |flows| {
+                std::thread::sleep(Duration::from_millis(ms));
+                classifier.classify_trace(flows, InferenceMethod::FullCone, OrgMode::OrgAdjusted)
+            })
+        }
+    }
+    .expect("live session");
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    producer_thread
+        .join()
+        .expect("producer thread")
+        .expect("producer result");
+    (study, wall_ms)
+}
+
+#[derive(serde::Serialize)]
+struct LiveBaseline {
+    bench: &'static str,
+    records: u64,
+    chunk_records: usize,
+    /// Cores available to this run; on a 1-core host the producer and
+    /// consumer serialize, so the tax reads higher there.
+    cores: usize,
+    ladder_eval_ns: f64,
+    /// Plain in-process `StudyRunner`, no live layer: the floor the
+    /// live tax is measured against.
+    file_replay_wall_ms: f64,
+    /// Clean line-rate session wall over file-replay wall — the full
+    /// cost of the wire codec, CRC framing, credit-based admission,
+    /// and the buffer hand-off.
+    live_layer_tax: f64,
+    live_wall_ms: f64,
+    live_records_per_sec: f64,
+    /// The overloaded session: shed fraction and ladder churn under a
+    /// tight window with a deliberately slow consumer.
+    overload_shed_fraction: f64,
+    overload_transitions: u64,
+    overload_max_buffered: usize,
+}
+
+/// Mean ns per ladder evaluation across the occupancy sweep, best of
+/// three — the cost paid at every chunk admission.
+fn ladder_ns(ladder: &LiveLadder, window: usize) -> f64 {
+    let occupancies: Vec<usize> = (0..=window).collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut state = OverloadState::Normal;
+        let mut rounds = 0u64;
+        for _ in 0..10_000 {
+            for &occ in &occupancies {
+                state = ladder.evaluate(black_box(state), black_box(occ));
+                rounds += 1;
+            }
+        }
+        black_box(state);
+        best = best.min(t0.elapsed().as_nanos() as f64 / rounds as f64);
+    }
+    best
+}
+
+fn bench_live(c: &mut Criterion) {
+    let net = Internet::generate(InternetConfig::tiny(81));
+    let mut tc = TrafficConfig::tiny(82);
+    tc.regular_flows = 6_000;
+    let trace = Trace::generate(&net, &tc);
+    let bytes = Arc::new(ipfix::encode(&trace.flows));
+    let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
+    let ladder = LiveLadder::for_window(8);
+
+    let mut group = c.benchmark_group("live");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("ladder_eval", |b| {
+        let mut state = OverloadState::Normal;
+        let mut occ = 0usize;
+        b.iter(|| {
+            occ = (occ + 1) % 9;
+            state = ladder.evaluate(black_box(state), black_box(occ));
+            black_box(state)
+        })
+    });
+    group.finish();
+    let ladder_eval_ns = ladder_ns(&ladder, 8);
+    println!("ladder evaluation: {ladder_eval_ns:.1} ns");
+
+    let scratch =
+        std::env::temp_dir().join(format!("spoofwatch-bench-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch");
+
+    // The floor: the plain runner reading the file directly.
+    let (file_report, file_replay_wall_ms) = {
+        use spoofwatch_ixp::chunked::ChunkedIpfixReader;
+        let store = CheckpointStore::open(scratch.join("file-ckpt")).expect("open file store");
+        let mut source = ChunkedIpfixReader::new(&bytes, CHUNK_RECORDS);
+        let t0 = Instant::now();
+        let report = spoofwatch_core::StudyRunner::new(&classifier, runner_config())
+            .run(&mut source, &store)
+            .expect("file replay");
+        let wall = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(report.health.records.offered > 0);
+        (report, wall)
+    };
+    println!("file-replay floor: {file_replay_wall_ms:.0} ms");
+
+    // The clean line-rate session: must be bit-identical and cheap.
+    // The clean run parks the ladder's thresholds above any real
+    // occupancy: the tax measurement must never shed on a scheduling
+    // hiccup (the credit window still bounds the buffer).
+    let (clean, live_wall_ms) = live_run(
+        &bytes,
+        &classifier,
+        &scratch,
+        "clean",
+        16,
+        LiveLadder::for_window(1 << 20),
+        None,
+    );
+    assert_eq!(
+        clean.report.breakdown, file_report.breakdown,
+        "live session must be bit-identical to file replay"
+    );
+    assert!(
+        clean.session.reconciles() && clean.session.live_shed_records == 0,
+        "clean session must reconcile with zero shedding"
+    );
+    let live_layer_tax = live_wall_ms / file_replay_wall_ms;
+    let live_records_per_sec = clean.session.records.offered as f64 / (live_wall_ms / 1e3);
+    println!(
+        "live line-rate: {live_wall_ms:.0} ms, {live_records_per_sec:.0} records/s, \
+         {live_layer_tax:.2}x vs file replay"
+    );
+    assert!(
+        live_layer_tax < 4.0,
+        "the live layer must cost under 4x file replay (got {live_layer_tax:.2}x)"
+    );
+
+    // The overloaded session: invariants hold, numbers are recorded.
+    let (loaded, _) = live_run(
+        &bytes,
+        &classifier,
+        &scratch,
+        "overload",
+        4,
+        LiveLadder::for_window(4),
+        Some(10),
+    );
+    assert!(
+        loaded.session.reconciles(),
+        "overloaded session must still reconcile exactly"
+    );
+    assert!(
+        loaded.session.max_buffered_chunks <= 4,
+        "the buffer must never exceed the window"
+    );
+    let overload_shed_fraction =
+        loaded.session.live_shed_records as f64 / loaded.session.records.offered as f64;
+    println!(
+        "overload (window 4, slow consumer): {:.0}% shed, {} transitions, peak buffer {}",
+        overload_shed_fraction * 100.0,
+        loaded.session.transitions,
+        loaded.session.max_buffered_chunks,
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    write_baseline(LiveBaseline {
+        bench: "live",
+        records: trace.flows.len() as u64,
+        chunk_records: CHUNK_RECORDS,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ladder_eval_ns,
+        file_replay_wall_ms,
+        live_layer_tax,
+        live_wall_ms,
+        live_records_per_sec,
+        overload_shed_fraction,
+        overload_transitions: loaded.session.transitions,
+        overload_max_buffered: loaded.session.max_buffered_chunks,
+    });
+}
+
+fn write_baseline(baseline: LiveBaseline) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_live.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    std::fs::write(path, json + "\n").expect("write BENCH_live.json");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, bench_live);
+criterion_main!(benches);

@@ -151,8 +151,7 @@ impl RibFreshness {
             c.next_retry_at = if c.failures >= max_retries {
                 None // dropped out
             } else {
-                let exp = c.failures.saturating_sub(1).min(32);
-                let delay = base.saturating_mul(1u64 << exp).min(cap);
+                let delay = crate::backoff::Backoff::new(base, cap).delay(c.failures as u64);
                 Some(ts + delay)
             };
         }

@@ -28,6 +28,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod acl;
+pub mod backoff;
 pub mod compiled;
 pub mod fphunt;
 pub mod freshness;
@@ -38,12 +39,17 @@ pub mod runner;
 pub mod stats;
 pub mod stray;
 
+pub use backoff::Backoff;
 pub use compiled::{CompiledClassifier, CompiledLookup, EpochClassifier, EpochSwap};
 pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, RibFreshness};
 pub use pipeline::{planned_classify_workers, Classifier, PARALLEL_CUTOFF};
 pub use provenance::{
     DecisionRecord, DisagreementMatrix, MatchedRule, MethodVariant, PairMatrix, ProvenanceSampler,
     VerdictVector, METHOD_VARIANTS, VARIANT_PAIRS,
+};
+pub use runner::live::{
+    serve_live, serve_live_with, LiveError, LiveLadder, LiveServerConfig, LiveSession, LiveStudy,
+    OverloadState, LIVE_WIRE_MAGIC,
 };
 pub use runner::shard::{
     merge_windows, serve_shard, DeathPoint, LossAccounting, ShardConfig, ShardCoordinator,

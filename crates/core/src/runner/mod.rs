@@ -31,6 +31,7 @@
 //! ```
 
 mod checkpoint;
+pub mod live;
 mod obs;
 pub mod rollup;
 pub mod shard;
@@ -335,17 +336,7 @@ impl From<std::io::Error> for RunnerError {
     }
 }
 
-/// FNV-1a over a sequence of words.
-fn fnv(words: &[u64]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for w in words {
-        for b in w.to_be_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-    h
-}
+pub(crate) use crate::backoff::fnv;
 
 fn method_tag(m: InferenceMethod) -> u64 {
     match m {
@@ -1084,11 +1075,9 @@ fn worker_loop<F>(
                     "worker panic: chunk seq {seq} quarantined"
                 ));
                 consecutive_panics = consecutive_panics.saturating_add(1);
-                let exp = consecutive_panics.saturating_sub(1).min(32);
-                let delay = cfg
-                    .restart_backoff_base_ms
-                    .saturating_mul(1u64 << exp)
-                    .min(cfg.restart_backoff_max_ms);
+                let delay =
+                    crate::backoff::Backoff::new(cfg.restart_backoff_base_ms, cfg.restart_backoff_max_ms)
+                        .delay(consecutive_panics as u64);
                 if delay > 0 {
                     obs.clock.sleep(Duration::from_millis(delay));
                 }

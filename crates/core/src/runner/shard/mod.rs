@@ -341,12 +341,10 @@ impl From<io::Error> for ShardError {
 /// with deterministic seeded jitter pulling it down by up to half.
 fn backoff_delay_ms(seed: u64, shard_id: u32, attempt: u32, base_ms: u64, max_ms: u64) -> u64 {
     let base_ms = base_ms.max(1);
-    let exp = attempt.saturating_sub(1).min(16);
-    let raw = base_ms
-        .saturating_mul(1u64 << exp)
-        .min(max_ms.max(base_ms));
-    let jitter = fnv(&[seed, shard_id as u64, attempt as u64]) % (raw / 2 + 1);
-    raw - jitter
+    crate::backoff::Backoff::new(base_ms, max_ms.max(base_ms))
+        .with_exp_clamp(16)
+        .with_jitter(seed, shard_id as u64)
+        .delay(attempt as u64)
 }
 
 /// Build shard `shard_id`'s view of `chunk`: same sequence number and

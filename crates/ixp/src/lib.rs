@@ -24,9 +24,14 @@
 
 pub mod chunked;
 pub mod ipfix;
+pub mod live;
 pub mod sampler;
 pub mod traffic;
 
 pub use chunked::{ChunkedIpfixReader, FlowChunk};
+pub use live::{
+    run_live_producer, LiveChunk, LiveProducerConfig, LiveProducerStats, LiveScenario,
+    LIVE_PROTO_VERSION, LIVE_WIRE_MAGIC,
+};
 pub use sampler::PacketSampler;
 pub use traffic::{Trace, TrafficConfig, TrafficLabel};

@@ -49,6 +49,13 @@ pub const TRAILER_LEN: usize = 4;
 /// waiting for a frame that will never complete.
 pub const DEFAULT_MAX_FRAME: usize = 1 << 22; // 4 MiB
 
+/// Default kernel write timeout on socket transports. [`TimedRead`]
+/// bounds the receive side, but a `send` to a wedged peer whose socket
+/// buffer is full would otherwise block forever inside `write_all`;
+/// with this timeout the blocked write surfaces as an error and the
+/// caller treats the link as down, exactly like a severed read.
+pub const DEFAULT_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
 /// Why a frame failed to decode. Mirrors the checkpoint store's error
 /// taxonomy so the two layers stay in sync.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -392,10 +399,24 @@ impl ShardTransport {
         }
     }
 
-    /// A transport over a connected Unix domain socket.
+    /// A transport over a connected Unix domain socket. Writes are
+    /// bounded by [`DEFAULT_WRITE_TIMEOUT`] so a wedged peer with a
+    /// full socket buffer cannot block `send` forever.
     #[cfg(unix)]
     pub fn from_unix(stream: UnixStream, magic: [u8; 4]) -> io::Result<Self> {
+        Self::from_unix_with_write_timeout(stream, magic, Some(DEFAULT_WRITE_TIMEOUT))
+    }
+
+    /// [`Self::from_unix`] with an explicit write timeout (`None`
+    /// restores the unbounded pre-timeout behaviour).
+    #[cfg(unix)]
+    pub fn from_unix_with_write_timeout(
+        stream: UnixStream,
+        magic: [u8; 4],
+        write_timeout: Option<Duration>,
+    ) -> io::Result<Self> {
         let write_half = stream.try_clone()?;
+        write_half.set_write_timeout(write_timeout)?;
         Ok(ShardTransport {
             tx: Box::new(SocketTx {
                 magic,
@@ -410,10 +431,23 @@ impl ShardTransport {
     }
 
     /// A transport over a connected TCP socket (`TCP_NODELAY` is set:
-    /// the control plane sends many small frames).
+    /// the control plane sends many small frames). Writes are bounded
+    /// by [`DEFAULT_WRITE_TIMEOUT`] so a wedged peer with a full socket
+    /// buffer cannot block `send` forever.
     pub fn from_tcp(stream: TcpStream, magic: [u8; 4]) -> io::Result<Self> {
+        Self::from_tcp_with_write_timeout(stream, magic, Some(DEFAULT_WRITE_TIMEOUT))
+    }
+
+    /// [`Self::from_tcp`] with an explicit write timeout (`None`
+    /// restores the unbounded pre-timeout behaviour).
+    pub fn from_tcp_with_write_timeout(
+        stream: TcpStream,
+        magic: [u8; 4],
+        write_timeout: Option<Duration>,
+    ) -> io::Result<Self> {
         stream.set_nodelay(true)?;
         let write_half = stream.try_clone()?;
+        write_half.set_write_timeout(write_timeout)?;
         Ok(ShardTransport {
             tx: Box::new(SocketTx {
                 magic,
@@ -1013,6 +1047,47 @@ mod tests {
         assert_eq!(
             server.recv(Duration::from_millis(500)).unwrap(),
             Some(b"tcp frame".to_vec())
+        );
+    }
+
+    /// A wedged peer must not block `send` forever: with a write
+    /// timeout set, flooding a socket whose reader never drains it
+    /// eventually fills both kernel buffers and the blocked write
+    /// surfaces as an error in bounded wall time.
+    #[test]
+    fn write_timeout_bounds_send_to_unread_socket() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        // Accept so the connection is established, then never read.
+        let (_wedged, _) = listener.accept().unwrap();
+        let mut client = ShardTransport::from_tcp_with_write_timeout(
+            stream,
+            MAGIC,
+            Some(Duration::from_millis(50)),
+        )
+        .unwrap();
+        let payload = vec![0xABu8; 1 << 18]; // 256 KiB per frame
+        let start = Instant::now();
+        let mut err = None;
+        for _ in 0..64 {
+            if let Err(e) = client.send(&payload) {
+                err = Some(e);
+                break;
+            }
+        }
+        let e = err.expect("send to an unread socket should time out");
+        assert!(
+            matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::BrokenPipe
+            ),
+            "unexpected error kind: {e:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "blocked send took {:?}, timeout did not bound it",
+            start.elapsed()
         );
     }
 }
