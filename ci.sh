@@ -95,4 +95,25 @@ test -s BENCH_live.json || { echo "BENCH_live.json baseline missing"; exit 1; }
 grep -q '"bench":"live"' BENCH_live.json \
     || { echo "BENCH_live.json baseline malformed"; exit 1; }
 
+echo "==> online detection smoke test (cross-mode incident identity, upgrade path, forensics)"
+# The detect_study suite proves the incident log byte-identical across a
+# file run, kill+resume at and inside window boundaries, a 3-shard run,
+# and a live session, and that pre-detection rings and checkpoints
+# resume cleanly with detection switched on mid-study.
+cargo test -q -p spoofwatch-core --test detect_study
+# The forensics example replays a scripted pulse-wave attack (a seeded
+# random->selective spoofing flip) through the streaming runner's online
+# detectors and exits nonzero unless both spoof modes are discriminated
+# and every incident carries a full provenance bundle.
+cargo run -q --release --example attack_forensics > /dev/null
+# The detect bench prices worker-side payload accumulation (including
+# the streaming entropy sketches) and the per-window detector bank, and
+# enforces the documented contracts: a per-record accumulation ceiling
+# and a <=5% tax on the serial rollup commit path. It refreshes the
+# tracked BENCH_detect.json baseline.
+CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench detect > /dev/null
+test -s BENCH_detect.json || { echo "BENCH_detect.json baseline missing"; exit 1; }
+grep -q '"bench":"detect"' BENCH_detect.json \
+    || { echo "BENCH_detect.json baseline malformed"; exit 1; }
+
 echo "==> CI green"

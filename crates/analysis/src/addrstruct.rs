@@ -111,6 +111,7 @@ mod tests {
             bytes: packets as u64,
             pkt_size: 1,
             member: Asn(1),
+            ttl: 0,
         }
     }
 

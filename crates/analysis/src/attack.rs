@@ -345,6 +345,7 @@ mod tests {
             bytes: packets as u64 * 50,
             pkt_size: 50,
             member: Asn(member),
+            ttl: 0,
         }
     }
 

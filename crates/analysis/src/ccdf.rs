@@ -113,6 +113,7 @@ mod tests {
             bytes: packets as u64,
             pkt_size: 1,
             member: Asn(member),
+            ttl: 0,
         }
     }
 

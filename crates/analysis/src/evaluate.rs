@@ -96,6 +96,7 @@ mod tests {
             bytes: packets as u64,
             pkt_size: 1,
             member: Asn(1),
+            ttl: 0,
         }
     }
 

@@ -1,0 +1,228 @@
+//! Incident-timeline views over the online detectors' incident log —
+//! the offline rendering counterpart of `spoofwatch_core::detect`.
+//!
+//! Consumes [`IncidentRecord`]s (from `read_incident_log` on a rollup
+//! directory, or a `detect_over_windows` fold over ring windows) and
+//! renders the incident timeline plus per-incident forensic drill-downs:
+//! the triggering window snapshot, sketch entropies, TTL profile, the
+//! per-class reservoir flow samples, and the window's
+//! disagreement-matrix delta.
+
+use spoofwatch_core::detect::SAMPLE_CAP;
+use spoofwatch_core::{IncidentRecord, SampledFlow};
+use spoofwatch_net::{fmt_addr, Proto, TrafficClass};
+
+/// The incident timeline of one study run.
+#[derive(Debug, Clone)]
+pub struct IncidentTimeline {
+    /// The records, in window order (detector order within a window).
+    pub records: Vec<IncidentRecord>,
+}
+
+impl IncidentTimeline {
+    /// Wrap an incident-log read (already sorted by window).
+    pub fn new(records: Vec<IncidentRecord>) -> IncidentTimeline {
+        IncidentTimeline { records }
+    }
+
+    /// Incident counts by kind label, in first-seen order.
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, usize)> {
+        let mut out: Vec<(&'static str, usize)> = Vec::new();
+        for r in &self.records {
+            let label = r.incident.kind.label();
+            match out.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, n)) => *n += 1,
+                None => out.push((label, 1)),
+            }
+        }
+        out
+    }
+
+    /// The timeline table: one row per incident.
+    pub fn render_table(&self) -> String {
+        if self.records.is_empty() {
+            return String::from("no incidents\n");
+        }
+        let rows: Vec<Vec<String>> = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                vec![
+                    i.to_string(),
+                    r.incident.window_index.to_string(),
+                    r.incident.kind.label().to_string(),
+                    r.incident.summary(),
+                ]
+            })
+            .collect();
+        crate::render::table(&["#", "window", "kind", "summary"], &rows)
+    }
+
+    /// Full forensic drill-down of one incident: the verdict, the
+    /// triggering window snapshot, sketch entropies, TTL profiles, the
+    /// reservoir samples, and the disagreement delta.
+    pub fn render_detail(&self, index: usize) -> Option<String> {
+        let r = self.records.get(index)?;
+        let p = &r.provenance;
+        let mut out = format!(
+            "incident #{index} (window {}): {}\n",
+            r.incident.window_index,
+            r.incident.summary()
+        );
+        out.push_str(&format!(
+            "window: chunks [{}, {}), {} flows (",
+            p.start_chunk,
+            p.start_chunk + p.chunks,
+            p.class_flows.iter().sum::<u64>(),
+        ));
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{class} {}", p.class_flows[i]));
+        }
+        out.push_str(")\n");
+        out.push_str(&format!(
+            "suspect-source entropy: per-bit {:.3}, /24 sketch {:.3}\n",
+            p.bit_entropy_milli as f64 / 1000.0,
+            p.slash24_entropy_milli as f64 / 1000.0,
+        ));
+        for (i, class) in TrafficClass::ALL.iter().enumerate() {
+            if p.ttl_count[i] > 0 {
+                out.push_str(&format!(
+                    "TTL {class}: mean {:.1} over {} flows\n",
+                    p.ttl_mean_milli[i] as f64 / 1000.0,
+                    p.ttl_count[i],
+                ));
+            }
+        }
+        if p.samples.is_empty() {
+            out.push_str("samples: none (detect payload absent for this window)\n");
+        } else {
+            out.push_str(&format!(
+                "samples ({} of at most {} per class):\n",
+                p.samples.len(),
+                SAMPLE_CAP
+            ));
+            out.push_str(&render_samples(&p.samples));
+        }
+        match &p.matrix {
+            None => out.push_str("disagreement delta: not tracked\n"),
+            Some(m) => {
+                let disagreements: u64 = m.pairs.iter().map(|p| p.disagreements()).sum();
+                out.push_str(&format!(
+                    "disagreement delta: {disagreements} pairwise disagreements this window\n"
+                ));
+            }
+        }
+        Some(out)
+    }
+}
+
+/// The reservoir-sample table of one provenance bundle.
+fn render_samples(samples: &[SampledFlow]) -> String {
+    let rows: Vec<Vec<String>> = samples
+        .iter()
+        .map(|s| {
+            vec![
+                TrafficClass::ALL
+                    .get(s.class as usize)
+                    .map(|c| c.to_string())
+                    .unwrap_or_else(|| "?".into()),
+                fmt_addr(s.src),
+                fmt_addr(s.dst),
+                s.member.to_string(),
+                Proto::from_number(s.proto).to_string(),
+                s.sport.to_string(),
+                s.dport.to_string(),
+                s.ttl.to_string(),
+            ]
+        })
+        .collect();
+    crate::render::table(
+        &["class", "src", "dst", "member", "proto", "sport", "dport", "ttl"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spoofwatch_core::detect::{Incident, IncidentKind, Provenance, SpoofMode};
+    use spoofwatch_net::Asn;
+
+    fn record(window: u64, kind: IncidentKind, samples: Vec<SampledFlow>) -> IncidentRecord {
+        IncidentRecord {
+            incident: Incident {
+                window_index: window,
+                kind,
+            },
+            provenance: Provenance {
+                start_chunk: window * 4,
+                chunks: 4,
+                class_flows: [0, 0, 60, 40],
+                bit_entropy_milli: 310,
+                slash24_entropy_milli: 150,
+                ttl_mean_milli: [0, 0, 44_000, 56_000],
+                ttl_count: [0, 0, 60, 40],
+                samples,
+                matrix: None,
+            },
+        }
+    }
+
+    fn sample() -> SampledFlow {
+        SampledFlow {
+            priority: 1,
+            class: 2,
+            src: 0x0B16_2101,
+            dst: 0x0808_0808,
+            member: Asn(17),
+            ts: 5,
+            proto: 17,
+            sport: 53,
+            dport: 443,
+            ttl: 44,
+        }
+    }
+
+    #[test]
+    fn timeline_renders_table_counts_and_detail() {
+        let t = IncidentTimeline::new(vec![
+            record(
+                2,
+                IncidentKind::SpoofBurst {
+                    mode: SpoofMode::Selective,
+                    member: Some(Asn(17)),
+                    entropy_milli: 310,
+                    suspect_flows: 60,
+                    share_milli: 600,
+                },
+                vec![sample()],
+            ),
+            record(
+                2,
+                IncidentKind::TtlShift {
+                    class: TrafficClass::Invalid,
+                    shift_milli: -12_000,
+                    mean_milli: 44_000,
+                    baseline_milli: 56_000,
+                },
+                vec![sample()],
+            ),
+        ]);
+        assert_eq!(t.counts_by_kind(), vec![("spoof_burst", 1), ("ttl_shift", 1)]);
+        let table = t.render_table();
+        assert!(table.contains("spoof_burst"));
+        assert!(table.contains("selective-spoofing burst at member AS17"));
+        let detail = t.render_detail(0).unwrap();
+        assert!(detail.contains("incident #0 (window 2)"));
+        assert!(detail.contains("per-bit 0.310"));
+        assert!(detail.contains("11.22.33.1"));
+        assert!(detail.contains("TTL Invalid: mean 44.0 over 60 flows"));
+        assert!(detail.contains("disagreement delta: not tracked"));
+        assert!(t.render_detail(9).is_none());
+        assert_eq!(IncidentTimeline::new(Vec::new()).render_table(), "no incidents\n");
+    }
+}

@@ -10,6 +10,8 @@
 //!   type;
 //! * [`sizes`] — Figure 8a: packet-size CDFs per class;
 //! * [`timeseries`] — Figure 8b: hourly class volumes;
+//! * [`incidents`] — incident timelines and forensic drill-downs over
+//!   the online detectors' incident log;
 //! * [`portmix`] — Figure 9: application mix per class and direction;
 //! * [`addrstruct`] — Figure 10: /8 histograms of source/destination
 //!   addresses per class;
@@ -34,6 +36,7 @@ pub mod attack;
 pub mod ccdf;
 pub mod evaluate;
 pub mod fig2;
+pub mod incidents;
 pub mod portmix;
 pub mod render;
 pub mod report;

@@ -126,6 +126,7 @@ mod tests {
             bytes: packets as u64,
             pkt_size: 1,
             member,
+            ttl: 0,
         };
         let flows = vec![flow(m1, 10), flow(m1, 90), flow(m2, 100)];
         let classes = vec![

@@ -78,6 +78,7 @@ mod tests {
             bytes: packets as u64 * pkt_size as u64,
             pkt_size,
             member: Asn(1),
+            ttl: 0,
         }
     }
 

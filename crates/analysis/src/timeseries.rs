@@ -97,7 +97,12 @@ pub struct WindowPoint {
     /// Flows in the window's processed chunks.
     pub flows: u64,
     /// Per-class traffic shares (0.0–1.0) by [`TrafficClass::index`].
+    /// All zero for an empty window — see [`WindowPoint::empty`].
     pub shares: [f64; 4],
+    /// True when the window processed no flows. Its shares are reported
+    /// as 0.0 (never NaN) but are *undefined*, not zero — renderers mark
+    /// such windows and [`WindowSeries::caveats`] lists them.
+    pub empty: bool,
     /// Decoder faults in the window, by `FaultKind::index`.
     pub faults: [u64; 5],
     /// Flows on which at least one method pair disagreed, when the run
@@ -126,6 +131,7 @@ impl WindowSeries {
                 chunks: w.chunks,
                 flows: w.total_flows(),
                 shares: w.class_shares(),
+                empty: w.total_flows() == 0,
                 faults: w.fault_counts,
                 disagreements: w
                     .disagreement
@@ -139,6 +145,22 @@ impl WindowSeries {
     /// Total flows across all windows.
     pub fn total_flows(&self) -> u64 {
         self.points.iter().map(|p| p.flows).sum()
+    }
+
+    /// Data-quality caveats for this series: one line per empty window,
+    /// whose shares are placeholders (0.0), not measurements.
+    pub fn caveats(&self) -> Vec<String> {
+        self.points
+            .iter()
+            .filter(|p| p.empty)
+            .map(|p| {
+                format!(
+                    "window {}: zero processed flows — class shares reported as 0.0 are \
+                     undefined, not measured",
+                    p.window_index
+                )
+            })
+            .collect()
     }
 
     /// Window-over-window share drifts beyond `threshold`, as
@@ -172,15 +194,22 @@ impl WindowSeries {
             .points
             .iter()
             .map(|p| {
+                let share = |i: usize| {
+                    if p.empty {
+                        "-".to_string()
+                    } else {
+                        format!("{:.4}", p.shares[i])
+                    }
+                };
                 vec![
                     p.window_index.to_string(),
                     p.start_chunk.to_string(),
                     p.chunks.to_string(),
                     p.flows.to_string(),
-                    format!("{:.4}", p.shares[0]),
-                    format!("{:.4}", p.shares[1]),
-                    format!("{:.4}", p.shares[2]),
-                    format!("{:.4}", p.shares[3]),
+                    share(0),
+                    share(1),
+                    share(2),
+                    share(3),
                     p.faults.iter().sum::<u64>().to_string(),
                     p.disagreements
                         .map(|d| d.to_string())
@@ -188,13 +217,19 @@ impl WindowSeries {
                 ]
             })
             .collect();
-        crate::render::table(
+        let mut out = crate::render::table(
             &[
                 "window", "start", "chunks", "flows", "bogon", "unrouted", "invalid", "valid",
                 "faults", "disagree",
             ],
             &rows,
-        )
+        );
+        for caveat in self.caveats() {
+            out.push_str("note: ");
+            out.push_str(&caveat);
+            out.push('\n');
+        }
+        out
     }
 
     /// Render as CSV with a header row, shares in full precision so the
@@ -202,11 +237,11 @@ impl WindowSeries {
     pub fn render_csv(&self) -> String {
         let mut out = String::from(
             "window,start_chunk,chunks,flows,share_bogon,share_unrouted,share_invalid,\
-             share_valid,faults,disagreements\n",
+             share_valid,faults,disagreements,empty\n",
         );
         for p in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
                 p.window_index,
                 p.start_chunk,
                 p.chunks,
@@ -219,6 +254,7 @@ impl WindowSeries {
                 p.disagreements
                     .map(|d| d.to_string())
                     .unwrap_or_default(),
+                u8::from(p.empty),
             ));
         }
         out
@@ -242,6 +278,7 @@ mod tests {
             bytes: packets as u64,
             pkt_size: 1,
             member: Asn(1),
+            ttl: 0,
         }
     }
 
@@ -303,7 +340,11 @@ mod tests {
         assert_eq!(series.total_flows(), 300);
         assert_eq!(series.points[0].shares, [0.0, 0.0, 0.0, 1.0]);
         assert_eq!(series.points[2].shares, [0.0; 4]);
+        assert!(series.points[2].empty && !series.points[0].empty);
         assert_eq!(series.points[0].disagreements, None);
+        let caveats = series.caveats();
+        assert_eq!(caveats.len(), 1);
+        assert!(caveats[0].starts_with("window 2:"));
 
         // 0→1 drifts by 0.05; 1→3 (window 2 is empty) by 0.55.
         assert!(series.drift(0.60).is_empty());
@@ -319,8 +360,12 @@ mod tests {
         let table = series.render_table();
         assert!(table.contains("window"));
         assert!(table.contains("0.9500"));
+        assert!(table.contains("note: window 2: zero processed flows"));
         let csv = series.render_csv();
         assert_eq!(csv.lines().count(), 5, "header + one row per window");
+        assert!(csv.lines().next().unwrap().ends_with(",empty"));
         assert!(csv.lines().nth(1).unwrap().starts_with("0,0,4,100,"));
+        assert!(csv.lines().nth(1).unwrap().ends_with(",0"));
+        assert!(csv.lines().nth(3).unwrap().ends_with(",1"));
     }
 }

@@ -133,6 +133,7 @@ mod tests {
             bytes: 1,
             pkt_size: 1,
             member: Asn(member),
+            ttl: 0,
         }
     }
 

@@ -25,6 +25,7 @@ fn sample_flows(n: usize) -> Vec<FlowRecord> {
             bytes: rng.random_range(40..100_000),
             pkt_size: rng.random_range(40..1500),
             member: Asn(rng.random_range(1..60_000)),
+            ttl: 0,
         })
         .collect()
 }

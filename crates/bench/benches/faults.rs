@@ -30,6 +30,7 @@ fn plausible_flows(n: usize) -> Vec<FlowRecord> {
                 bytes: packets as u64 * pkt_size as u64,
                 pkt_size,
                 member: Asn(rng.random_range(1..60_000)),
+                ttl: 0,
             }
         })
         .collect()

@@ -303,6 +303,7 @@ fn swap_under_load() -> (f64, u64) {
         bytes: 64,
         pkt_size: 64,
         member: Asn(3),
+        ttl: 0,
     };
     let chunk: Vec<FlowRecord> = vec![probe; 512];
     let swap = Arc::new(EpochSwap::new(build("20.0.0.0/8")));

@@ -262,6 +262,7 @@ mod tests {
             bytes: packets as u64 * 1000,
             pkt_size: 1000,
             member: Asn(member),
+            ttl: 0,
         }
     }
 

@@ -30,6 +30,7 @@
 pub mod acl;
 pub mod backoff;
 pub mod compiled;
+pub mod detect;
 pub mod fphunt;
 pub mod freshness;
 mod pipeline;
@@ -41,6 +42,10 @@ pub mod stray;
 
 pub use backoff::Backoff;
 pub use compiled::{CompiledClassifier, CompiledLookup, EpochClassifier, EpochSwap};
+pub use detect::{
+    detect_over_windows, read_incident_log, DetectConfig, DetectEngine, Incident, IncidentKind,
+    IncidentRecord, Provenance, SampledFlow, SpoofMode, WindowDetect,
+};
 pub use freshness::{Classification, Confidence, DegradedStats, FreshnessConfig, RibFreshness};
 pub use pipeline::{planned_classify_workers, Classifier, PARALLEL_CUTOFF};
 pub use provenance::{

@@ -498,6 +498,7 @@ mod tests {
             bytes: 40,
             pkt_size: 40,
             member: Asn(member),
+            ttl: 0,
         }
     }
 
@@ -835,6 +836,7 @@ mod tests {
         FlowRecord {
             src: e.src,
             member: e.member,
+            ttl: 0,
             ..flow("0.0.0.1", 0)
         }
     }

@@ -42,6 +42,7 @@ pub(crate) use obs::class_label as obs_class_label;
 pub use rollup::{read_ring, RollupConfig, WindowAccum};
 
 use crate::compiled::EpochSwap;
+use crate::detect::WindowDetect;
 use crate::pipeline::Classifier;
 use crate::provenance::{DisagreementMatrix, MethodVariant};
 use rollup::{RollupWriter, WindowCommit};
@@ -361,10 +362,13 @@ fn shed_keeps(seed: u64, seq: u64, keep_one_in: u32) -> bool {
 /// What a worker reports back for one chunk.
 enum OutcomeKind {
     /// Classified; the partial per-member breakdown and (when tracked)
-    /// the chunk's disagreement matrix ride along.
+    /// the chunk's disagreement matrix and detection payload ride along.
     Processed(
         BTreeMap<Asn, [ClassCounters; 4]>,
         Option<DisagreementMatrix>,
+        // Boxed: the payload is ~2 KiB of inline sketches, and the
+        // outcome moves through a channel on every chunk.
+        Option<Box<WindowDetect>>,
     ),
     /// The classification panicked; the chunk is poisoned.
     Quarantined,
@@ -659,6 +663,7 @@ impl<'a> StudyRunner<'a> {
             ],
         );
 
+        let detect_enabled = self.rollup.as_ref().is_some_and(|r| r.detect.is_some());
         let (chunk_tx, chunk_rx) = mpsc::sync_channel::<FlowChunk>(cfg.queue_depth.max(1));
         let chunk_rx = Arc::new(Mutex::new(chunk_rx));
         let (out_tx, out_rx) = mpsc::channel::<Outcome>();
@@ -674,7 +679,9 @@ impl<'a> StudyRunner<'a> {
                 let classify = &classify;
                 let restarts = &restarts;
                 let rm = &rm;
-                s.spawn(move || worker_loop(rx, tx, classify, cfg, restarts, rm, obs));
+                s.spawn(move || {
+                    worker_loop(rx, tx, classify, cfg, detect_enabled, restarts, rm, obs)
+                });
             }
             if cfg.stall_timeout_ms > 0 {
                 let (committed, done, stalls) = (&committed, &done, &stalls);
@@ -924,7 +931,7 @@ fn commit_ready(
         state.ingest.quarantined_bytes += meta.ingest.quarantined_bytes;
         state.ingest.resyncs += meta.ingest.resyncs;
         match outcome.kind {
-            OutcomeKind::Processed(partial, matrix) => {
+            OutcomeKind::Processed(partial, matrix, detect) => {
                 state.chunks.processed += 1;
                 state.records.processed += meta.records;
                 rm.chunks.processed.inc();
@@ -960,6 +967,7 @@ fn commit_ready(
                         WindowCommit::Processed {
                             class_flows,
                             matrix: matrix.as_ref(),
+                            detect: detect.as_deref(),
                         },
                     )?;
                 }
@@ -1021,11 +1029,13 @@ fn commit_ready(
 /// One supervised worker: classify chunks, quarantine panics, restart
 /// with bounded exponential backoff (slept on the observability clock,
 /// so tests with a manual clock never block for real).
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<F>(
     rx: Arc<Mutex<Receiver<FlowChunk>>>,
     tx: mpsc::Sender<Outcome>,
     classify: &F,
     cfg: &RunnerConfig,
+    detect_enabled: bool,
     restarts: &AtomicU64,
     rm: &RunMetrics,
     obs: &RunnerObs,
@@ -1056,13 +1066,15 @@ fn worker_loop<F>(
                 &[("seq", seq.into()), ("records", records.into())],
             );
             let (classes, matrix) = classify(&chunk.flows);
-            (partial_breakdown(&chunk.flows, &classes), matrix)
+            let detect = detect_enabled
+                .then(|| Box::new(WindowDetect::from_chunk(&chunk.flows, &classes, cfg.seed, seq)));
+            (partial_breakdown(&chunk.flows, &classes), matrix, detect)
         }));
         rm.chunk_classify_ns.record(obs.clock.since_ns(t0));
         let kind = match result {
-            Ok((partial, matrix)) => {
+            Ok((partial, matrix, detect)) => {
                 consecutive_panics = 0;
-                OutcomeKind::Processed(partial, matrix)
+                OutcomeKind::Processed(partial, matrix, detect)
             }
             Err(_) => {
                 // The chunk is poisoned: quarantine it and restart the

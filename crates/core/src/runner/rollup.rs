@@ -25,10 +25,11 @@
 use super::checkpoint::{frame_decode, frame_encode, CheckpointError};
 use super::obs::{class_label, RunnerObs};
 use super::{FlowAccounting, IngestTotals};
+use crate::detect::{write_incident_file, DetectConfig, DetectEngine, IncidentKind, WindowDetect};
 use crate::provenance::DisagreementMatrix;
 use serde::Serialize;
 use spoofwatch_net::TrafficClass;
-use spoofwatch_obs::{Counter, Tracer};
+use spoofwatch_obs::{Counter, Gauge, Tracer};
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -50,6 +51,13 @@ pub struct RollupConfig {
     /// Absolute per-class traffic-share change (0.0–1.0) between
     /// consecutive windows that counts as drift.
     pub drift_threshold: f64,
+    /// Online detection over closed windows ([`crate::detect`]). When
+    /// set, every processed chunk also accumulates a [`WindowDetect`]
+    /// payload, the detector bank observes each closed window, and
+    /// incidents are persisted in the incident log alongside the ring.
+    /// Cross-resume incident exactness requires `retention == 0` (the
+    /// engine is rebuilt by re-folding the on-disk ring).
+    pub detect: Option<DetectConfig>,
 }
 
 impl RollupConfig {
@@ -61,6 +69,7 @@ impl RollupConfig {
             window_chunks: window_chunks.max(1),
             retention: 0,
             drift_threshold: 0.10,
+            detect: None,
         }
     }
 }
@@ -90,6 +99,8 @@ pub struct WindowAccum {
     pub fault_counts: [u64; 5],
     /// The window's method-disagreement matrix, when the run tracks it.
     pub disagreement: Option<DisagreementMatrix>,
+    /// The window's detection payload, when the run detects online.
+    pub detect: Option<WindowDetect>,
 }
 
 impl WindowAccum {
@@ -106,6 +117,7 @@ impl WindowAccum {
             ingest: IngestTotals::default(),
             fault_counts: [0; 5],
             disagreement: None,
+            detect: None,
         }
     }
 
@@ -125,7 +137,10 @@ impl WindowAccum {
     }
 
     /// Serialize into `out` (all integers big-endian; the optional
-    /// matrix behind a presence byte).
+    /// matrix and detect payload behind one flags byte — bit 0 =
+    /// disagreement, bit 1 = detect. A window without a detect payload
+    /// encodes byte-identically to the pre-detect format, so old rings
+    /// and checkpointed accumulators still decode).
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         for v in [self.window_index, self.start_chunk, self.chunks] {
             out.extend_from_slice(&v.to_be_bytes());
@@ -150,12 +165,14 @@ impl WindowAccum {
         for v in self.fault_counts {
             out.extend_from_slice(&v.to_be_bytes());
         }
-        match &self.disagreement {
-            None => out.push(0),
-            Some(d) => {
-                out.push(1);
-                d.encode_into(out);
-            }
+        let flags =
+            u8::from(self.disagreement.is_some()) | (u8::from(self.detect.is_some()) << 1);
+        out.push(flags);
+        if let Some(d) = &self.disagreement {
+            d.encode_into(out);
+        }
+        if let Some(d) = &self.detect {
+            d.encode_into(out);
         }
     }
 
@@ -195,12 +212,20 @@ impl WindowAccum {
         for v in &mut fault_counts {
             *v = take_u64(pos)?;
         }
-        let flag = *buf.get(*pos)?;
+        let flags = *buf.get(*pos)?;
         *pos += 1;
-        let disagreement = match flag {
-            0 => None,
-            1 => Some(DisagreementMatrix::decode_from(buf, pos)?),
-            _ => return None,
+        if flags & !0b11 != 0 {
+            return None;
+        }
+        let disagreement = if flags & 0b01 != 0 {
+            Some(DisagreementMatrix::decode_from(buf, pos)?)
+        } else {
+            None
+        };
+        let detect = if flags & 0b10 != 0 {
+            Some(WindowDetect::decode_from(buf, pos)?)
+        } else {
+            None
         };
         Some(WindowAccum {
             window_index,
@@ -212,6 +237,7 @@ impl WindowAccum {
             ingest,
             fault_counts,
             disagreement,
+            detect,
         })
     }
 }
@@ -287,10 +313,11 @@ fn window_index_of(path: &Path) -> Option<u64> {
 /// [`RollupWriter::absorb`].
 pub(super) enum WindowCommit<'a> {
     /// Classified; per-class flow counts and (when tracked) the chunk's
-    /// disagreement matrix ride along.
+    /// disagreement matrix and detection payload ride along.
     Processed {
         class_flows: [u64; 4],
         matrix: Option<&'a DisagreementMatrix>,
+        detect: Option<&'a WindowDetect>,
     },
     /// Dropped by the shed policy.
     Shed,
@@ -310,6 +337,11 @@ pub(super) struct RollupWriter {
     tracer: Arc<Tracer>,
     windows_written: Counter,
     drift_breaches: [Counter; 4],
+    /// The streaming detector bank, when [`RollupConfig::detect`] is
+    /// set. Rebuilt on resume by re-folding the on-disk ring.
+    engine: Option<DetectEngine>,
+    incident_counts: [Counter; 4],
+    incident_last_window: [Gauge; 4],
 }
 
 impl RollupWriter {
@@ -336,6 +368,18 @@ impl RollupWriter {
             .rev()
             .find(|w| w.window_index < window && w.total_flows() > 0)
             .map(WindowAccum::class_shares);
+        // Detection continuity across resume: re-fold the already-closed
+        // windows (strictly before the cursor's window) through a fresh
+        // engine, discarding their incidents — they are already on disk.
+        // Exact only with retention == 0; pruned rings restart the
+        // detectors from the oldest retained window.
+        let engine = cfg.detect.clone().map(|dc| {
+            let mut e = DetectEngine::new(dc);
+            for w in ring.iter().filter(|w| w.window_index < window) {
+                let _ = e.observe(w);
+            }
+            e
+        });
         let reg = &obs.metrics;
         Ok(RollupWriter {
             accum,
@@ -351,6 +395,21 @@ impl RollupWriter {
                     "spoofwatch_rollup_drift_breaches_total",
                     "Window-over-window class-share changes beyond the drift threshold",
                     &[("class", class_label(c))],
+                )
+            }),
+            engine,
+            incident_counts: IncidentKind::LABELS.map(|kind| {
+                reg.counter(
+                    "spoofwatch_incident_total",
+                    "Incidents fired by the online detectors",
+                    &[("kind", kind)],
+                )
+            }),
+            incident_last_window: IncidentKind::LABELS.map(|kind| {
+                reg.gauge(
+                    "spoofwatch_incident_last_window",
+                    "Window index of the most recent incident of each kind",
+                    &[("kind", kind)],
                 )
             }),
             cfg,
@@ -388,6 +447,7 @@ impl RollupWriter {
             WindowCommit::Processed {
                 class_flows,
                 matrix,
+                detect,
             } => {
                 a.chunk_outcomes.processed += 1;
                 a.records.processed += records;
@@ -398,6 +458,9 @@ impl RollupWriter {
                     a.disagreement
                         .get_or_insert_with(DisagreementMatrix::new)
                         .merge(m);
+                }
+                if let Some(d) = detect {
+                    a.detect.get_or_insert_with(WindowDetect::new).merge(d);
                 }
             }
             WindowCommit::Shed => {
@@ -426,11 +489,42 @@ impl RollupWriter {
     fn close(&mut self) -> io::Result<()> {
         write_window(&self.cfg.dir, &self.accum)?;
         self.windows_written.inc();
+        self.observe_incidents()?;
         self.prune()?;
         self.watch_drift();
         let next = self.accum.window_index + 1;
         let next_start = self.accum.start_chunk + self.accum.chunks;
         self.accum = WindowAccum::start(next, next_start);
+        Ok(())
+    }
+
+    /// Feed the just-closed window to the detector bank; persist any
+    /// incidents in the incident log and surface them via metrics and
+    /// the flight recorder. Incident files are only written for windows
+    /// that fired (and are left alone by retention pruning — forensics
+    /// outlive the ring).
+    fn observe_incidents(&mut self) -> io::Result<()> {
+        let Some(engine) = &mut self.engine else {
+            return Ok(());
+        };
+        let records = engine.observe(&self.accum);
+        if records.is_empty() {
+            return Ok(());
+        }
+        write_incident_file(&self.cfg.dir, self.accum.window_index, &records)?;
+        for r in &records {
+            let i = r.incident.kind.index();
+            self.incident_counts[i].inc();
+            self.incident_last_window[i].set(r.incident.window_index as i64);
+            self.tracer.event(
+                "incident",
+                &[
+                    ("window", r.incident.window_index.into()),
+                    ("kind", r.incident.kind.label().into()),
+                    ("summary", r.incident.summary().into()),
+                ],
+            );
+        }
         Ok(())
     }
 
@@ -625,6 +719,7 @@ mod tests {
                     WindowCommit::Processed {
                         class_flows,
                         matrix: None,
+                        detect: None,
                     },
                 )
                 .unwrap();

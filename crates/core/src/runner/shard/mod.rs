@@ -431,6 +431,16 @@ pub fn merge_windows(rings: &[Vec<WindowAccum>]) -> Result<Vec<WindowAccum>, Sha
                             })
                         }
                     }
+                    match (&mut m.detect, &w.detect) {
+                        (Some(a), Some(b)) => a.merge(b),
+                        (None, None) => {}
+                        _ => {
+                            return Err(ShardError::MergeMismatch {
+                                window_index: w.window_index,
+                                detail: "detect tracking disagrees across shards".into(),
+                            })
+                        }
+                    }
                     *n += 1;
                 }
             }
@@ -1397,6 +1407,7 @@ mod tests {
             bytes: 60,
             pkt_size: 60,
             member: Asn(64_500 + i % 7),
+            ttl: 0,
         }
     }
 

@@ -247,6 +247,7 @@ mod tests {
             bytes: packets as u64 * pkt_size as u64,
             pkt_size,
             member: Asn(member),
+            ttl: 0,
         }
     }
 

@@ -133,6 +133,7 @@ mod tests {
             bytes: packets as u64 * 56,
             pkt_size: 56,
             member: Asn(member),
+            ttl: 0,
         }
     }
 

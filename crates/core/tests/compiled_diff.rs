@@ -28,6 +28,7 @@ fn flow(src: u32, member: u32) -> FlowRecord {
         bytes: 64,
         pkt_size: 64,
         member: Asn(member),
+        ttl: 0,
     }
 }
 

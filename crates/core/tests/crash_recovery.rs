@@ -57,7 +57,7 @@ fn world(seed: u64, corrupt: bool) -> World {
     if corrupt {
         // Light corruption so chunks carry nontrivial ingest health.
         FaultInjector::new(seed + 2)
-            .protect_prefix(6)
+            .protect_prefix(ipfix::HEADER_LEN)
             .corrupt_percent(&mut bytes, 0.2);
     }
     World { net, bytes }

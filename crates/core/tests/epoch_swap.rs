@@ -77,6 +77,7 @@ fn probe_flow() -> FlowRecord {
         bytes: 64,
         pkt_size: 64,
         member: Asn(3),
+        ttl: 0,
     }
 }
 

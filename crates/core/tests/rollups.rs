@@ -55,7 +55,7 @@ fn world(seed: u64, corrupt: bool) -> World {
     let mut bytes = ipfix::encode(&trace.flows);
     if corrupt {
         FaultInjector::new(seed + 2)
-            .protect_prefix(6)
+            .protect_prefix(ipfix::HEADER_LEN)
             .corrupt_percent(&mut bytes, 0.2);
     }
     World { net, bytes }

@@ -28,6 +28,7 @@ fn flow(src: &str, member: u32) -> FlowRecord {
         bytes: 40,
         pkt_size: 40,
         member: Asn(member),
+        ttl: 0,
     }
 }
 

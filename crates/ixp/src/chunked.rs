@@ -18,7 +18,7 @@
 //!   reproduces the remaining chunk sequence exactly. That is what lets
 //!   an interrupted study resume from a checkpoint bit-identically.
 
-use crate::ipfix::{self, HEADER_LEN, RECORD_LEN};
+use crate::ipfix::{self, Layout};
 use spoofwatch_net::{FaultKind, FlowRecord, IngestHealth};
 
 /// One decoded chunk of the flow stream: the records recovered from the
@@ -52,7 +52,8 @@ pub struct ChunkedIpfixReader<'a> {
     pos: usize,
     seq: u64,
     chunk_records: usize,
-    header_checked: bool,
+    /// Parsed wire geometry; `Some` once the header has been checked.
+    layout: Option<Layout>,
     done: bool,
 }
 
@@ -65,7 +66,7 @@ impl<'a> ChunkedIpfixReader<'a> {
             pos: 0,
             seq: 0,
             chunk_records: chunk_records.max(1),
-            header_checked: false,
+            layout: None,
             done: false,
         }
     }
@@ -112,7 +113,12 @@ impl<'a> ChunkedIpfixReader<'a> {
         let pos = (byte_cursor as usize).min(self.data.len());
         self.pos = pos;
         self.seq = seq;
-        self.header_checked = pos >= HEADER_LEN;
+        // A mid-stream cursor implies the header was valid when the
+        // cursor was minted; re-parse it to recover the record stride.
+        self.layout = match Layout::parse(self.data) {
+            Ok(l) if pos >= l.header_len => Some(l),
+            _ => None,
+        };
         self.done = false;
     }
 
@@ -124,7 +130,7 @@ impl<'a> ChunkedIpfixReader<'a> {
     /// Decode the next chunk; `None` once the input is exhausted (or
     /// after an unrecoverable header fault has been reported).
     pub fn next_chunk(&mut self) -> Option<FlowChunk> {
-        if self.done || (self.header_checked && self.pos >= self.data.len()) {
+        if self.done || (self.layout.is_some() && self.pos >= self.data.len()) {
             self.done = true;
             return None;
         }
@@ -133,59 +139,57 @@ impl<'a> ChunkedIpfixReader<'a> {
         // Health is built against the span length, filled in at the end.
         let mut health = IngestHealth::new(0);
 
-        if !self.header_checked {
+        if self.layout.is_none() {
             let data = self.data;
-            let bad = if data.len() < 4 || &data[..4] != ipfix::MAGIC {
-                Some(FaultKind::BadMagic)
-            } else if data.len() < HEADER_LEN {
-                Some(FaultKind::Truncated)
-            } else if u16::from_be_bytes([data[4], data[5]]) != ipfix::VERSION {
-                Some(FaultKind::BadVersion)
-            } else {
-                None
-            };
-            if let Some(kind) = bad {
-                // Unrecoverable: one terminal chunk covering the input.
-                health.input_len = data.len() as u64;
-                health.abandon(kind);
-                health.record_metrics("ipfix_chunked");
-                self.pos = data.len();
-                self.done = true;
-                let seq = self.seq;
-                self.seq += 1;
-                return Some(FlowChunk {
-                    seq,
-                    byte_start,
-                    byte_end: data.len() as u64,
-                    flows,
-                    health,
-                });
+            match Layout::parse(data) {
+                Err(kind) => {
+                    // Unrecoverable: one terminal chunk covering the input.
+                    health.input_len = data.len() as u64;
+                    health.abandon(kind);
+                    health.record_metrics("ipfix_chunked");
+                    self.pos = data.len();
+                    self.done = true;
+                    let seq = self.seq;
+                    self.seq += 1;
+                    return Some(FlowChunk {
+                        seq,
+                        byte_start,
+                        byte_end: data.len() as u64,
+                        flows,
+                        health,
+                    });
+                }
+                Ok(layout) => {
+                    health.credit_ok(layout.header_len as u64);
+                    self.pos = layout.header_len;
+                    self.layout = Some(layout);
+                }
             }
-            health.credit_ok(HEADER_LEN as u64);
-            self.pos = HEADER_LEN;
-            self.header_checked = true;
         }
+        let layout = self.layout.expect("layout checked above");
+        let stride = layout.record_len;
 
         // The same walk as `decode_resilient`, paused after
         // `chunk_records` recovered records.
         let data = self.data;
         while self.pos < data.len() && flows.len() < self.chunk_records {
-            if let Some(f) = ipfix::plausible_at(data, self.pos) {
+            if let Some(f) = ipfix::plausible_at(data, self.pos, &layout) {
                 flows.push(f);
-                health.credit_record(RECORD_LEN as u64);
-                self.pos += RECORD_LEN;
+                health.credit_record(stride as u64);
+                self.pos += stride;
                 continue;
             }
-            let kind = if data.len() - self.pos < RECORD_LEN {
+            let kind = if data.len() - self.pos < stride {
                 FaultKind::Truncated
             } else {
                 FaultKind::Implausible
             };
             let mut next = self.pos + 1;
-            while next + RECORD_LEN <= data.len() && ipfix::plausible_at(data, next).is_none() {
+            while next + stride <= data.len() && ipfix::plausible_at(data, next, &layout).is_none()
+            {
                 next += 1;
             }
-            if next + RECORD_LEN > data.len() {
+            if next + stride > data.len() {
                 next = data.len(); // nothing plausible left: quarantine the tail
             }
             health.quarantine(self.pos as u64, (next - self.pos) as u64, kind);
@@ -223,7 +227,7 @@ impl<'a> ChunkedIpfixReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ipfix::{decode_resilient, encode};
+    use crate::ipfix::{decode_resilient, encode, HEADER_LEN, RECORD_LEN};
     use spoofwatch_net::{Asn, FaultInjector, Proto};
 
     fn plausible_sample(n: u32) -> Vec<FlowRecord> {
@@ -242,6 +246,7 @@ mod tests {
                     bytes: packets as u64 * pkt_size as u64,
                     pkt_size,
                     member: Asn(64496 + i % 7),
+                    ttl: 0,
                 }
             })
             .collect()
@@ -327,6 +332,50 @@ mod tests {
                 assert_eq!(got.byte_start, want.byte_start);
                 assert_eq!(got.byte_end, want.byte_end);
                 assert_eq!(got.flows, want.flows);
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_match_oneshot_across_wire_layouts() {
+        // Legacy v1 files (35-byte records, no TTL) and forward-compat
+        // extended layouts (record_len > 36) chunk identically to their
+        // one-shot resilient decode, clean and corrupted.
+        let flows = plausible_sample(60);
+        let v1 = crate::ipfix::encode_v1(&flows);
+        assert_chunks_match_oneshot(&v1, 7);
+        let padded = crate::ipfix::encode_padded(&flows, RECORD_LEN + 9);
+        assert_chunks_match_oneshot(&padded, 7);
+        for seed in 0..10u64 {
+            let mut v1 = crate::ipfix::encode_v1(&flows);
+            let mut padded = crate::ipfix::encode_padded(&flows, RECORD_LEN + 9);
+            let mut inj = FaultInjector::new(seed).protect_prefix(HEADER_LEN);
+            inj.any_single(&mut v1, RECORD_LEN);
+            inj.any_single(&mut padded, RECORD_LEN);
+            assert_chunks_match_oneshot(&v1, 16);
+            assert_chunks_match_oneshot(&padded, 16);
+        }
+    }
+
+    #[test]
+    fn seek_recovers_stride_on_non_current_layouts() {
+        // A resumed reader must rediscover the record stride from the
+        // header even when the cursor starts mid-stream.
+        let flows = plausible_sample(40);
+        for bytes in [
+            crate::ipfix::encode_v1(&flows),
+            crate::ipfix::encode_padded(&flows, RECORD_LEN + 4),
+        ] {
+            let all = ChunkedIpfixReader::new(&bytes, 9).collect_chunks();
+            for resume_at in 1..all.len() {
+                let mut r = ChunkedIpfixReader::new(&bytes, 9);
+                r.seek(all[resume_at - 1].byte_end, all[resume_at - 1].seq + 1);
+                let tail = r.collect_chunks();
+                assert_eq!(tail.len(), all.len() - resume_at);
+                for (got, want) in tail.iter().zip(&all[resume_at..]) {
+                    assert_eq!(got.flows, want.flows);
+                    assert_eq!(got.byte_end, want.byte_end);
+                }
             }
         }
     }

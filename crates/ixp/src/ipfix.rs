@@ -1,15 +1,24 @@
 //! "IPFIX-lite": a fixed-layout binary codec for flow records.
 //!
-//! Layout (big-endian):
+//! Layout (big-endian), version 2:
 //!
 //! ```text
-//! file   := magic "IPFX" | version u16 | record*
+//! file   := magic "IPFX" | version u16 (=2) | record_len u16 | record*
 //! record := ts u32 | src u32 | dst u32 | proto u8 | sport u16 | dport u16
-//!         | packets u32 | bytes u64 | pkt_size u16 | member u32
+//!         | packets u32 | bytes u64 | pkt_size u16 | member u32 | ttl u8
+//!         | unknown-extension bytes (record_len - 36, skipped on decode)
 //! ```
 //!
-//! Records are fixed-size (35 bytes), so the reader can detect torn files
-//! exactly and random access is trivial.
+//! Version 1 files (6-byte header, 35-byte records without the TTL
+//! column) still decode — the missing TTL reads as 0. The explicit
+//! `record_len` in the v2 header makes the layout forward-compatible in
+//! the other direction too: a reader that knows only the 36-byte prefix
+//! decodes it and skips the trailing unknown bytes of each record, so a
+//! future column appended after `ttl` does not quarantine today's
+//! traffic.
+//!
+//! Records are fixed-size within a file, so the reader can detect torn
+//! files exactly and random access is trivial.
 
 use bytes::{Buf, BufMut};
 use spoofwatch_net::{Asn, FaultKind, FlowRecord, IngestHealth, Proto};
@@ -17,11 +26,80 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 pub(crate) const MAGIC: &[u8; 4] = b"IPFX";
-pub(crate) const VERSION: u16 = 1;
-/// Size of the file header (magic + version).
-pub const HEADER_LEN: usize = 6;
-/// Size of one encoded record.
-pub const RECORD_LEN: usize = 35;
+/// Version this codec writes.
+pub(crate) const VERSION: u16 = 2;
+/// The pre-TTL version this codec still reads.
+pub(crate) const VERSION_V1: u16 = 1;
+/// Size of the current (v2) file header (magic + version + record_len).
+pub const HEADER_LEN: usize = 8;
+/// Size of one encoded record as this codec writes it (v2).
+pub const RECORD_LEN: usize = 36;
+/// Size of the legacy v1 header (magic + version).
+pub const V1_HEADER_LEN: usize = 6;
+/// Size of one legacy v1 record (no TTL column).
+pub const V1_RECORD_LEN: usize = 35;
+
+/// The wire geometry of one IPFIX-lite file, parsed from its header.
+///
+/// `record_len` is what the file declares (v1 implies 35); `known_len`
+/// is how much of each record this codec understands. Trailing
+/// `record_len - known_len` bytes per record are unknown extensions and
+/// are skipped, not quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Bytes in the file header.
+    pub header_len: usize,
+    /// Declared bytes per record (the decode stride).
+    pub record_len: usize,
+    /// Bytes of each record this codec decodes (36 for v2, 35 for v1).
+    pub known_len: usize,
+}
+
+impl Layout {
+    /// The layout this codec writes.
+    pub const CURRENT: Layout = Layout {
+        header_len: HEADER_LEN,
+        record_len: RECORD_LEN,
+        known_len: RECORD_LEN,
+    };
+    /// The legacy pre-TTL layout.
+    pub const V1: Layout = Layout {
+        header_len: V1_HEADER_LEN,
+        record_len: V1_RECORD_LEN,
+        known_len: V1_RECORD_LEN,
+    };
+
+    /// Parse a file header. Returns the layout, or the fault that makes
+    /// the file undecodable. A v2 header declaring `record_len` shorter
+    /// than the known 36 bytes is a version fault: the file claims the
+    /// current version but cannot hold its columns.
+    pub fn parse(data: &[u8]) -> Result<Layout, FaultKind> {
+        if data.len() < 4 || &data[..4] != MAGIC {
+            return Err(FaultKind::BadMagic);
+        }
+        if data.len() < V1_HEADER_LEN {
+            return Err(FaultKind::Truncated);
+        }
+        match u16::from_be_bytes([data[4], data[5]]) {
+            VERSION_V1 => Ok(Layout::V1),
+            VERSION => {
+                if data.len() < HEADER_LEN {
+                    return Err(FaultKind::Truncated);
+                }
+                let record_len = u16::from_be_bytes([data[6], data[7]]) as usize;
+                if record_len < RECORD_LEN {
+                    return Err(FaultKind::BadVersion);
+                }
+                Ok(Layout {
+                    header_len: HEADER_LEN,
+                    record_len,
+                    known_len: RECORD_LEN,
+                })
+            }
+            _ => Err(FaultKind::BadVersion),
+        }
+    }
+}
 
 /// IPFIX-lite decode errors.
 #[derive(Debug)]
@@ -30,7 +108,8 @@ pub enum IpfixError {
     Io(io::Error),
     /// Missing or wrong magic.
     BadMagic,
-    /// Unsupported version.
+    /// Unsupported version (or a v2 header whose declared record length
+    /// cannot hold the known columns).
     BadVersion(u16),
     /// Stream ended inside a record.
     Truncated,
@@ -55,7 +134,7 @@ impl From<io::Error> for IpfixError {
     }
 }
 
-/// Encode one record into a 35-byte array.
+/// Encode one record into a 36-byte array (current layout).
 pub fn encode_record(f: &FlowRecord) -> [u8; RECORD_LEN] {
     let mut out = [0u8; RECORD_LEN];
     let mut buf = &mut out[..];
@@ -69,15 +148,26 @@ pub fn encode_record(f: &FlowRecord) -> [u8; RECORD_LEN] {
     buf.put_u64(f.bytes);
     buf.put_u16(f.pkt_size);
     buf.put_u32(f.member.0);
+    buf.put_u8(f.ttl);
     out
 }
 
-/// Decode one 35-byte record.
-pub fn decode_record(mut data: &[u8]) -> Result<FlowRecord, IpfixError> {
-    if data.len() < RECORD_LEN {
+/// Encode one record in the legacy v1 layout (drops the TTL column).
+pub fn encode_record_v1(f: &FlowRecord) -> [u8; V1_RECORD_LEN] {
+    let full = encode_record(f);
+    let mut out = [0u8; V1_RECORD_LEN];
+    out.copy_from_slice(&full[..V1_RECORD_LEN]);
+    out
+}
+
+/// Decode the known prefix of one record. For a v1 layout the TTL
+/// column is absent and reads as 0; bytes past `layout.known_len` are
+/// unknown extensions and are ignored.
+pub fn decode_record_with(mut data: &[u8], layout: &Layout) -> Result<FlowRecord, IpfixError> {
+    if data.len() < layout.record_len {
         return Err(IpfixError::Truncated);
     }
-    Ok(FlowRecord {
+    let mut f = FlowRecord {
         ts: data.get_u32(),
         src: data.get_u32(),
         dst: data.get_u32(),
@@ -88,10 +178,20 @@ pub fn decode_record(mut data: &[u8]) -> Result<FlowRecord, IpfixError> {
         bytes: data.get_u64(),
         pkt_size: data.get_u16(),
         member: Asn(data.get_u32()),
-    })
+        ttl: 0,
+    };
+    if layout.known_len >= RECORD_LEN {
+        f.ttl = data.get_u8();
+    }
+    Ok(f)
 }
 
-/// Streaming writer.
+/// Decode one record in the current (v2, 36-byte) layout.
+pub fn decode_record(data: &[u8]) -> Result<FlowRecord, IpfixError> {
+    decode_record_with(data, &Layout::CURRENT)
+}
+
+/// Streaming writer (current layout).
 pub struct IpfixWriter<W: Write> {
     inner: W,
     written: u64,
@@ -102,6 +202,7 @@ impl<W: Write> IpfixWriter<W> {
     pub fn new(mut inner: W) -> io::Result<Self> {
         inner.write_all(MAGIC)?;
         inner.write_all(&VERSION.to_be_bytes())?;
+        inner.write_all(&(RECORD_LEN as u16).to_be_bytes())?;
         Ok(IpfixWriter { inner, written: 0 })
     }
 
@@ -124,9 +225,10 @@ impl<W: Write> IpfixWriter<W> {
     }
 }
 
-/// Streaming reader.
+/// Streaming reader; handles v1 and v2 headers transparently.
 pub struct IpfixReader<R: Read> {
     inner: R,
+    layout: Layout,
 }
 
 impl<R: Read> IpfixReader<R> {
@@ -139,18 +241,36 @@ impl<R: Read> IpfixReader<R> {
         }
         let mut ver = [0u8; 2];
         inner.read_exact(&mut ver).map_err(|_| IpfixError::Truncated)?;
-        let version = u16::from_be_bytes(ver);
-        if version != VERSION {
-            return Err(IpfixError::BadVersion(version));
-        }
-        Ok(IpfixReader { inner })
+        let layout = match u16::from_be_bytes(ver) {
+            VERSION_V1 => Layout::V1,
+            VERSION => {
+                let mut rl = [0u8; 2];
+                inner.read_exact(&mut rl).map_err(|_| IpfixError::Truncated)?;
+                let record_len = u16::from_be_bytes(rl) as usize;
+                if record_len < RECORD_LEN {
+                    return Err(IpfixError::BadVersion(VERSION));
+                }
+                Layout {
+                    header_len: HEADER_LEN,
+                    record_len,
+                    known_len: RECORD_LEN,
+                }
+            }
+            version => return Err(IpfixError::BadVersion(version)),
+        };
+        Ok(IpfixReader { inner, layout })
+    }
+
+    /// The layout the header declared.
+    pub fn layout(&self) -> Layout {
+        self.layout
     }
 
     /// Read the next record; `Ok(None)` at clean end-of-file.
     pub fn next_record(&mut self) -> Result<Option<FlowRecord>, IpfixError> {
-        let mut buf = [0u8; RECORD_LEN];
+        let mut buf = vec![0u8; self.layout.record_len];
         let mut got = 0usize;
-        while got < RECORD_LEN {
+        while got < buf.len() {
             match self.inner.read(&mut buf[got..]) {
                 Ok(0) if got == 0 => return Ok(None),
                 Ok(0) => return Err(IpfixError::Truncated),
@@ -159,7 +279,7 @@ impl<R: Read> IpfixReader<R> {
                 Err(e) => return Err(e.into()),
             }
         }
-        decode_record(&buf).map(Some)
+        decode_record_with(&buf, &self.layout).map(Some)
     }
 
     /// Drain all remaining records.
@@ -172,18 +292,41 @@ impl<R: Read> IpfixReader<R> {
     }
 }
 
-/// Encode a batch to memory.
+/// Encode a batch to memory (current layout).
 pub fn encode(flows: &[FlowRecord]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(6 + flows.len() * RECORD_LEN);
+    encode_padded(flows, RECORD_LEN)
+}
+
+/// Encode a batch in the legacy v1 layout (6-byte header, 35-byte
+/// records, no TTL) — for old-format fixtures and cross-version tests.
+pub fn encode_v1(flows: &[FlowRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(V1_HEADER_LEN + flows.len() * V1_RECORD_LEN);
     out.put_slice(MAGIC);
-    out.put_u16(VERSION);
+    out.put_u16(VERSION_V1);
     for f in flows {
-        out.put_slice(&encode_record(f));
+        out.put_slice(&encode_record_v1(f));
     }
     out
 }
 
-/// Decode a complete buffer.
+/// Encode a batch with `record_len >= 36`, zero-padding each record's
+/// tail — what a future exporter with extra columns would produce. A
+/// reader built from this codec decodes the known 36-byte prefix and
+/// skips the rest.
+pub fn encode_padded(flows: &[FlowRecord], record_len: usize) -> Vec<u8> {
+    let record_len = record_len.max(RECORD_LEN);
+    let mut out = Vec::with_capacity(HEADER_LEN + flows.len() * record_len);
+    out.put_slice(MAGIC);
+    out.put_u16(VERSION);
+    out.put_u16(record_len as u16);
+    for f in flows {
+        out.put_slice(&encode_record(f));
+        out.resize(out.len() + (record_len - RECORD_LEN), 0);
+    }
+    out
+}
+
+/// Decode a complete buffer (v1 or v2; fail-stop on damage).
 pub fn decode(data: &[u8]) -> Result<Vec<FlowRecord>, IpfixError> {
     IpfixReader::new(data)?.collect_records()
 }
@@ -199,70 +342,66 @@ const MAX_PKT_SIZE: u16 = 9216;
 /// internal-consistency test is the codec's only corruption signal: the
 /// exporter always writes `bytes == packets * pkt_size` (the explicit
 /// mean size is derived from the same sampled counters), `packets >= 1`,
-/// and a packet size inside physical IP bounds. A random 35-byte window
+/// and a packet size inside physical IP bounds. A random byte window
 /// passes the product identity with probability ~2^-64, which is what
-/// makes byte-wise resynchronization after a misalignment safe.
+/// makes byte-wise resynchronization after a misalignment safe. The TTL
+/// byte carries no constraint — every value is physically possible — so
+/// plausibility rests entirely on the v1 prefix.
 pub fn plausible_record(f: &FlowRecord) -> bool {
     f.packets >= 1
         && (MIN_PKT_SIZE..=MAX_PKT_SIZE).contains(&f.pkt_size)
         && f.bytes == f.packets as u64 * f.pkt_size as u64
 }
 
-/// Whether a plausible record decodes at byte `pos`.
-pub(crate) fn plausible_at(data: &[u8], pos: usize) -> Option<FlowRecord> {
-    let rest = data.get(pos..pos + RECORD_LEN)?;
-    let f = decode_record(rest).ok()?;
+/// Whether a plausible record decodes at byte `pos` under `layout`.
+pub(crate) fn plausible_at(data: &[u8], pos: usize, layout: &Layout) -> Option<FlowRecord> {
+    let rest = data.get(pos..pos + layout.record_len)?;
+    let f = decode_record_with(rest, layout).ok()?;
     plausible_record(&f).then_some(f)
 }
 
 /// Decode a complete buffer, recovering from corruption.
 ///
-/// Unlike [`decode`], which fail-stops, this walks the fixed 35-byte
-/// stride and checks every record against [`plausible_record`]. On a
-/// failure it quarantines bytes and resynchronizes byte-wise to the next
-/// offset where a plausible record decodes — recovering alignment after
-/// inserted or deleted bytes, not just in-place corruption. The returned
-/// [`IngestHealth`] accounts for every input byte:
+/// Unlike [`decode`], which fail-stops, this walks the file's declared
+/// record stride and checks every record against [`plausible_record`].
+/// On a failure it quarantines bytes and resynchronizes byte-wise to the
+/// next offset where a plausible record decodes — recovering alignment
+/// after inserted or deleted bytes, not just in-place corruption. The
+/// returned [`IngestHealth`] accounts for every input byte:
 /// `ok_bytes + quarantined_bytes == data.len()`.
 ///
 /// A bad file header is unrecoverable and quarantines the whole input.
 pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
     let mut health = IngestHealth::new(data.len() as u64);
     let mut out = Vec::new();
-    if data.len() < 4 || &data[..4] != MAGIC {
-        health.abandon(FaultKind::BadMagic);
-        health.record_metrics("ipfix");
-        return (out, health);
-    }
-    if data.len() < 6 {
-        health.abandon(FaultKind::Truncated);
-        health.record_metrics("ipfix");
-        return (out, health);
-    }
-    if u16::from_be_bytes([data[4], data[5]]) != VERSION {
-        health.abandon(FaultKind::BadVersion);
-        health.record_metrics("ipfix");
-        return (out, health);
-    }
-    health.credit_ok(6);
-    let mut pos = 6usize;
+    let layout = match Layout::parse(data) {
+        Ok(l) => l,
+        Err(kind) => {
+            health.abandon(kind);
+            health.record_metrics("ipfix");
+            return (out, health);
+        }
+    };
+    health.credit_ok(layout.header_len as u64);
+    let mut pos = layout.header_len;
     while pos < data.len() {
-        if let Some(f) = plausible_at(data, pos) {
+        if let Some(f) = plausible_at(data, pos, &layout) {
             out.push(f);
-            health.credit_record(RECORD_LEN as u64);
-            pos += RECORD_LEN;
+            health.credit_record(layout.record_len as u64);
+            pos += layout.record_len;
             continue;
         }
-        let kind = if data.len() - pos < RECORD_LEN {
+        let kind = if data.len() - pos < layout.record_len {
             FaultKind::Truncated
         } else {
             FaultKind::Implausible
         };
         let mut next = pos + 1;
-        while next + RECORD_LEN <= data.len() && plausible_at(data, next).is_none() {
+        while next + layout.record_len <= data.len() && plausible_at(data, next, &layout).is_none()
+        {
             next += 1;
         }
-        if next + RECORD_LEN > data.len() {
+        if next + layout.record_len > data.len() {
             next = data.len(); // nothing plausible left: quarantine the tail
         }
         health.quarantine(pos as u64, (next - pos) as u64, kind);
@@ -292,6 +431,7 @@ mod tests {
                 bytes: 180,
                 pkt_size: 60,
                 member: Asn(64496 - 1),
+                ttl: 57,
             },
             FlowRecord {
                 ts: u32::MAX,
@@ -304,6 +444,7 @@ mod tests {
                 bytes: u64::MAX,
                 pkt_size: u16::MAX,
                 member: Asn(u32::MAX),
+                ttl: 255,
             },
         ]
     }
@@ -318,7 +459,58 @@ mod tests {
     #[test]
     fn record_size_is_fixed() {
         let bytes = encode(&sample());
-        assert_eq!(bytes.len(), 6 + 2 * RECORD_LEN);
+        assert_eq!(bytes.len(), HEADER_LEN + 2 * RECORD_LEN);
+    }
+
+    #[test]
+    fn v1_files_still_decode_with_zero_ttl() {
+        let flows = sample();
+        let v1 = encode_v1(&flows);
+        assert_eq!(v1.len(), V1_HEADER_LEN + 2 * V1_RECORD_LEN);
+        let got = decode(&v1).unwrap();
+        assert_eq!(got.len(), flows.len());
+        for (g, f) in got.iter().zip(&flows) {
+            let mut want = *f;
+            want.ttl = 0;
+            assert_eq!(*g, want);
+        }
+        // And through the resilient path (plausible corpus: the strict
+        // sample deliberately includes an implausible stress record).
+        let plausible = plausible_sample(6);
+        let (resilient, health) = decode_resilient(&encode_v1(&plausible));
+        let want: Vec<FlowRecord> = plausible
+            .iter()
+            .map(|f| FlowRecord { ttl: 0, ..*f })
+            .collect();
+        assert_eq!(resilient, want);
+        assert!(health.reconciles());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+    }
+
+    #[test]
+    fn longer_than_known_records_decode_with_tail_skipped() {
+        let flows = plausible_sample(10);
+        for record_len in [RECORD_LEN + 1, RECORD_LEN + 5, RECORD_LEN + 64] {
+            let bytes = encode_padded(&flows, record_len);
+            assert_eq!(bytes.len(), HEADER_LEN + flows.len() * record_len);
+            assert_eq!(decode(&bytes).unwrap(), flows, "record_len {record_len}");
+            let (got, health) = decode_resilient(&bytes);
+            assert_eq!(got, flows, "record_len {record_len}");
+            assert!(health.reconciles());
+            assert_eq!(health.status(), spoofwatch_net::IngestStatus::Ok);
+            assert_eq!(health.ok_records, flows.len() as u64);
+        }
+    }
+
+    #[test]
+    fn v2_header_with_undersized_record_len_is_a_version_fault() {
+        let mut bytes = encode(&plausible_sample(2));
+        bytes[6..8].copy_from_slice(&(RECORD_LEN as u16 - 1).to_be_bytes());
+        assert!(matches!(decode(&bytes), Err(IpfixError::BadVersion(2))));
+        let (got, health) = decode_resilient(&bytes);
+        assert!(got.is_empty());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Unrecoverable);
+        assert_eq!(health.events[0].kind, FaultKind::BadVersion);
     }
 
     #[test]
@@ -326,16 +518,16 @@ mod tests {
         assert!(matches!(decode(b"XXXX\x00\x01"), Err(IpfixError::BadMagic)));
         let mut bytes = encode(&[]);
         bytes[5] = 9;
-        assert!(matches!(decode(&bytes), Err(IpfixError::BadVersion(9))));
+        assert!(matches!(decode(&bytes), Err(IpfixError::BadVersion(_))));
     }
 
     #[test]
     fn truncation_detected_at_every_cut() {
         let bytes = encode(&sample());
-        for cut in 6..bytes.len() {
+        for cut in HEADER_LEN..bytes.len() {
             match decode(&bytes[..cut]) {
                 Ok(flows) => assert_eq!(
-                    (cut - 6) % RECORD_LEN,
+                    (cut - HEADER_LEN) % RECORD_LEN,
                     0,
                     "cut {cut} decoded {} records",
                     flows.len()
@@ -364,6 +556,7 @@ mod tests {
                     bytes: packets as u64 * pkt_size as u64,
                     pkt_size,
                     member: Asn(64496 + i % 7),
+                    ttl: 30 + (i % 90) as u8,
                 }
             })
             .collect()
@@ -398,7 +591,7 @@ mod tests {
         let mut bytes = encode(&flows);
         // Flip a bit in record 3's byte counter: the product identity
         // breaks, so only that record is lost.
-        let off = 6 + 3 * RECORD_LEN + 21; // bytes field starts at +21
+        let off = HEADER_LEN + 3 * RECORD_LEN + 21; // bytes field starts at +21
         bytes[off] ^= 0x10;
         let (got, health) = decode_resilient(&bytes);
         assert_eq!(got.len(), 9);
@@ -415,8 +608,8 @@ mod tests {
         let flows = plausible_sample(10);
         let mut bytes = encode(&flows);
         // Insert 7 garbage bytes between records 4 and 5, breaking the
-        // 35-byte stride for everything after.
-        let at = 6 + 5 * RECORD_LEN;
+        // fixed stride for everything after.
+        let at = HEADER_LEN + 5 * RECORD_LEN;
         bytes.splice(at..at, [0xDEu8, 0xAD, 0xBE, 0xEF, 0x00, 0x01, 0x02]);
         let (got, health) = decode_resilient(&bytes);
         assert_eq!(got, flows, "all ten records recovered around the insertion");
@@ -427,10 +620,27 @@ mod tests {
     }
 
     #[test]
+    fn resilient_recovers_inside_extended_layouts() {
+        // Corruption in one extended record's known prefix loses only
+        // that record; the unknown tail bytes never confuse the walk.
+        let flows = plausible_sample(8);
+        let record_len = RECORD_LEN + 12;
+        let mut bytes = encode_padded(&flows, record_len);
+        let off = HEADER_LEN + 2 * record_len + 21; // record 2's bytes field
+        bytes[off] ^= 0x04;
+        let (got, health) = decode_resilient(&bytes);
+        assert_eq!(got.len(), 7);
+        assert_eq!(got[..2], flows[..2]);
+        assert_eq!(got[2..], flows[3..]);
+        assert!(health.reconciles());
+        assert_eq!(health.status(), spoofwatch_net::IngestStatus::Recovered);
+    }
+
+    #[test]
     fn resilient_decodes_duplicated_record() {
         let flows = plausible_sample(4);
         let mut bytes = encode(&flows);
-        let start = 6 + RECORD_LEN;
+        let start = HEADER_LEN + RECORD_LEN;
         let dup: Vec<u8> = bytes[start..start + RECORD_LEN].to_vec();
         bytes.splice(start..start, dup);
         let (got, health) = decode_resilient(&bytes);

@@ -229,6 +229,7 @@ fn put_flow(out: &mut Vec<u8>, f: &FlowRecord) {
     put_u64(out, f.bytes);
     put_u16(out, f.pkt_size);
     put_u32(out, f.member.0);
+    out.push(f.ttl);
 }
 
 fn get_flow(r: &mut Reader<'_>) -> Option<FlowRecord> {
@@ -243,6 +244,7 @@ fn get_flow(r: &mut Reader<'_>) -> Option<FlowRecord> {
         bytes: r.u64()?,
         pkt_size: r.u16()?,
         member: Asn(r.u32()?),
+        ttl: r.u8()?,
     })
 }
 
@@ -726,6 +728,7 @@ mod tests {
             bytes: (i as u64 + 1) * 60,
             pkt_size: 60,
             member: Asn(64_500 + i),
+            ttl: 0,
         }
     }
 

@@ -102,6 +102,7 @@ mod tests {
             bytes: 0,
             pkt_size: 100,
             member: Asn(1),
+            ttl: 0,
         }
     }
 

@@ -31,6 +31,7 @@ fn arb_flow() -> impl Strategy<Value = FlowRecord> {
                 bytes,
                 pkt_size,
                 member: Asn(member),
+                ttl: 0,
             },
         )
 }
@@ -62,6 +63,7 @@ fn arb_plausible_flow() -> impl Strategy<Value = FlowRecord> {
                 bytes: packets as u64 * pkt_size as u64,
                 pkt_size,
                 member: Asn(member),
+                ttl: 0,
             },
         )
 }
@@ -101,8 +103,8 @@ proptest! {
     ) {
         let clean = ipfix::encode(&flows);
         let mut dirty = clean.clone();
-        let mut inj = FaultInjector::new(seed).protect_prefix(6);
-        let fault = match inj.any_single(&mut dirty, 35) {
+        let mut inj = FaultInjector::new(seed).protect_prefix(ipfix::HEADER_LEN);
+        let fault = match inj.any_single(&mut dirty, ipfix::RECORD_LEN) {
             Some(f) => f,
             None => return Ok(()),
         };
@@ -112,7 +114,14 @@ proptest! {
             "accounting broken under {fault:?}: {health}"
         );
         let spans: Vec<(usize, usize)> =
-            (0..flows.len()).map(|i| (6 + 35 * i, 6 + 35 * (i + 1))).collect();
+            (0..flows.len())
+                .map(|i| {
+                    (
+                        ipfix::HEADER_LEN + ipfix::RECORD_LEN * i,
+                        ipfix::HEADER_LEN + ipfix::RECORD_LEN * (i + 1),
+                    )
+                })
+                .collect();
         let undamaged = count_undamaged(&spans, &damaged_ranges(&fault, clean.len()));
         prop_assert!(
             recovered.len() >= undamaged,
@@ -152,7 +161,8 @@ proptest! {
         cut_frac in 0.0f64..1.0,
     ) {
         let bytes = ipfix::encode(&flows);
-        let cut = 6 + ((bytes.len() - 6) as f64 * cut_frac) as usize;
+        let cut = ipfix::HEADER_LEN
+            + ((bytes.len() - ipfix::HEADER_LEN) as f64 * cut_frac) as usize;
         if let Ok(decoded) = ipfix::decode(&bytes[..cut]) {
             prop_assert!(decoded.len() <= flows.len());
             prop_assert_eq!(&decoded[..], &flows[..decoded.len()]);
@@ -202,12 +212,13 @@ fn ipfix_one_percent_corruption_recovers_unaffected_records() {
                 bytes: packets as u64 * pkt_size as u64,
                 pkt_size,
                 member: Asn(rng.random_range(1..60_000)),
+                ttl: 0,
             }
         })
         .collect();
     let mut dirty = ipfix::encode(&flows);
     let hits = FaultInjector::new(78)
-        .protect_prefix(6)
+        .protect_prefix(ipfix::HEADER_LEN)
         .corrupt_percent(&mut dirty, 1.0);
     assert!(hits > 0, "corruption must actually land");
     let (recovered, health) = ipfix::decode_resilient(&dirty);

@@ -100,6 +100,12 @@ pub struct FlowRecord {
     pub pkt_size: u16,
     /// The IXP member AS whose port the flow entered on.
     pub member: Asn,
+    /// IP time-to-live as observed at the vantage point. Hop-count
+    /// profiles separate spoofed from legitimate traffic (a spoofed
+    /// source's TTL rarely matches the real path from the address it
+    /// claims); 0 means "not captured" — the value old traces decode to.
+    #[serde(default)]
+    pub ttl: u8,
 }
 
 impl FlowRecord {
@@ -149,6 +155,7 @@ mod tests {
             bytes: 15000,
             pkt_size: 40,
             member: Asn(1),
+            ttl: 0,
         };
         assert_eq!(f.avg_packet_size(), 40.0);
         f.pkt_size = 0;
@@ -170,6 +177,7 @@ mod tests {
             bytes: 60,
             pkt_size: 60,
             member: Asn(1),
+            ttl: 0,
         };
         assert_eq!(f.hour(), 1);
         f.ts = 7200;

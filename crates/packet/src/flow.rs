@@ -23,6 +23,8 @@ pub struct PacketFlow {
     pub dport: u16,
     /// Total IP packet size in bytes.
     pub size: u16,
+    /// IP time-to-live as seen on the wire.
+    pub ttl: u8,
 }
 
 /// Parse a raw IPv4 packet and pull out its flow fields, validating every
@@ -48,6 +50,7 @@ pub fn extract_flow(packet: &[u8]) -> Result<PacketFlow, PacketError> {
         sport,
         dport,
         size: ip.total_len,
+        ttl: ip.ttl,
     })
 }
 
@@ -69,6 +72,7 @@ mod tests {
                 sport: 1000,
                 dport: 2000,
                 size: (20 + 8 + 5) as u16,
+                ttl: 64,
             }
         );
     }

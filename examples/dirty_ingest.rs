@@ -31,7 +31,7 @@ fn main() {
     // IPFIX flow export with 0.5% of bytes hit by bit flips.
     let mut flow_bytes = ipfix::encode(&trace.flows);
     let hits = FaultInjector::new(1)
-        .protect_prefix(6)
+        .protect_prefix(ipfix::HEADER_LEN)
         .corrupt_percent(&mut flow_bytes, 0.5);
     let (flows, flow_health) = ipfix::decode_resilient(&flow_bytes);
     println!(

@@ -67,6 +67,7 @@ fn main() {
             bytes: f.size as u64,
             pkt_size: f.size,
             member,
+            ttl: f.ttl,
         };
         // Emulate per-packet sampling: most packets vanish.
         if sampler.sample_flow(&mut rng, flow, 1).is_none() {

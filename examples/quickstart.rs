@@ -46,6 +46,7 @@ fn main() {
         bytes: 40,
         pkt_size: 40,
         member,
+        ttl: 0,
     };
     for src in ["192.168.1.1", "10.9.9.9", "224.0.0.5", "203.0.113.7"] {
         println!("src {src:>15} via {member} → {}", classifier.classify(&mk(src)));

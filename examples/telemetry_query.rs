@@ -10,19 +10,25 @@
 //! cargo run --example telemetry_query -- /path/to/ring
 //! cargo run --example telemetry_query -- /path/to/ring --csv
 //!
-//! # Self-contained demo: generate a world, run a study with rollups,
-//! # crash it partway, resume, and verify the ring reconciles with the
-//! # run report and is bit-identical to an uninterrupted run's:
+//! # Incident timeline + per-incident forensic drill-down, from the
+//! # incident log the online detectors write alongside the ring:
+//! cargo run --example telemetry_query -- /path/to/ring --incidents
+//!
+//! # Self-contained demo: generate a world, run a study with rollups
+//! # and online detection, crash it partway, resume, and verify the
+//! # ring and the incident log reconcile with the run report and are
+//! # bit-identical to an uninterrupted run's:
 //! cargo run --example telemetry_query -- --demo
 //! ```
 //!
 //! Exits nonzero on torn windows (inspection mode) or any verification
 //! failure (demo mode), so CI can use `--demo` as a smoke test.
 
+use spoofwatch_analysis::incidents::IncidentTimeline;
 use spoofwatch_analysis::timeseries::WindowSeries;
 use spoofwatch_core::{
-    read_ring, CheckpointStore, Classifier, DisagreementMatrix, RollupConfig, RunnerConfig,
-    RunnerError, StudyRunner, WindowAccum,
+    read_incident_log, read_ring, CheckpointStore, Classifier, DetectConfig, DisagreementMatrix,
+    RollupConfig, RunnerConfig, RunnerError, StudyRunner, WindowAccum,
 };
 use spoofwatch_internet::{Internet, InternetConfig};
 use spoofwatch_ixp::chunked::ChunkedIpfixReader;
@@ -35,16 +41,59 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     let demo = args.iter().any(|a| a == "--demo");
+    let incidents = args.iter().any(|a| a == "--incidents");
     let dir = args.iter().find(|a| !a.starts_with("--"));
 
     match (demo, dir) {
         (true, _) => run_demo(),
+        (false, Some(dir)) if incidents => inspect_incidents(Path::new(dir)),
         (false, Some(dir)) => inspect(Path::new(dir), csv),
         (false, None) => {
-            eprintln!("usage: telemetry_query <ring-dir> [--csv] | --demo");
+            eprintln!("usage: telemetry_query <ring-dir> [--csv | --incidents] | --demo");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Read a ring directory's incident log and render the timeline plus
+/// every incident's forensic drill-down.
+fn inspect_incidents(dir: &Path) -> ExitCode {
+    let (records, faults) = match read_incident_log(dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot read incident log {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for (path, err) in &faults {
+        eprintln!("torn incident file rejected: {}: {err}", path.display());
+    }
+    print!("{}", render_incidents(&records));
+    if faults.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Timeline table followed by each incident's drill-down.
+fn render_incidents(records: &[spoofwatch_core::IncidentRecord]) -> String {
+    let timeline = IncidentTimeline::new(records.to_vec());
+    let mut out = format!(
+        "# Incident log: {} incidents\n\n{}",
+        timeline.records.len(),
+        timeline.render_table()
+    );
+    for (kind, n) in timeline.counts_by_kind() {
+        out.push_str(&format!("- {kind}: {n}\n"));
+    }
+    for i in 0..timeline.records.len() {
+        if let Some(detail) = timeline.render_detail(i) {
+            out.push('\n');
+            out.push_str(&detail);
+        }
+    }
+    out
 }
 
 /// Read one ring directory and render it.
@@ -131,7 +180,7 @@ fn run_demo() -> ExitCode {
     let trace = Trace::generate(&net, &TrafficConfig::tiny(62));
     let mut bytes = ipfix::encode(&trace.flows);
     FaultInjector::new(63)
-        .protect_prefix(6)
+        .protect_prefix(ipfix::HEADER_LEN)
         .corrupt_percent(&mut bytes, 0.1);
     let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
     let cfg = RunnerConfig {
@@ -145,12 +194,18 @@ fn run_demo() -> ExitCode {
     let scratch = std::env::temp_dir().join(format!("telemetry-query-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&scratch);
 
-    // Reference: uninterrupted run with rollups.
+    let rollups = |dir: &Path| {
+        let mut r = RollupConfig::new(dir, window_chunks);
+        r.detect = Some(DetectConfig::default());
+        r
+    };
+
+    // Reference: uninterrupted run with rollups and online detection.
     let ref_ring = scratch.join("ref-ring");
     let store = CheckpointStore::open(scratch.join("ref-ckpt")).expect("open store");
     let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
     let reference = StudyRunner::new(&classifier, cfg.clone())
-        .with_rollups(RollupConfig::new(&ref_ring, window_chunks))
+        .with_rollups(rollups(&ref_ring))
         .run(&mut source, &store)
         .expect("reference run");
 
@@ -161,7 +216,7 @@ fn run_demo() -> ExitCode {
     crash_cfg.interrupt_after_chunks = Some(reference.health.chunks.offered / 2);
     let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
     match StudyRunner::new(&classifier, crash_cfg)
-        .with_rollups(RollupConfig::new(&ring, window_chunks))
+        .with_rollups(rollups(&ring))
         .run(&mut source, &store)
     {
         Err(RunnerError::Interrupted { committed_chunks }) => {
@@ -174,7 +229,7 @@ fn run_demo() -> ExitCode {
     }
     let mut source = ChunkedIpfixReader::new(&bytes, chunk_records);
     let resumed = StudyRunner::new(&classifier, cfg)
-        .with_rollups(RollupConfig::new(&ring, window_chunks))
+        .with_rollups(rollups(&ring))
         .run(&mut source, &store)
         .expect("resumed run");
     println!("resumed run: {}", resumed.health);
@@ -207,7 +262,8 @@ fn run_demo() -> ExitCode {
     println!("ring reconciles: {expected_windows} windows tile all {offered} chunks ✓");
 
     // The acceptance bar: per-window class shares (in fact the whole
-    // window files) are bit-exact across interrupt-and-resume.
+    // window files AND the incident log — ring_bytes collects both) are
+    // bit-exact across interrupt-and-resume.
     if ring_bytes(&ref_ring) != ring_bytes(&ring) {
         eprintln!("MISMATCH: resumed ring is not byte-identical to the reference ring");
         return ExitCode::FAILURE;
@@ -222,6 +278,13 @@ fn run_demo() -> ExitCode {
     println!("resumed ring is bit-identical to the uninterrupted reference ✓\n");
 
     print!("{}", render_ring(&windows));
+    let (incidents, torn) = read_incident_log(&ring).expect("read incident log");
+    if !torn.is_empty() {
+        eprintln!("MISMATCH: {} torn incident files", torn.len());
+        return ExitCode::FAILURE;
+    }
+    println!();
+    print!("{}", render_incidents(&incidents));
     let _ = std::fs::remove_dir_all(&scratch);
     ExitCode::SUCCESS
 }

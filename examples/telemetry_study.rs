@@ -31,7 +31,7 @@ fn main() -> ExitCode {
     let trace = Trace::generate(&net, &TrafficConfig::tiny(72));
     let mut bytes = ipfix::encode(&trace.flows);
     FaultInjector::new(73)
-        .protect_prefix(6)
+        .protect_prefix(ipfix::HEADER_LEN)
         .corrupt_percent(&mut bytes, 0.1);
     let classifier = Classifier::build(&net.announcements, &net.orgs_dataset);
 

@@ -57,6 +57,7 @@ fn crafted_packets_classify_like_flows() {
             bytes: f.size as u64,
             pkt_size: f.size,
             member,
+            ttl: f.ttl,
         };
         assert_eq!(classifier.classify(&flow), want.unwrap());
     }
@@ -79,6 +80,7 @@ fn sampling_preserves_class_but_scales_counts() {
         bytes: 0,
         pkt_size: 40,
         member,
+        ttl: 0,
     };
     let sampler = PacketSampler::new(100);
     let sampled = sampler

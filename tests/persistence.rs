@@ -52,7 +52,7 @@ fn trace_survives_ipfix_roundtrip() {
     let decoded = ipfix::decode(&bytes).expect("clean file");
     assert_eq!(decoded, trace.flows);
     // 35 bytes per record plus the 6-byte header.
-    assert_eq!(bytes.len(), 6 + trace.flows.len() * ipfix::RECORD_LEN);
+    assert_eq!(bytes.len(), ipfix::HEADER_LEN + trace.flows.len() * ipfix::RECORD_LEN);
 }
 
 #[test]
