@@ -116,4 +116,24 @@ test -s BENCH_detect.json || { echo "BENCH_detect.json baseline missing"; exit 1
 grep -q '"bench":"detect"' BENCH_detect.json \
     || { echo "BENCH_detect.json baseline malformed"; exit 1; }
 
+echo "==> batch classify contract (>=3x over scalar, zero steady-state allocations, byte-identity)"
+# The differential suite pins the batch path to the scalar one: per
+# flow across all five method variants (including proptest probes),
+# columnar decode against the resilient decoder under fault injection,
+# and the whole runner artifact chain (report, rollup ring, incident
+# log) against a scalar run_with closure.
+cargo test -q -p spoofwatch-ixp  --test columnar_diff
+cargo test -q -p spoofwatch-core --test batch_diff
+# Batch-mode smoke: the runner now classifies through the batch path in
+# every mode, so re-run the sharded bit-identity and live chaos-soak
+# gates explicitly against it.
+cargo test -q -p spoofwatch-core --test shard_study in_proc_sharding_is_bit_identical_for_1_2_4_shards
+cargo test -q -p spoofwatch-core --test live_study live_chaos_soak
+# The bench asserts the >=3x floor and the zero-allocation contract
+# itself, and refreshes the tracked BENCH_batch.json baseline.
+CRITERION_STUB_BUDGET_MS=50 cargo bench -q -p spoofwatch-bench --bench batch > /dev/null
+test -s BENCH_batch.json || { echo "BENCH_batch.json baseline missing"; exit 1; }
+grep -q '"bench":"batch"' BENCH_batch.json \
+    || { echo "BENCH_batch.json baseline malformed"; exit 1; }
+
 echo "==> CI green"

@@ -53,9 +53,19 @@ use crate::pipeline::Classifier;
 use spoofwatch_bgp::{RouteInfo, RoutedTable};
 use spoofwatch_net::Ipv4Prefix;
 use spoofwatch_trie::{FrozenLpm, PrefixSet, PrefixTrie};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// Batch code for "no routed or bogon match" — see
+/// [`CompiledClassifier::classify_codes_into`].
+pub const BATCH_UNROUTED: u32 = u32::MAX;
+/// Batch code for "bogon range matched". Info-arena indices are always
+/// below this (asserted at compile time of the table), so the three
+/// cases share one `u32` without ambiguity.
+pub const BATCH_BOGON: u32 = u32::MAX - 1;
 
 /// One slot of the merged prefix map. `Copy` and 8 bytes, so the frozen
 /// leaf array stays dense.
@@ -103,13 +113,39 @@ pub enum CompiledLookup<'a> {
 #[derive(Debug)]
 pub struct CompiledClassifier {
     lpm: FrozenLpm<CompiledEntry>,
+    /// Deduplicated (interned) route infos: many prefixes share one
+    /// origin/on-path set, and `Routed` entries index into this arena.
     infos: Vec<RouteInfo>,
+    /// `leaf code → batch code` (see
+    /// [`CompiledClassifier::classify_codes_into`]): index 0 is the LPM
+    /// miss ([`BATCH_UNROUTED`]), index `c ≥ 1` resolves leaf `c` to
+    /// either [`BATCH_BOGON`] or its info-arena index.
+    code_map: Vec<u32>,
+}
+
+/// Content fingerprint of a [`RouteInfo`] for the interning table
+/// (`RouteInfo` itself does not implement `Hash`; equality is still
+/// decided by `PartialEq` on the candidates, the hash only buckets).
+fn info_fingerprint(info: &RouteInfo) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    info.origins.hash(&mut h);
+    info.on_path.hash(&mut h);
+    h.finish()
 }
 
 impl CompiledClassifier {
     /// Merge `bogons` and `table` into one compiled lookup structure.
+    ///
+    /// Route infos are **interned**: prefixes with identical
+    /// origin/on-path sets (the common case — one AS originating many
+    /// prefixes) share a single arena entry, so each epoch rebuild
+    /// clones each distinct info once instead of once per prefix, and
+    /// the batch path's verdict memo keys on a small dense index space.
     pub fn compile(bogons: &PrefixSet, table: &RoutedTable) -> CompiledClassifier {
-        let mut infos = Vec::with_capacity(table.num_prefixes());
+        let mut infos: Vec<RouteInfo> = Vec::new();
+        // fingerprint → candidate arena indices (collisions resolved by
+        // PartialEq below).
+        let mut interned: HashMap<u64, Vec<u32>> = HashMap::new();
         let mut merged: PrefixTrie<CompiledEntry> = PrefixTrie::new();
         for (prefix, info) in table.iter() {
             // A routed prefix entirely inside a bogon range can never
@@ -120,8 +156,19 @@ impl CompiledClassifier {
             let entry = match bogons.covering(&prefix) {
                 Some(range) => CompiledEntry::Bogon { range },
                 None => {
-                    let idx = infos.len() as u32;
-                    infos.push(info.clone());
+                    let candidates = interned.entry(info_fingerprint(info)).or_default();
+                    let idx = match candidates
+                        .iter()
+                        .find(|&&c| infos[c as usize] == *info)
+                    {
+                        Some(&c) => c,
+                        None => {
+                            let idx = infos.len() as u32;
+                            infos.push(info.clone());
+                            candidates.push(idx);
+                            idx
+                        }
+                    };
                     CompiledEntry::Routed { info: idx }
                 }
             };
@@ -130,9 +177,24 @@ impl CompiledClassifier {
         for range in bogons.iter() {
             merged.insert(range, CompiledEntry::Bogon { range });
         }
+        assert!(
+            (infos.len() as u64) < BATCH_BOGON as u64,
+            "info arena overflows the batch code space"
+        );
+        let lpm = merged.freeze();
+        // Leaf code c ≥ 1 is leaf index c - 1 in iteration order.
+        let mut code_map = Vec::with_capacity(lpm.len() + 1);
+        code_map.push(BATCH_UNROUTED);
+        for (_, entry) in lpm.iter() {
+            code_map.push(match entry {
+                CompiledEntry::Bogon { .. } => BATCH_BOGON,
+                CompiledEntry::Routed { info } => *info,
+            });
+        }
         CompiledClassifier {
-            lpm: merged.freeze(),
+            lpm,
             infos,
+            code_map,
         }
     }
 
@@ -148,6 +210,51 @@ impl CompiledClassifier {
                 info: &self.infos[*info as usize],
             },
         }
+    }
+
+    /// The fused lookup for a whole column of source addresses,
+    /// replacing `out` with one **batch code** per probe:
+    /// [`BATCH_UNROUTED`], [`BATCH_BOGON`], or an info-arena index for
+    /// [`CompiledClassifier::info_at`]. With `prefetch`, the underlying
+    /// frozen-table probes run with [`FrozenLpm::lookup_codes_into`]'s
+    /// software-prefetch pipeline (up to
+    /// [`FrozenLpm::PREFETCH_DEPTH`] level-1 misses in flight). The
+    /// codes are exactly what per-address [`CompiledClassifier::lookup`]
+    /// calls would decide; `prefetch` never changes results.
+    pub fn classify_codes_into(&self, srcs: &[u32], out: &mut Vec<u32>, prefetch: bool) {
+        out.clear();
+        self.lpm.lookup_codes_into(srcs, out, prefetch);
+        // Second, cache-hot pass: leaf codes → batch codes. The map is
+        // dense and orders of magnitude smaller than the level-1 array.
+        for code in out.iter_mut() {
+            *code = self.code_map[*code as usize];
+        }
+    }
+
+    /// The interned [`RouteInfo`] behind an info-arena batch code.
+    /// Panics on [`BATCH_UNROUTED`] / [`BATCH_BOGON`] or a foreign index.
+    #[inline]
+    pub fn info_at(&self, idx: u32) -> &RouteInfo {
+        &self.infos[idx as usize]
+    }
+
+    /// Raw frozen-table leaf codes for a probe column, without the
+    /// batch-code mapping — `crate::batch` fuses that mapping into its
+    /// class-assembly pass instead of paying a separate sweep.
+    pub(crate) fn leaf_codes_into(&self, srcs: &[u32], out: &mut Vec<u32>, prefetch: bool) {
+        out.clear();
+        self.lpm.lookup_codes_into(srcs, out, prefetch);
+    }
+
+    /// The batch code a raw leaf code resolves to.
+    #[inline]
+    pub(crate) fn batch_code(&self, leaf_code: u32) -> u32 {
+        self.code_map[leaf_code as usize]
+    }
+
+    /// Distinct (interned) route infos in the arena.
+    pub fn num_infos(&self) -> usize {
+        self.infos.len()
     }
 
     /// Entries in the merged table (routed prefixes + bogon ranges).

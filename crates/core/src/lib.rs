@@ -29,6 +29,7 @@
 
 pub mod acl;
 pub mod backoff;
+pub mod batch;
 pub mod compiled;
 pub mod detect;
 pub mod fphunt;
@@ -41,7 +42,10 @@ pub mod stats;
 pub mod stray;
 
 pub use backoff::Backoff;
-pub use compiled::{CompiledClassifier, CompiledLookup, EpochClassifier, EpochSwap};
+pub use batch::BatchScratch;
+pub use compiled::{
+    CompiledClassifier, CompiledLookup, EpochClassifier, EpochSwap, BATCH_BOGON, BATCH_UNROUTED,
+};
 pub use detect::{
     detect_over_windows, read_incident_log, DetectConfig, DetectEngine, Incident, IncidentKind,
     IncidentRecord, Provenance, SampledFlow, SpoofMode, WindowDetect,

@@ -12,12 +12,19 @@ use spoofwatch_internet::bogon;
 use spoofwatch_net::{FlowRecord, InferenceMethod, Ipv4Prefix, OrgMode, TrafficClass};
 use spoofwatch_obs::{Clock, MetricsRegistry, RealClock};
 use spoofwatch_trie::PrefixSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-/// Batches smaller than this classify inline on the calling thread:
-/// at ~100 ns per fused lookup a 4096-flow batch costs well under a
-/// millisecond, which is cheaper than spawning even one worker.
-pub const PARALLEL_CUTOFF: usize = 4096;
+/// Batches smaller than this classify inline on the calling thread.
+///
+/// Re-derived for the batched path (`benches/batch.rs`): the vectorized
+/// classify costs ~9 ns per record (prefetched code lookup + memoized
+/// cone verdict), so per-item work is ~3× cheaper than the old
+/// record-at-a-time ~30 ns and the spawn-vs-inline crossover moves out
+/// by the same factor. At the cutoff a batch is ~110 µs of inline work
+/// — still comfortably above the cost of spawning scoped workers, and
+/// small enough that the runner's chunk cadence never stalls on it.
+pub const PARALLEL_CUTOFF: usize = 12288;
 
 /// How many workers a classify batch of `flows` records will use given
 /// `threads` available cores. Pure so tests and benches can assert the
@@ -123,6 +130,11 @@ pub struct Classifier {
     compiled: CompiledClassifier,
     cones: ConeSet,
     relationships: Relationships,
+    /// Process-unique build identity. The batch path's verdict memo
+    /// caches `(member, info index) → verdict` pairs whose meaning is
+    /// tied to one build's info arena; keying the memo on this uid makes
+    /// a scratch that outlives an epoch swap self-invalidating.
+    uid: u64,
 }
 
 impl Classifier {
@@ -149,6 +161,7 @@ impl Classifier {
 
         let bogons = bogon::bogon_set();
         let compiled = CompiledClassifier::compile(&bogons, &table);
+        static NEXT_UID: AtomicU64 = AtomicU64::new(1);
         Classifier {
             bogons,
             table,
@@ -160,7 +173,13 @@ impl Classifier {
                 cc_org,
             },
             relationships,
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// This build's process-unique identity (see the field docs).
+    pub(crate) fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// The merged routed table.
@@ -251,9 +270,21 @@ impl Classifier {
     /// variant — the shared leaf of `classify_with`, `classify_explain`
     /// and `classify_variants`.
     fn valid_under(&self, flow: &FlowRecord, info: &RouteInfo, v: MethodVariant) -> bool {
+        self.valid_under_parts(flow.member, info, v)
+    }
+
+    /// [`Classifier::valid_under`] on the two fields it actually reads —
+    /// the columnar batch path (`crate::batch`) has a member column and
+    /// an interned info index, never a whole `FlowRecord`.
+    pub(crate) fn valid_under_parts(
+        &self,
+        member: spoofwatch_net::Asn,
+        info: &RouteInfo,
+        v: MethodVariant,
+    ) -> bool {
         match self.cones.get(v.method, v.org) {
-            None => info.has_on_path(flow.member),
-            Some(cones) => cones.is_valid_source_any(flow.member, &info.origins),
+            None => info.has_on_path(member),
+            Some(cones) => cones.is_valid_source_any(member, &info.origins),
         }
     }
 
@@ -416,22 +447,25 @@ impl Classifier {
             .map(|n| n.get())
             .unwrap_or(4);
         let workers = planned_classify_workers(flows.len(), threads);
-        let mut out = vec![TrafficClass::Valid; flows.len()];
+        let mut out;
         if workers <= 1 {
-            // Small batch: the spawn cost would dwarf the lookups.
-            for (f, o) in flows.iter().zip(out.iter_mut()) {
-                *o = self.classify_with(f, method, org);
-            }
+            // Small batch: the spawn cost would dwarf the lookups. The
+            // vectorized path still applies — it is a strict drop-in
+            // for the classify_with loop (see `crate::batch`).
+            out = self.classify_records_batched(flows, method, org);
         } else {
+            out = vec![TrafficClass::Valid; flows.len()];
             let chunk = flows.len().div_ceil(workers).max(1);
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = flows
                 .chunks(chunk)
                 .zip(out.chunks_mut(chunk))
                 .map(|(in_chunk, out_chunk)| -> Box<dyn FnOnce() + Send + '_> {
                     Box::new(move || {
-                        for (f, o) in in_chunk.iter().zip(out_chunk.iter_mut()) {
-                            *o = self.classify_with(f, method, org);
-                        }
+                        // Worker-side transpose into the thread-local
+                        // scratch; the output vector is per-job and
+                        // copied into the shared slice.
+                        let classes = self.classify_records_batched(in_chunk, method, org);
+                        out_chunk.copy_from_slice(&classes);
                     })
                 })
                 .collect();

@@ -565,10 +565,12 @@ impl<'a> StudyRunner<'a> {
             let primary = MethodVariant::index_of(method, org);
             self.run_inner(source, store, move |flows: &[FlowRecord]| {
                 source_of.with(|classifier| {
+                    // Batched: one prefetched code probe per flow serves
+                    // all five variants (worker-side transpose into the
+                    // thread-local scratch — see `crate::batch`).
                     let mut matrix = DisagreementMatrix::new();
                     let mut classes = Vec::with_capacity(flows.len());
-                    for f in flows {
-                        let variants = classifier.classify_variants(f);
+                    for variants in classifier.classify_variants_records_batched(flows) {
                         matrix.record(&variants);
                         classes.push(variants[primary]);
                     }
@@ -578,11 +580,7 @@ impl<'a> StudyRunner<'a> {
         } else {
             self.run_inner(source, store, move |flows: &[FlowRecord]| {
                 source_of.with(|classifier| {
-                    let classes = flows
-                        .iter()
-                        .map(|f| classifier.classify_with(f, method, org))
-                        .collect();
-                    (classes, None)
+                    (classifier.classify_records_batched(flows, method, org), None)
                 })
             })
         }

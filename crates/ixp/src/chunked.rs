@@ -19,7 +19,7 @@
 //!   an interrupted study resume from a checkpoint bit-identically.
 
 use crate::ipfix::{self, Layout};
-use spoofwatch_net::{FaultKind, FlowRecord, IngestHealth};
+use spoofwatch_net::{FaultKind, FlowBatch, FlowRecord, IngestHealth};
 
 /// One decoded chunk of the flow stream: the records recovered from the
 /// byte span `[byte_start, byte_end)` plus that span's health.
@@ -39,6 +39,24 @@ pub struct FlowChunk {
     pub health: IngestHealth,
 }
 
+/// The bookkeeping of one decoded chunk without its records: byte span,
+/// sequence number, and health. [`ChunkedIpfixReader::next_batch`]
+/// returns this alongside the caller's refilled [`FlowBatch`], so the
+/// columnar path carries identical accounting to [`FlowChunk`] without
+/// owning a record vector.
+#[derive(Debug, Clone)]
+pub struct ChunkSpan {
+    /// Position of this chunk in the stream, starting at 0.
+    pub seq: u64,
+    /// First input byte this chunk covers.
+    pub byte_start: u64,
+    /// One past the last input byte this chunk covers; the resume
+    /// cursor for the next chunk.
+    pub byte_end: u64,
+    /// Byte-exact decode health of the span.
+    pub health: IngestHealth,
+}
+
 /// Incremental resilient reader over an in-memory IPFIX-lite buffer.
 ///
 /// Yields up to `chunk_records` decoded records per [`FlowChunk`]; a
@@ -55,6 +73,11 @@ pub struct ChunkedIpfixReader<'a> {
     /// Parsed wire geometry; `Some` once the header has been checked.
     layout: Option<Layout>,
     done: bool,
+    /// Recycled record storage for the next [`FlowChunk`] (see
+    /// [`ChunkedIpfixReader::recycle`]) — steady-state streaming with a
+    /// single consumer reuses one vector instead of allocating per
+    /// chunk.
+    spare: Vec<FlowRecord>,
 }
 
 impl<'a> ChunkedIpfixReader<'a> {
@@ -68,6 +91,7 @@ impl<'a> ChunkedIpfixReader<'a> {
             chunk_records: chunk_records.max(1),
             layout: None,
             done: false,
+            spare: Vec::new(),
         }
     }
 
@@ -129,13 +153,61 @@ impl<'a> ChunkedIpfixReader<'a> {
 
     /// Decode the next chunk; `None` once the input is exhausted (or
     /// after an unrecoverable header fault has been reported).
+    ///
+    /// The chunk's record vector comes from the recycle pool when one
+    /// is available (see [`ChunkedIpfixReader::recycle`]), so a
+    /// single-consumer read loop allocates it once, not per chunk.
     pub fn next_chunk(&mut self) -> Option<FlowChunk> {
+        let mut flows = std::mem::take(&mut self.spare);
+        flows.clear();
+        match self.next_span(&mut |f| flows.push(*f)) {
+            Some(span) => Some(FlowChunk {
+                seq: span.seq,
+                byte_start: span.byte_start,
+                byte_end: span.byte_end,
+                flows,
+                health: span.health,
+            }),
+            None => {
+                self.spare = flows; // keep the arena for a later seek
+                None
+            }
+        }
+    }
+
+    /// Decode the next chunk straight into the caller's reusable
+    /// [`FlowBatch`] — the columnar, allocation-free counterpart of
+    /// [`ChunkedIpfixReader::next_chunk`]. The batch is cleared and
+    /// refilled (column capacities survive, so steady-state streaming
+    /// reuses one arena across every chunk); the returned [`ChunkSpan`]
+    /// carries the identical sequence/byte-span/health bookkeeping a
+    /// [`FlowChunk`] would. Record-for-record and span-for-span equal
+    /// to `next_chunk` by construction: both are sinks over one walk.
+    pub fn next_batch(&mut self, batch: &mut FlowBatch) -> Option<ChunkSpan> {
+        batch.clear();
+        self.next_span(&mut |f| batch.push(f))
+    }
+
+    /// Return a spent [`FlowChunk`]'s record vector to the reader so
+    /// the next chunk reuses its capacity instead of allocating. The
+    /// larger of the offered and the held vector is kept.
+    pub fn recycle(&mut self, mut flows: Vec<FlowRecord>) {
+        flows.clear();
+        if flows.capacity() > self.spare.capacity() {
+            self.spare = flows;
+        }
+    }
+
+    /// The shared chunk walk behind [`ChunkedIpfixReader::next_chunk`]
+    /// and [`ChunkedIpfixReader::next_batch`]: identical plausibility
+    /// checks, resynchronization, and health accounting, parameterized
+    /// only over where recovered records go.
+    fn next_span(&mut self, sink: &mut dyn FnMut(&FlowRecord)) -> Option<ChunkSpan> {
         if self.done || (self.layout.is_some() && self.pos >= self.data.len()) {
             self.done = true;
             return None;
         }
         let byte_start = self.pos as u64;
-        let mut flows = Vec::new();
         // Health is built against the span length, filled in at the end.
         let mut health = IngestHealth::new(0);
 
@@ -151,11 +223,10 @@ impl<'a> ChunkedIpfixReader<'a> {
                     self.done = true;
                     let seq = self.seq;
                     self.seq += 1;
-                    return Some(FlowChunk {
+                    return Some(ChunkSpan {
                         seq,
                         byte_start,
                         byte_end: data.len() as u64,
-                        flows,
                         health,
                     });
                 }
@@ -172,9 +243,11 @@ impl<'a> ChunkedIpfixReader<'a> {
         // The same walk as `decode_resilient`, paused after
         // `chunk_records` recovered records.
         let data = self.data;
-        while self.pos < data.len() && flows.len() < self.chunk_records {
+        let mut recovered = 0usize;
+        while self.pos < data.len() && recovered < self.chunk_records {
             if let Some(f) = ipfix::plausible_at(data, self.pos, &layout) {
-                flows.push(f);
+                sink(&f);
+                recovered += 1;
                 health.credit_record(stride as u64);
                 self.pos += stride;
                 continue;
@@ -205,11 +278,10 @@ impl<'a> ChunkedIpfixReader<'a> {
         health.record_metrics("ipfix_chunked");
         let seq = self.seq;
         self.seq += 1;
-        Some(FlowChunk {
+        Some(ChunkSpan {
             seq,
             byte_start,
             byte_end,
-            flows,
             health,
         })
     }
@@ -355,6 +427,90 @@ mod tests {
             assert_chunks_match_oneshot(&v1, 16);
             assert_chunks_match_oneshot(&padded, 16);
         }
+    }
+
+    /// `next_batch` must tile the input exactly like `next_chunk`:
+    /// same records, same spans, same health scalars, chunk by chunk.
+    fn assert_batches_match_chunks(bytes: &[u8], chunk_records: usize) {
+        let mut by_chunk = ChunkedIpfixReader::new(bytes, chunk_records);
+        let mut by_batch = ChunkedIpfixReader::new(bytes, chunk_records);
+        let mut batch = FlowBatch::new();
+        loop {
+            let chunk = by_chunk.next_chunk();
+            let span = by_batch.next_batch(&mut batch);
+            match (chunk, span) {
+                (None, None) => break,
+                (Some(c), Some(s)) => {
+                    assert_eq!(s.seq, c.seq);
+                    assert_eq!(s.byte_start, c.byte_start);
+                    assert_eq!(s.byte_end, c.byte_end);
+                    assert_eq!(s.health.input_len, c.health.input_len);
+                    assert_eq!(s.health.ok_records, c.health.ok_records);
+                    assert_eq!(s.health.ok_bytes, c.health.ok_bytes);
+                    assert_eq!(s.health.quarantined_bytes, c.health.quarantined_bytes);
+                    assert_eq!(s.health.resyncs, c.health.resyncs);
+                    assert_eq!(s.health.unrecoverable, c.health.unrecoverable);
+                    assert_eq!(batch.to_records(), c.flows, "chunk {} records", c.seq);
+                }
+                (c, s) => panic!(
+                    "chunk/batch iteration diverged: chunk={:?} span={:?}",
+                    c.map(|c| c.seq),
+                    s.map(|s| s.seq)
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn batches_tile_identically_to_chunks() {
+        let clean = encode(&plausible_sample(100));
+        for chunk_records in [1, 7, 32, 1000] {
+            assert_batches_match_chunks(&clean, chunk_records);
+        }
+        for seed in 0..15u64 {
+            let mut bytes = encode(&plausible_sample(80));
+            let mut inj = FaultInjector::new(seed).protect_prefix(HEADER_LEN);
+            for _ in 0..3 {
+                inj.any_single(&mut bytes, RECORD_LEN);
+            }
+            assert_batches_match_chunks(&bytes, 16);
+        }
+        let flows = plausible_sample(60);
+        assert_batches_match_chunks(&crate::ipfix::encode_v1(&flows), 7);
+        assert_batches_match_chunks(&crate::ipfix::encode_padded(&flows, RECORD_LEN + 9), 7);
+        assert_batches_match_chunks(b"XXXX\x00\x01whatever", 8);
+        assert_batches_match_chunks(&encode(&[]), 8);
+    }
+
+    #[test]
+    fn next_batch_reuses_the_arena() {
+        let bytes = encode(&plausible_sample(200));
+        let mut r = ChunkedIpfixReader::new(&bytes, 50);
+        let mut batch = FlowBatch::new();
+        assert!(r.next_batch(&mut batch).is_some());
+        assert_eq!(batch.len(), 50);
+        let cap_ptr = batch.src.as_ptr();
+        // Subsequent same-size chunks refill in place: no regrowth.
+        while r.next_batch(&mut batch).is_some() {
+            assert!(batch.len() <= 50);
+            assert_eq!(batch.src.as_ptr(), cap_ptr);
+        }
+    }
+
+    #[test]
+    fn recycle_feeds_the_next_chunk() {
+        let bytes = encode(&plausible_sample(120));
+        let mut r = ChunkedIpfixReader::new(&bytes, 40);
+        let first = r.next_chunk().expect("first chunk");
+        let cap = first.flows.capacity();
+        assert!(cap >= 40);
+        let ptr = first.flows.as_ptr();
+        r.recycle(first.flows);
+        let second = r.next_chunk().expect("second chunk");
+        // The recycled allocation is handed back, not reallocated.
+        assert_eq!(second.flows.as_ptr(), ptr);
+        assert_eq!(second.flows.capacity(), cap);
+        assert_eq!(second.flows.len(), 40);
     }
 
     #[test]

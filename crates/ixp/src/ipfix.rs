@@ -229,6 +229,9 @@ impl<W: Write> IpfixWriter<W> {
 pub struct IpfixReader<R: Read> {
     inner: R,
     layout: Layout,
+    /// Reusable record buffer (`layout.record_len` bytes) — one
+    /// allocation per reader, not one per record.
+    buf: Vec<u8>,
 }
 
 impl<R: Read> IpfixReader<R> {
@@ -258,7 +261,8 @@ impl<R: Read> IpfixReader<R> {
             }
             version => return Err(IpfixError::BadVersion(version)),
         };
-        Ok(IpfixReader { inner, layout })
+        let buf = vec![0u8; layout.record_len];
+        Ok(IpfixReader { inner, layout, buf })
     }
 
     /// The layout the header declared.
@@ -268,7 +272,7 @@ impl<R: Read> IpfixReader<R> {
 
     /// Read the next record; `Ok(None)` at clean end-of-file.
     pub fn next_record(&mut self) -> Result<Option<FlowRecord>, IpfixError> {
-        let mut buf = vec![0u8; self.layout.record_len];
+        let buf = &mut self.buf;
         let mut got = 0usize;
         while got < buf.len() {
             match self.inner.read(&mut buf[got..]) {
@@ -279,7 +283,7 @@ impl<R: Read> IpfixReader<R> {
                 Err(e) => return Err(e.into()),
             }
         }
-        decode_record_with(&buf, &self.layout).map(Some)
+        decode_record_with(&buf[..], &self.layout).map(Some)
     }
 
     /// Drain all remaining records.
@@ -360,33 +364,26 @@ pub(crate) fn plausible_at(data: &[u8], pos: usize, layout: &Layout) -> Option<F
     plausible_record(&f).then_some(f)
 }
 
-/// Decode a complete buffer, recovering from corruption.
-///
-/// Unlike [`decode`], which fail-stops, this walks the file's declared
-/// record stride and checks every record against [`plausible_record`].
-/// On a failure it quarantines bytes and resynchronizes byte-wise to the
-/// next offset where a plausible record decodes — recovering alignment
-/// after inserted or deleted bytes, not just in-place corruption. The
-/// returned [`IngestHealth`] accounts for every input byte:
-/// `ok_bytes + quarantined_bytes == data.len()`.
-///
-/// A bad file header is unrecoverable and quarantines the whole input.
-pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
+/// The resilient decode walk shared by [`decode_resilient`] and
+/// [`decode_columnar`]: one implementation, two sinks, so the columnar
+/// path is equal to the record-at-a-time path *by construction* (and
+/// re-proven by the differential tests below and in
+/// `tests/columnar_diff.rs`).
+fn resilient_walk(data: &[u8], mut sink: impl FnMut(&FlowRecord)) -> IngestHealth {
     let mut health = IngestHealth::new(data.len() as u64);
-    let mut out = Vec::new();
     let layout = match Layout::parse(data) {
         Ok(l) => l,
         Err(kind) => {
             health.abandon(kind);
             health.record_metrics("ipfix");
-            return (out, health);
+            return health;
         }
     };
     health.credit_ok(layout.header_len as u64);
     let mut pos = layout.header_len;
     while pos < data.len() {
         if let Some(f) = plausible_at(data, pos, &layout) {
-            out.push(f);
+            sink(&f);
             health.credit_record(layout.record_len as u64);
             pos += layout.record_len;
             continue;
@@ -411,7 +408,42 @@ pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
         pos = next;
     }
     health.record_metrics("ipfix");
+    health
+}
+
+/// Decode a complete buffer, recovering from corruption.
+///
+/// Unlike [`decode`], which fail-stops, this walks the file's declared
+/// record stride and checks every record against [`plausible_record`].
+/// On a failure it quarantines bytes and resynchronizes byte-wise to the
+/// next offset where a plausible record decodes — recovering alignment
+/// after inserted or deleted bytes, not just in-place corruption. The
+/// returned [`IngestHealth`] accounts for every input byte:
+/// `ok_bytes + quarantined_bytes == data.len()`.
+///
+/// A bad file header is unrecoverable and quarantines the whole input.
+pub fn decode_resilient(data: &[u8]) -> (Vec<FlowRecord>, IngestHealth) {
+    let mut out = Vec::new();
+    let health = resilient_walk(data, |f| out.push(*f));
     (out, health)
+}
+
+/// [`decode_resilient`] straight into a structure-of-arrays
+/// [`FlowBatch`] — the columnar ingest half of the batched classify
+/// path.
+///
+/// `batch` is cleared and refilled; its column capacities survive, so
+/// feeding the same batch buffer after buffer performs **zero
+/// per-record allocations** (each parsed record lives on the stack for
+/// exactly one `push`) and, once the columns have grown to the working
+/// size, zero per-call allocations. The walk, plausibility checks,
+/// resynchronization, and [`IngestHealth`] accounting
+/// (`ok_bytes + quarantined_bytes == input`) are literally the same
+/// code as [`decode_resilient`]: both are thin sinks over one shared
+/// walk.
+pub fn decode_columnar(data: &[u8], batch: &mut spoofwatch_net::FlowBatch) -> IngestHealth {
+    batch.clear();
+    resilient_walk(data, |f| batch.push(f))
 }
 
 #[cfg(test)]

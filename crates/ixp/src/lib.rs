@@ -28,7 +28,7 @@ pub mod live;
 pub mod sampler;
 pub mod traffic;
 
-pub use chunked::{ChunkedIpfixReader, FlowChunk};
+pub use chunked::{ChunkSpan, ChunkedIpfixReader, FlowChunk};
 pub use live::{
     run_live_producer, LiveChunk, LiveProducerConfig, LiveProducerStats, LiveScenario,
     LIVE_PROTO_VERSION, LIVE_WIRE_MAGIC,

@@ -1,0 +1,139 @@
+//! Differential tests: `decode_columnar` must be byte-for-byte equal to
+//! `decode_resilient` — same records, same health scalars — across every
+//! corruption regime the fault injector can produce and every supported
+//! wire layout. The production code routes both decoders through one
+//! shared walk, so these tests guard the *seam* (sink behavior, arena
+//! reuse across successive buffers), not two independent decoders.
+
+use spoofwatch_ixp::ipfix::{
+    decode_columnar, decode_resilient, encode, encode_padded, encode_v1, HEADER_LEN, RECORD_LEN,
+};
+use spoofwatch_net::{Asn, FaultInjector, FlowBatch, FlowRecord, IngestHealth, Proto};
+
+fn plausible_sample(n: u32, seed: u32) -> Vec<FlowRecord> {
+    (0..n)
+        .map(|i| {
+            let j = i.wrapping_mul(2654435761).wrapping_add(seed);
+            let packets = 1 + j % 40;
+            let pkt_size = 40 + (j % 1400) as u16;
+            FlowRecord {
+                ts: 100 + i,
+                src: 0x0A00_0000u32.wrapping_add(j),
+                dst: 0xC000_0200 + i,
+                proto: if i % 2 == 0 { Proto::Tcp } else { Proto::Udp },
+                sport: 1025 + (j % 60000) as u16,
+                dport: if i % 3 == 0 { 53 } else { 80 },
+                packets,
+                bytes: packets as u64 * pkt_size as u64,
+                pkt_size,
+                member: Asn(64496 + i % 7),
+                ttl: 0,
+            }
+        })
+        .collect()
+}
+
+fn assert_health_eq(got: &IngestHealth, want: &IngestHealth) {
+    assert_eq!(got.input_len, want.input_len);
+    assert_eq!(got.ok_records, want.ok_records);
+    assert_eq!(got.ok_bytes, want.ok_bytes);
+    assert_eq!(got.quarantined_bytes, want.quarantined_bytes);
+    assert_eq!(got.resyncs, want.resyncs);
+    assert_eq!(got.unrecoverable, want.unrecoverable);
+}
+
+/// The core differential check. Reuses the caller's batch so a sequence
+/// of calls also exercises arena reuse (stale contents from the prior
+/// buffer must never leak into the next result).
+fn assert_columnar_matches_resilient(bytes: &[u8], batch: &mut FlowBatch) {
+    let (want_flows, want_health) = decode_resilient(bytes);
+    let got_health = decode_columnar(bytes, batch);
+    assert!(batch.columns_aligned());
+    assert_eq!(batch.to_records(), want_flows);
+    assert_health_eq(&got_health, &want_health);
+    assert!(got_health.reconciles());
+    assert_eq!(
+        got_health.ok_records, want_flows.len() as u64,
+        "resilience accounting must cover every emitted record"
+    );
+}
+
+#[test]
+fn columnar_equals_resilient_clean() {
+    let mut batch = FlowBatch::new();
+    for n in [0u32, 1, 7, 500] {
+        assert_columnar_matches_resilient(&encode(&plausible_sample(n, 1)), &mut batch);
+    }
+}
+
+#[test]
+fn columnar_equals_resilient_under_percent_corruption() {
+    // 0%, 1%, and 5% random byte corruption past the header, many seeds.
+    let mut batch = FlowBatch::new();
+    for seed in 0..20u64 {
+        for percent in [0.0f64, 1.0, 5.0] {
+            let mut bytes = encode(&plausible_sample(200, seed as u32));
+            let mut inj = FaultInjector::new(seed * 31 + percent as u64).protect_prefix(HEADER_LEN);
+            inj.corrupt_percent(&mut bytes[HEADER_LEN..], percent);
+            assert_columnar_matches_resilient(&bytes, &mut batch);
+        }
+    }
+}
+
+#[test]
+fn columnar_equals_resilient_torn_and_garbage() {
+    let mut batch = FlowBatch::new();
+    for seed in 0..20u64 {
+        // Torn tail: a partial final record.
+        let mut torn = encode(&plausible_sample(64, seed as u32));
+        FaultInjector::new(seed)
+            .protect_prefix(HEADER_LEN)
+            .torn_tail(&mut torn, RECORD_LEN - 1);
+        assert_columnar_matches_resilient(&torn, &mut batch);
+
+        // Garbage inserted mid-stream (desynchronizes the stride).
+        let mut garbled = encode(&plausible_sample(64, seed as u32));
+        FaultInjector::new(seed + 1000)
+            .protect_prefix(HEADER_LEN)
+            .insert_garbage(&mut garbled, 1 + (seed as usize % 17));
+        assert_columnar_matches_resilient(&garbled, &mut batch);
+
+        // The injector's full single-fault repertoire.
+        let mut any = encode(&plausible_sample(64, seed as u32));
+        let mut inj = FaultInjector::new(seed + 2000).protect_prefix(HEADER_LEN);
+        for _ in 0..3 {
+            inj.any_single(&mut any, RECORD_LEN);
+        }
+        assert_columnar_matches_resilient(&any, &mut batch);
+    }
+}
+
+#[test]
+fn columnar_equals_resilient_across_layouts_and_bad_headers() {
+    let mut batch = FlowBatch::new();
+    let flows = plausible_sample(60, 9);
+    assert_columnar_matches_resilient(&encode_v1(&flows), &mut batch);
+    assert_columnar_matches_resilient(&encode_padded(&flows, RECORD_LEN + 9), &mut batch);
+    // Unrecoverable header faults: both must abandon identically.
+    assert_columnar_matches_resilient(b"XXXX\x00\x01whatever", &mut batch);
+    assert_columnar_matches_resilient(b"", &mut batch);
+    assert_columnar_matches_resilient(&encode(&[])[..HEADER_LEN - 1], &mut batch);
+}
+
+#[test]
+fn arena_reuse_never_leaks_across_buffers() {
+    // Decode a large buffer, then a small one, into the same batch: the
+    // result must equal a fresh decode of the small buffer (clear() is
+    // the whole contract), and the columns must not have been reallocated.
+    let big = encode(&plausible_sample(500, 3));
+    let small = encode(&plausible_sample(5, 4));
+    let mut batch = FlowBatch::new();
+    decode_columnar(&big, &mut batch);
+    assert_eq!(batch.len(), 500);
+    let arena = batch.src.as_ptr();
+    let health = decode_columnar(&small, &mut batch);
+    assert_eq!(batch.src.as_ptr(), arena, "small decode must reuse the arena");
+    let (want_flows, want_health) = decode_resilient(&small);
+    assert_eq!(batch.to_records(), want_flows);
+    assert_health_eq(&health, &want_health);
+}

@@ -27,6 +27,7 @@
 
 pub mod addr;
 pub mod asn;
+pub mod batch;
 pub mod class;
 pub mod crc32;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod prefix;
 pub mod wire;
 
 pub use addr::{fmt_addr, parse_addr};
+pub use batch::FlowBatch;
 pub use crc32::crc32;
 pub use asn::Asn;
 pub use class::{InferenceMethod, OrgMode, TrafficClass};
